@@ -1,0 +1,79 @@
+// bench_ablation_huffman_ecq - Reproduces the Section IV-C argument for
+// fixed trees over Huffman coding of ECQ streams: Huffman needs a stored
+// dictionary, suffers from huge sparse alphabets with single-occurrence
+// values, and serializes the workload (a frequency pass before any
+// encoding).  We measure the actual encoded sizes both ways.
+#include <map>
+
+#include "bench_common.h"
+#include "compressors/huffman.h"
+
+using namespace pastri;
+
+int main() {
+  bench::print_header("Ablation -- Tree 5 vs Huffman on ECQ streams",
+                      "Section IV-C (Huffman discussion)");
+
+  Params p;
+  p.error_bound = 1e-10;
+
+  std::size_t tree5_bits_total = 0, huff_bits_total = 0,
+              huff_dict_bits_total = 0;
+  std::size_t blocks = 0, distinct_total = 0, singletons_total = 0;
+
+  for (const auto& spec : bench::paper_datasets()) {
+    const auto ds = bench::load_bench_dataset(spec);
+    const BlockSpec bs = bench::block_spec_of(ds);
+    for (std::size_t b = 0; b < ds.num_blocks; ++b) {
+      const BlockAnalysis a = analyze_block(ds.block(b), bs, p);
+      if (a.zero_block || a.quantized.ecb_max < 2) continue;
+      ++blocks;
+      // Tree 5 (per block, no dictionary).
+      tree5_bits_total += ecq_encoded_bits(EcqTree::Tree5, a.quantized.ecq,
+                                           a.quantized.ecb_max);
+      // Per-block Huffman: frequency pass + dictionary + payload.
+      std::map<std::int64_t, std::uint64_t> freq_map;
+      for (auto v : a.quantized.ecq) ++freq_map[v];
+      // Map values to a dense alphabet for the codec.
+      std::vector<std::uint64_t> freq;
+      std::map<std::int64_t, std::uint32_t> sym_of;
+      for (const auto& [v, f] : freq_map) {
+        sym_of[v] = static_cast<std::uint32_t>(freq.size());
+        freq.push_back(f);
+        singletons_total += (f == 1);
+      }
+      distinct_total += freq.size();
+      const auto huff = baselines::HuffmanCodec::from_frequencies(freq);
+      std::size_t payload = 0;
+      for (auto v : a.quantized.ecq) payload += huff.code_length(sym_of[v]);
+      // The dictionary must also map symbols back to signed values:
+      // charge ~(2 + EC_b) bits per distinct value on top of the code
+      // lengths themselves.
+      const std::size_t dict =
+          huff.dictionary_bits() +
+          freq.size() * (2 + a.quantized.ecb_max);
+      huff_bits_total += payload + dict;
+      huff_dict_bits_total += dict;
+    }
+  }
+
+  std::printf("blocks with ECQ payload: %zu\n", blocks);
+  std::printf("distinct ECQ values/block (avg): %.1f; single-occurrence "
+              "values/block (avg): %.1f\n",
+              static_cast<double>(distinct_total) / blocks,
+              static_cast<double>(singletons_total) / blocks);
+  std::printf("\n%-28s %16s\n", "encoder", "total ECQ bits");
+  std::printf("%-28s %16zu\n", "Tree 5 (fixed, no dict)", tree5_bits_total);
+  std::printf("%-28s %16zu  (dict %zu = %.1f%%)\n",
+              "per-block Huffman + dict", huff_bits_total,
+              huff_dict_bits_total,
+              100.0 * huff_dict_bits_total / huff_bits_total);
+  bench::print_rule();
+  std::printf("paper shape: the dictionary overhead erases Huffman's "
+              "payload advantage at block granularity -- Tree 5 total "
+              "is %s (%.2fx Huffman's size) -- while amortizing the "
+              "dictionary across blocks would serialize the pipeline.\n",
+              tree5_bits_total <= huff_bits_total ? "smaller" : "larger",
+              static_cast<double>(tree5_bits_total) / huff_bits_total);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// bench_dataset_census - Population statistics of the six evaluation
+// datasets (companion to Fig. 6 and the Fig. 8 molecule roster):
+// screened fraction, block-extremum dynamic range, and ER scaled-pattern
+// quality, computed by the zchecker dataset analyzer.
+#include "bench_common.h"
+#include "zchecker/dataset_stats.h"
+
+using namespace pastri;
+
+int main() {
+  bench::print_header("Dataset census -- block population statistics",
+                      "Section V-A datasets (Fig. 8 molecules)");
+
+  std::printf("%-22s %8s %10s %22s %12s %12s\n", "dataset", "blocks",
+              "screened", "extrema (min..max)", "mean ER dev",
+              "worst ER dev");
+  for (const auto& spec : bench::paper_datasets()) {
+    const auto ds = bench::load_bench_dataset(spec);
+    const auto st = zchecker::analyze_dataset(ds);
+    std::printf("%-22s %8zu %9.1f%% %10.1e..%8.1e %12.2e %12.2e\n",
+                ds.label.c_str(), st.num_blocks,
+                100.0 * st.zero_blocks / std::max<std::size_t>(1,
+                                                               st.num_blocks),
+                st.min_nonzero_extremum, st.max_extremum,
+                st.mean_relative_deviation, st.worst_relative_deviation);
+  }
+  bench::print_rule();
+  std::printf("shape: block extrema span many decades (the source of the "
+              "type-0/1 census in Fig. 6); the ER scaled pattern explains "
+              "blocks to a few percent on average (Fig. 3).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// bench_fig3_pattern - Reproduces Fig. 3: the latent sub-block pattern of
+// an ERI shell block.
+//
+// Prints (a) the sub-block structure of a (dd|dd) block, (b) the first
+// two sub-blocks overlapped, (c) the second sub-block rescaled onto the
+// first, and (d) deviation / compression-error statistics at EB = 1e-10.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/scaling.h"
+#include "zchecker/metrics.h"
+
+using namespace pastri;
+
+namespace {
+
+/// Pick a block whose sub-blocks have nontrivial amplitude, as the paper
+/// does (a visible (dd|dd) block from the generated stream).
+std::size_t pick_demo_block(const qc::EriDataset& ds) {
+  std::size_t best = 0;
+  double best_metric = -1.0;
+  for (std::size_t b = 0; b < ds.num_blocks; ++b) {
+    const auto block = ds.block(b);
+    double mx = 0;
+    for (double v : block) mx = std::max(mx, std::abs(v));
+    // Prefer mid-amplitude blocks (the paper's demo block peaks ~4e-7).
+    if (mx < 1e-8 || mx > 1e-4) continue;
+    if (mx > best_metric) {
+      best_metric = mx;
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 3 -- sub-block pattern in a (dd|dd) ERI block",
+                      "Fig. 3(a)-(d), Section III-B");
+
+  const auto ds = bench::load_bench_dataset({"benzene", "(dd|dd)", 400,
+                                             200, 1296});
+  const BlockSpec spec = bench::block_spec_of(ds);
+  const std::size_t b = pick_demo_block(ds);
+  const auto block = ds.block(b);
+  const std::size_t sbs = spec.sub_block_size;
+
+  std::printf("block %zu of %s: %zu sub-blocks x %zu points\n\n", b,
+              ds.label.c_str(), spec.num_sub_blocks, sbs);
+
+  // (a) per-sub-block amplitude summary over the first 6 sub-blocks.
+  std::printf("(a) sub-block extrema (first 6 of %zu):\n",
+              spec.num_sub_blocks);
+  for (std::size_t j = 0; j < std::min<std::size_t>(6, spec.num_sub_blocks);
+       ++j) {
+    double mx = 0;
+    for (std::size_t i = 0; i < sbs; ++i) {
+      mx = std::max(mx, std::abs(block[j * sbs + i]));
+    }
+    std::printf("  sub-block [%3zu:%3zu]  max|v| = %9.3e\n", j * sbs,
+                (j + 1) * sbs - 1, mx);
+  }
+
+  // (b,c) first two sub-blocks, raw and rescaled.
+  const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+  const auto pattern =
+      block.subspan(sel.pattern_sub_block * sbs, sbs);
+  std::printf("\npattern sub-block: %zu (ER metric)\n",
+              sel.pattern_sub_block);
+  std::printf("\n(b,c) first two sub-blocks, raw and rescaled "
+              "(first 12 points):\n");
+  std::printf("  %3s  %12s  %12s  %12s  %12s\n", "i", "sb0", "sb1",
+              "s0*pattern", "s1*pattern");
+  for (std::size_t i = 0; i < std::min<std::size_t>(12, sbs); ++i) {
+    std::printf("  %3zu  %12.4e  %12.4e  %12.4e  %12.4e\n", i, block[i],
+                block[sbs + i], sel.scales[0] * pattern[i],
+                sel.scales[1] * pattern[i]);
+  }
+
+  // (d) deviation from the scaled pattern and compression error at 1e-10.
+  Params p;
+  p.error_bound = 1e-10;
+  const auto stream = compress(block, spec, p);
+  const auto recon = decompress(stream);
+  double max_dev = 0.0;
+  for (std::size_t j = 0; j < spec.num_sub_blocks; ++j) {
+    for (std::size_t i = 0; i < sbs; ++i) {
+      max_dev = std::max(max_dev, std::abs(block[j * sbs + i] -
+                                           sel.scales[j] * pattern[i]));
+    }
+  }
+  const auto err = zchecker::compare(block, recon);
+  std::printf("\n(d) |deviation| from scaled pattern: max = %.3e\n",
+              max_dev);
+  std::printf("    |compression error| at EB=1e-10:  max = %.3e "
+              "(bound holds: %s)\n",
+              err.max_abs_error,
+              err.max_abs_error <= 1e-10 * (1 + 1e-12) ? "yes" : "NO");
+  std::printf("    block compression ratio: %.1fx\n",
+              static_cast<double>(block.size() * sizeof(double)) /
+                  stream.size());
+  std::printf("\npaper shape: sub-blocks repeat one pattern up to a "
+              "scale; deviation >> EB is absorbed by ECQ codes.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// bench_fig7_encoding_trees - Reproduces the Fig. 7 table: compression
+// ratio per ECQ encoding tree at EB = 1e-10.
+//
+// Paper values: Tree1 17.60, Tree2 17.34, Tree3 17.99, Tree4 17.41,
+// Tree5 18.13 -- the adaptive Tree 5 wins, Tree 2's greedy +-1
+// placement loses.
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace pastri;
+
+int main() {
+  bench::print_header("Fig. 7 -- ECQ encoding tree comparison",
+                      "Fig. 7 (ratio table), Section IV-C");
+
+  std::vector<qc::EriDataset> datasets;
+  for (const auto& spec : bench::paper_datasets()) {
+    datasets.push_back(bench::load_bench_dataset(spec));
+  }
+
+  const EcqTree trees[] = {EcqTree::Tree1, EcqTree::Tree2, EcqTree::Tree3,
+                           EcqTree::Tree4, EcqTree::Tree5};
+
+  std::printf("%-8s %14s\n", "Tree", "Comp. Ratio");
+  double ratios[6] = {0};
+  for (EcqTree t : trees) {
+    std::size_t in = 0, out = 0;
+    for (const auto& ds : datasets) {
+      Params p;
+      p.error_bound = 1e-10;
+      p.tree = t;
+      Stats st;
+      compress(ds.values, bench::block_spec_of(ds), p, &st);
+      in += st.input_bytes;
+      out += st.output_bytes;
+    }
+    const double ratio = static_cast<double>(in) / out;
+    ratios[static_cast<int>(t)] = ratio;
+    std::printf("%-8s %14.2f\n", ecq_tree_name(t), ratio);
+  }
+  bench::print_rule();
+  std::printf("paper values: T1 17.60, T2 17.34, T3 17.99, T4 17.41, "
+              "T5 18.13 (spread < 5%%, Tree 5 best).\n");
+  std::printf("measured orderings: Tree5>=Tree3 %s, Tree3>Tree2 %s, "
+              "Tree5>Tree4 %s, all within 20%% of each other %s\n",
+              ratios[5] >= ratios[3] * 0.999 ? "yes" : "NO",
+              ratios[3] > ratios[2] ? "yes" : "NO",
+              ratios[5] > ratios[4] ? "yes" : "NO",
+              *std::min_element(ratios + 1, ratios + 6) >
+                      0.8 * *std::max_element(ratios + 1, ratios + 6)
+                  ? "yes"
+                  : "NO");
+  std::printf("note: our synthetic datasets carry heavier near-field ECQ "
+              "tails than the paper's GAMESS samples, which favours "
+              "Tree 1's shorter 'others' prefix by ~2%% (see "
+              "EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// bench_fig9cd_rates - Reproduces Fig. 9(c,d): single-core compression
+// and decompression rates (MB/s) of SZ, ZFP, and PaSTRI over the six
+// datasets at EB in {1e-11, 1e-10, 1e-9}.
+//
+// Paper averages at 1e-10: compression SZ 104.1, ZFP 308.5, PaSTRI
+// > 660 MB/s; decompression SZ 148.6, ZFP 260.5, PaSTRI > 1110 MB/s.
+#include "bench_common.h"
+#include "compressors/compressor_iface.h"
+
+using namespace pastri;
+
+int main() {
+  bench::print_header(
+      "Fig. 9(c,d) -- compression / decompression rates (MB/s)",
+      "Fig. 9(c) and 9(d), Section V-B");
+
+  const double ebs[] = {1e-11, 1e-10, 1e-9};
+  const int reps = bench::quick_mode() ? 1 : 3;
+
+  for (double eb : ebs) {
+    std::printf("\nEB = %.0e\n", eb);
+    std::printf("%-22s %9s %9s %9s | %9s %9s %9s\n", "dataset", "SZ c",
+                "ZFP c", "PaS c", "SZ d", "ZFP d", "PaS d");
+    double csum[3] = {0, 0, 0}, dsum[3] = {0, 0, 0};
+    int n = 0;
+    for (const auto& spec : bench::paper_datasets()) {
+      const auto ds = bench::load_bench_dataset(spec);
+      const BlockSpec bs = bench::block_spec_of(ds);
+      const double mb = static_cast<double>(ds.size_bytes()) / 1e6;
+      const std::unique_ptr<baselines::LossyCompressor> codecs[3] = {
+          baselines::make_sz_compressor(),
+          baselines::make_zfp_compressor(),
+          baselines::make_pastri_compressor(bs)};
+      double crate[3], drate[3];
+      for (int c = 0; c < 3; ++c) {
+        std::vector<std::uint8_t> stream;
+        const double ct = bench::best_time_seconds(
+            [&] { stream = codecs[c]->compress(ds.values, eb); }, reps);
+        std::vector<double> back;
+        const double dt = bench::best_time_seconds(
+            [&] { back = codecs[c]->decompress(stream); }, reps);
+        crate[c] = mb / ct;
+        drate[c] = mb / dt;
+        csum[c] += crate[c];
+        dsum[c] += drate[c];
+      }
+      ++n;
+      std::printf("%-22s %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f\n",
+                  ds.label.c_str(), crate[0], crate[1], crate[2], drate[0],
+                  drate[1], drate[2]);
+    }
+    std::printf("%-22s %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f\n", "Average",
+                csum[0] / n, csum[1] / n, csum[2] / n, dsum[0] / n,
+                dsum[1] / n, dsum[2] / n);
+  }
+  bench::print_rule();
+  std::printf("paper shape: PaSTRI fastest in both directions "
+              "(c: PaSTRI > ZFP > SZ; d: PaSTRI > ZFP ~ SZ).\n");
+  return 0;
+}

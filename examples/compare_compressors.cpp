@@ -1,0 +1,59 @@
+// compare_compressors - A mini Fig. 9 for one molecule/configuration:
+// ratio, rates, and error statistics of PaSTRI vs SZ vs ZFP.
+//
+//   $ compare_compressors [molecule] [config] [eb]
+//   $ compare_compressors glutamine "(ff|ff)" 1e-10
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "compressors/compressor_iface.h"
+#include "qc/eri_engine.h"
+#include "zchecker/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace pastri;
+  const std::string molecule = argc > 1 ? argv[1] : "glutamine";
+  const std::string config = argc > 2 ? argv[2] : "(dd|dd)";
+  const double eb = argc > 3 ? std::stod(argv[3]) : 1e-10;
+
+  qc::DatasetOptions opt;
+  opt.config = qc::parse_config(config);
+  opt.max_blocks = 600;
+  const auto ds = qc::generate_eri_dataset(qc::make_molecule(molecule), opt);
+  const double mb = static_cast<double>(ds.size_bytes()) / 1e6;
+  std::printf("%s: %zu blocks, %.2f MB, EB = %.0e\n\n", ds.label.c_str(),
+              ds.num_blocks, mb, eb);
+
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  std::unique_ptr<baselines::LossyCompressor> codecs[] = {
+      baselines::make_pastri_compressor(spec),
+      baselines::make_sz_compressor(),
+      baselines::make_zfp_compressor(),
+  };
+
+  std::printf("%-8s %8s %10s %12s %12s %12s %10s\n", "codec", "ratio",
+              "bitrate", "comp MB/s", "decomp MB/s", "max err", "PSNR");
+  for (const auto& codec : codecs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stream = codec->compress(ds.values, eb);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto back = codec->decompress(stream);
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto err = zchecker::compare(ds.values, back);
+    std::printf("%-8s %8.2f %10.3f %12.1f %12.1f %12.3e %10.2f\n",
+                codec->name().c_str(),
+                zchecker::compression_ratio(ds.size_bytes(), stream.size()),
+                zchecker::bitrate_bits_per_value(ds.size_bytes(),
+                                                 stream.size()),
+                mb / std::chrono::duration<double>(t1 - t0).count(),
+                mb / std::chrono::duration<double>(t2 - t1).count(),
+                err.max_abs_error, err.psnr_db);
+    if (err.max_abs_error > eb) {
+      std::printf("  ^^ ERROR BOUND VIOLATED\n");
+      return 1;
+    }
+  }
+  return 0;
+}

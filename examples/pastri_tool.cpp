@@ -1,0 +1,171 @@
+// pastri_tool - Command-line compressor, the analogue of the PaSTRI mode
+// shipped in the SZ package: compresses/decompresses .eri dataset files.
+//
+//   $ pastri_tool compress   in.eri out.pastri [--eb 1e-10]
+//                            [--metric ER|FR|AR|AAR|IS]
+//                            [--tree 1..5] [--no-sparse]
+//   $ pastri_tool decompress in.pastri out.eri
+//   $ pastri_tool verify     in.eri in.pastri
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/pastri.h"
+#include "qc/eri_engine.h"
+
+namespace {
+
+using namespace pastri;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pastri_tool compress   IN.eri OUT.pastri [--eb E] [--metric M]"
+      " [--tree N] [--no-sparse]\n"
+      "  pastri_tool decompress IN.pastri OUT.eri\n"
+      "  pastri_tool verify     IN.eri IN.pastri\n");
+  return 2;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  const auto size = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(data.data()), size);
+  return data;
+}
+
+void write_file(const std::string& path,
+                std::span<const std::uint8_t> data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+ScalingMetric parse_metric(const std::string& s) {
+  for (ScalingMetric m : {ScalingMetric::FR, ScalingMetric::ER,
+                          ScalingMetric::AR, ScalingMetric::AAR,
+                          ScalingMetric::IS}) {
+    if (s == scaling_metric_name(m)) return m;
+  }
+  throw std::invalid_argument("unknown metric: " + s);
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string in = argv[0], out = argv[1];
+  Params p;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--eb" && next()) p.error_bound = std::stod(argv[i]);
+    else if (a == "--metric" && next()) p.metric = parse_metric(argv[i]);
+    else if (a == "--tree" && next())
+      p.tree = static_cast<EcqTree>(std::stoi(argv[i]));
+    else if (a == "--no-sparse") p.allow_sparse = false;
+    else return usage();
+  }
+  const auto ds = qc::load_dataset(in);
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  Stats st;
+  const auto stream = compress(ds.values, spec, p, &st);
+
+  // Container: the compressed stream plus the dataset metadata needed to
+  // rebuild the .eri file on decompression.
+  bitio::BitWriter w;
+  w.write_bits(0x50435354, 32);  // "TSCP"
+  const auto label_len = static_cast<std::uint32_t>(ds.label.size());
+  w.write_bits(label_len, 32);
+  for (char c : ds.label) w.write_bits(static_cast<std::uint8_t>(c), 8);
+  for (auto n : ds.shape.n) w.write_bits(n, 16);
+  w.write_bytes(stream);
+  write_file(out, w.take());
+
+  std::printf("%s: %zu -> %zu bytes, ratio %.2fx (EB=%.0e, %s, %s)\n",
+              ds.label.c_str(), st.input_bytes, st.output_bytes,
+              st.ratio(), p.error_bound, scaling_metric_name(p.metric),
+              ecq_tree_name(p.tree));
+  std::printf("block types: %zu/%zu/%zu/%zu  outliers: %zu  sparse "
+              "blocks: %zu\n",
+              st.blocks_by_type[0], st.blocks_by_type[1],
+              st.blocks_by_type[2], st.blocks_by_type[3], st.num_outliers,
+              st.sparse_blocks);
+  return 0;
+}
+
+qc::EriDataset decode_container(const std::vector<std::uint8_t>& bytes) {
+  bitio::BitReader r(bytes);
+  if (r.read_bits(32) != 0x50435354) {
+    throw std::runtime_error("not a pastri_tool container");
+  }
+  qc::EriDataset ds;
+  const auto label_len = static_cast<std::uint32_t>(r.read_bits(32));
+  if (label_len > (1u << 20)) throw std::runtime_error("corrupt label");
+  ds.label.resize(label_len);
+  for (auto& c : ds.label) c = static_cast<char>(r.read_bits(8));
+  for (auto& n : ds.shape.n) {
+    n = static_cast<std::uint16_t>(r.read_bits(16));
+  }
+  r.align_to_byte();
+  const std::size_t off = r.bit_position() / 8;
+  ds.values = decompress(
+      std::span<const std::uint8_t>(bytes).subspan(off));
+  ds.num_blocks = ds.values.size() / ds.shape.block_size();
+  return ds;
+}
+
+int cmd_decompress(const char* in, const char* out) {
+  const auto ds = decode_container(read_file(in));
+  qc::save_dataset(ds, out);
+  std::printf("wrote %s: %zu blocks, %.2f MB (values within the error "
+              "bound of the originals)\n",
+              out, ds.num_blocks, ds.size_bytes() / 1e6);
+  return 0;
+}
+
+int cmd_verify(const char* eri_path, const char* pastri_path) {
+  const auto original = qc::load_dataset(eri_path);
+  const auto restored = decode_container(read_file(pastri_path));
+  const auto info = peek_info(std::span<const std::uint8_t>(
+      read_file(pastri_path)).subspan(4 + 4 + original.label.size() + 8));
+  if (restored.values.size() != original.values.size()) {
+    std::printf("FAIL: size mismatch\n");
+    return 1;
+  }
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < restored.values.size(); ++i) {
+    max_err = std::max(max_err,
+                       std::abs(restored.values[i] - original.values[i]));
+  }
+  std::printf("max |error| = %.3e, bound = %.0e -> %s\n", max_err,
+              info.error_bound,
+              max_err <= info.error_bound ? "PASS" : "FAIL");
+  return max_err <= info.error_bound ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "compress") return cmd_compress(argc - 2, argv + 2);
+    if (cmd == "decompress" && argc >= 4)
+      return cmd_decompress(argv[2], argv[3]);
+    if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

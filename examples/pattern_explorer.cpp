@@ -1,0 +1,94 @@
+// pattern_explorer - Interactive view of what PaSTRI sees inside one ERI
+// shell block: per-sub-block scaling metrics, the quantization plan of
+// Section IV-B (P_b, S_b, EC binning -- the Fig. 5 picture), the ECQ bin
+// histogram, and the chosen block representation.
+//
+//   $ pattern_explorer [molecule] [config] [block-index] [eb]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/pastri.h"
+#include "qc/eri_engine.h"
+
+int main(int argc, char** argv) {
+  using namespace pastri;
+  const std::string molecule = argc > 1 ? argv[1] : "benzene";
+  const std::string config = argc > 2 ? argv[2] : "(dd|dd)";
+  const std::size_t want_block = argc > 3 ? std::stoul(argv[3]) : 5;
+  const double eb = argc > 4 ? std::stod(argv[4]) : 1e-10;
+
+  qc::DatasetOptions opt;
+  opt.config = qc::parse_config(config);
+  opt.max_blocks = want_block + 1;
+  const auto ds = qc::generate_eri_dataset(qc::make_molecule(molecule), opt);
+  const std::size_t b = std::min(want_block, ds.num_blocks - 1);
+  const auto block = ds.block(b);
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+
+  std::printf("%s block %zu: %zu sub-blocks x %zu points, EB = %.0e\n\n",
+              ds.label.c_str(), b, spec.num_sub_blocks,
+              spec.sub_block_size, eb);
+
+  // Scaling coefficients under each metric.
+  std::printf("scaling coefficients by metric (first 8 sub-blocks):\n");
+  std::printf("%-6s", "SB");
+  for (auto m : {ScalingMetric::FR, ScalingMetric::ER, ScalingMetric::AR,
+                 ScalingMetric::AAR, ScalingMetric::IS}) {
+    std::printf(" %9s", scaling_metric_name(m));
+  }
+  std::printf("\n");
+  PatternSelection sels[5];
+  int mi = 0;
+  for (auto m : {ScalingMetric::FR, ScalingMetric::ER, ScalingMetric::AR,
+                 ScalingMetric::AAR, ScalingMetric::IS}) {
+    sels[mi++] = select_pattern(block, spec, m);
+  }
+  for (std::size_t j = 0;
+       j < std::min<std::size_t>(8, spec.num_sub_blocks); ++j) {
+    std::printf("%-6zu", j);
+    for (int k = 0; k < 5; ++k) std::printf(" %9.4f", sels[k].scales[j]);
+    std::printf("\n");
+  }
+
+  // Quantization plan (Section IV-B / Fig. 5).
+  Params p;
+  p.error_bound = eb;
+  const BlockAnalysis a = analyze_block(block, spec, p);
+  const auto& q = a.quantized;
+  std::printf("\nquantization plan (practical approach):\n");
+  std::printf("  pattern sub-block : %zu (ER)\n",
+              a.selection.pattern_sub_block);
+  std::printf("  P_b = S_b         : %u bits\n", q.spec.pattern_bits);
+  std::printf("  P binsize         : %.3e (= 2*EB)\n",
+              q.spec.pattern_binsize);
+  std::printf("  S binsize         : %.3e (= 2^(1-S_b))\n",
+              q.spec.scale_binsize);
+  std::printf("  EC binsize        : %.3e (= 2*EB)\n", q.spec.ec_binsize);
+  std::printf("  EC_b,max          : %u -> block type %d\n", q.ecb_max,
+              block_type(q.ecb_max));
+  std::printf("  outliers (ECQ!=0) : %zu of %zu (%.1f%%)\n",
+              q.num_outliers, block.size(),
+              100.0 * q.num_outliers / block.size());
+  std::printf("  representation    : %s, %zu payload bits (%.2f "
+              "bits/point)\n",
+              a.zero_block ? "zero-block"
+                           : (a.sparse_chosen ? "sparse ECQ" : "dense ECQ"),
+              a.payload_bits,
+              static_cast<double>(a.payload_bits) / block.size());
+
+  // ECQ bin histogram (the Fig. 6 x-axis for this block).
+  std::size_t bins[26] = {0};
+  for (auto v : q.ecq) ++bins[std::min(ecq_bin(v), 25u)];
+  std::printf("\nECQ bin histogram:\n");
+  for (unsigned i = 1; i <= 25; ++i) {
+    if (bins[i] == 0) continue;
+    std::printf("  %2u bits: %6zu  ", i, bins[i]);
+    const int stars = static_cast<int>(
+        60.0 * bins[i] / block.size());
+    for (int s = 0; s < stars; ++s) std::fputc('#', stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// scf_compressed_eri - The paper's end-to-end use case (Fig. 11):
+// run a Hartree-Fock calculation where the two-electron integrals are
+// stored through PaSTRI instead of being kept exact, and show how the
+// SCF energy responds to the error bound.
+//
+// With the GAMESS-typical EB = 1e-10 the converged energy is unchanged
+// to ~1e-9 Hartree -- far below chemical accuracy -- while the ERI
+// storage shrinks by an order of magnitude.
+//
+//   $ scf_compressed_eri [h2|he|h2o]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/pastri.h"
+#include "qc/compressed_eri_store.h"
+#include "qc/mp2.h"
+#include "qc/one_electron.h"
+#include "qc/scf.h"
+#include "qc/sto3g.h"
+
+namespace {
+
+pastri::qc::Molecule make_system(const std::string& name) {
+  using pastri::qc::Molecule;
+  Molecule m;
+  if (name == "h2") {
+    m.name = "H2";
+    m.atoms = {{"H", 1, {0, 0, 0}}, {"H", 1, {1.4, 0, 0}}};
+  } else if (name == "he") {
+    m.name = "He";
+    m.atoms = {{"He", 2, {0, 0, 0}}};
+  } else {
+    m.name = "H2O";
+    m.atoms = {{"O", 8, {0, 0, 0}},
+               {"H", 1, {0, 1.4305, 1.1093}},
+               {"H", 1, {0, -1.4305, 1.1093}}};
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pastri;
+  const std::string which = argc > 1 ? argv[1] : "h2o";
+  const qc::Molecule mol = make_system(which);
+  const qc::BasisSet basis = qc::make_sto3g_basis(mol);
+  const std::size_t n = basis.num_basis_functions();
+  std::printf("system: %s, %zu basis functions, %zu ERIs\n\n",
+              mol.name.c_str(), n, n * n * n * n);
+
+  // Reference calculation with exact integrals.
+  const qc::EriTensor exact = qc::compute_eri_tensor(basis);
+  const qc::ScfResult ref = qc::run_rhf(mol, basis, exact);
+  const qc::Mp2Result ref_mp2 = qc::run_mp2(mol, basis, exact, ref);
+  std::printf("exact ERIs      : E(RHF) = %+.9f Ha (%d iterations), "
+              "E(MP2) = %+.9f Ha\n",
+              ref.total_energy, ref.iterations, ref_mp2.total_energy);
+
+  // PaSTRI-compressed integrals at several bounds, held in the paper's
+  // Fig. 11 infrastructure: one stream per shell-quartet configuration
+  // class, decompressed whenever the tensor is needed.
+  std::printf("\n%-10s %10s %16s %12s %12s\n", "EB", "ratio",
+              "E_RHF (Ha)", "|dE_RHF|", "|dE_MP2|");
+  for (double eb : {1e-6, 1e-8, 1e-10, 1e-12}) {
+    Params p;
+    p.error_bound = eb;
+    const qc::CompressedEriStore store(basis, p);
+    const qc::EriTensor restored = store.materialize();
+    const qc::ScfResult res = qc::run_rhf(mol, basis, restored);
+    const qc::Mp2Result mp2 = qc::run_mp2(mol, basis, restored, res);
+    std::printf("%-10.0e %10.2f %+16.9f %12.3e %12.3e%s\n", eb,
+                store.ratio(), res.total_energy,
+                std::abs(res.total_energy - ref.total_energy),
+                std::abs(mp2.total_energy - ref_mp2.total_energy),
+                res.converged ? "" : "  (NOT CONVERGED)");
+  }
+  std::printf("\nAt the paper's EB = 1e-10 the energy error is "
+              "negligible against chemical accuracy (1.6e-3 Ha), which "
+              "is why lossy ERI storage is safe for SCF workloads.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// zcheck - Z-Checker-style assessment CLI: compare an original `.eri`
+// dataset against a reconstructed one (or against a `.pastri` stream's
+// implied reconstruction) and print the quality metrics the paper
+// evaluates with (compression ratio, bit rate, PSNR, max error).
+//
+//   $ zcheck original.eri reconstructed.eri
+//   $ zcheck original.eri --stream compressed.bin
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/pastri.h"
+#include "qc/eri_engine.h"
+#include "zchecker/dataset_stats.h"
+#include "zchecker/metrics.h"
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  const auto size = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(data.data()), size);
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pastri;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: zcheck ORIGINAL.eri RECONSTRUCTED.eri\n"
+                 "       zcheck ORIGINAL.eri --stream STREAM.bin\n");
+    return 2;
+  }
+  try {
+    const qc::EriDataset original = qc::load_dataset(argv[1]);
+    std::vector<double> reconstructed;
+    std::size_t compressed_bytes = 0;
+    if (std::string(argv[2]) == "--stream" && argc >= 4) {
+      const auto stream = read_file(argv[3]);
+      compressed_bytes = stream.size();
+      const StreamInfo info = peek_info(stream);
+      std::printf("stream     : EB=%.0e, %zu blocks of %zux%zu, %s/%s\n",
+                  info.error_bound, info.num_blocks,
+                  info.spec.num_sub_blocks, info.spec.sub_block_size,
+                  scaling_metric_name(info.metric),
+                  ecq_tree_name(info.tree));
+      reconstructed = decompress(stream);
+    } else {
+      reconstructed = qc::load_dataset(argv[2]).values;
+    }
+    if (reconstructed.size() != original.values.size()) {
+      std::fprintf(stderr, "error: size mismatch (%zu vs %zu values)\n",
+                   original.values.size(), reconstructed.size());
+      return 1;
+    }
+
+    const auto err = zchecker::compare(original.values, reconstructed);
+    std::printf("dataset    : %s (%zu values)\n", original.label.c_str(),
+                err.n);
+    std::printf("max |error|: %.6e\n", err.max_abs_error);
+    std::printf("mean |err| : %.6e\n", err.mean_abs_error);
+    std::printf("MSE        : %.6e\n", err.mse);
+    std::printf("PSNR       : %.2f dB\n", err.psnr_db);
+    if (compressed_bytes > 0) {
+      std::printf("ratio      : %.2fx  (bitrate %.3f bits/value)\n",
+                  zchecker::compression_ratio(original.size_bytes(),
+                                              compressed_bytes),
+                  zchecker::bitrate_bits_per_value(original.size_bytes(),
+                                                   compressed_bytes));
+    }
+    std::printf("\noriginal dataset population:\n");
+    zchecker::print_dataset_stats(zchecker::analyze_dataset(original));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,95 @@
+// bit_reader.h - LSB-first bit-granular input stream (pairs with BitWriter).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+
+namespace pastri::bitio {
+
+/// Consumes bits in the order `BitWriter` produced them.
+///
+/// Out-of-range reads throw `std::out_of_range`; a corrupt or truncated
+/// compressed stream therefore surfaces as an exception rather than UB.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `nbits` bits (0 <= nbits <= 64) as an unsigned value.
+  std::uint64_t read_bits(unsigned nbits) {
+    assert(nbits <= 64);
+    if (nbits == 0) return 0;
+    if (pos_ + nbits > 8 * data_.size()) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    while (got < nbits) {
+      const std::size_t byte = pos_ >> 3;
+      const unsigned bit = static_cast<unsigned>(pos_ & 7);
+      const unsigned take = std::min<unsigned>(nbits - got, 8 - bit);
+      const std::uint64_t chunk =
+          (static_cast<std::uint64_t>(data_[byte]) >> bit) &
+          ((std::uint64_t{1} << take) - 1);
+      out |= chunk << got;
+      got += take;
+      pos_ += take;
+    }
+    return out;
+  }
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  /// Read a two's-complement signed value of `nbits` bits.
+  std::int64_t read_signed(unsigned nbits) {
+    std::uint64_t raw = read_bits(nbits);
+    if (nbits < 64 && (raw & (std::uint64_t{1} << (nbits - 1)))) {
+      raw |= ~((std::uint64_t{1} << nbits) - 1);  // sign extend
+    }
+    return static_cast<std::int64_t>(raw);
+  }
+
+  /// Read a unary-coded unsigned value (count of one-bits before a zero).
+  unsigned read_unary() {
+    unsigned v = 0;
+    while (read_bit()) ++v;
+    return v;
+  }
+
+  template <typename T>
+  T read_raw() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    if constexpr (sizeof(T) <= 8) {
+      std::uint64_t tmp = read_bits(8 * sizeof(T));
+      std::memcpy(&v, &tmp, sizeof(T));
+    } else {
+      auto* p = reinterpret_cast<unsigned char*>(&v);
+      for (std::size_t i = 0; i < sizeof(T); ++i)
+        p[i] = static_cast<unsigned char>(read_bits(8));
+    }
+    return v;
+  }
+
+  /// Skip forward to the next byte boundary.
+  void align_to_byte() { pos_ = (pos_ + 7) & ~std::size_t{7}; }
+
+  /// Skip `nbits` without decoding them.
+  void skip_bits(std::size_t nbits) {
+    if (pos_ + nbits > 8 * data_.size()) {
+      throw std::out_of_range("BitReader: skip past end of stream");
+    }
+    pos_ += nbits;
+  }
+
+  std::size_t bit_position() const { return pos_; }
+  std::size_t bits_remaining() const { return 8 * data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pastri::bitio

@@ -1,0 +1,63 @@
+// varint.h - zigzag and LEB128-style variable-length integer helpers.
+//
+// Used by stream headers (block metadata) where field magnitudes vary by
+// orders of magnitude between (ss|ss) and (ff|ff) blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri::bitio {
+
+/// Map a signed integer to an unsigned one so small magnitudes stay small:
+/// 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+/// LEB128 on top of the bit stream (7 payload bits + 1 continuation bit).
+inline void write_varint(BitWriter& w, std::uint64_t v) {
+  while (v >= 0x80) {
+    w.write_bits((v & 0x7F) | 0x80, 8);
+    v >>= 7;
+  }
+  w.write_bits(v, 8);
+}
+
+inline std::uint64_t read_varint(BitReader& r) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    const std::uint64_t byte = r.read_bits(8);
+    v |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw std::out_of_range("varint too long");
+  }
+  return v;
+}
+
+inline void write_svarint(BitWriter& w, std::int64_t v) {
+  write_varint(w, zigzag_encode(v));
+}
+
+inline std::int64_t read_svarint(BitReader& r) {
+  return zigzag_decode(read_varint(r));
+}
+
+/// Minimum number of bits needed to store values in [0, n-1]; at least 1.
+constexpr unsigned bits_for_count(std::uint64_t n) {
+  unsigned b = 1;
+  while ((std::uint64_t{1} << b) < n && b < 63) ++b;
+  return b;
+}
+
+}  // namespace pastri::bitio

@@ -1,0 +1,79 @@
+#include "compressors/compressor_iface.h"
+
+#include "compressors/sz/sz.h"
+#include "compressors/zfp/zfp.h"
+#include "core/pastri.h"
+
+namespace pastri::baselines {
+namespace {
+
+class PastriAdapter final : public LossyCompressor {
+ public:
+  explicit PastriAdapter(const pastri::BlockSpec& spec) : spec_(spec) {}
+
+  std::string name() const override { return "PaSTRI"; }
+
+  std::vector<std::uint8_t> compress(std::span<const double> data,
+                                     double eb) const override {
+    pastri::Params p;
+    p.error_bound = eb;
+    return pastri::compress(data, spec_, p);
+  }
+
+  std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const override {
+    return pastri::decompress(stream);
+  }
+
+ private:
+  pastri::BlockSpec spec_;
+};
+
+class SzAdapter final : public LossyCompressor {
+ public:
+  std::string name() const override { return "SZ"; }
+
+  std::vector<std::uint8_t> compress(std::span<const double> data,
+                                     double eb) const override {
+    SzParams p;
+    p.error_bound = eb;
+    return sz_compress(data, p);
+  }
+
+  std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const override {
+    return sz_decompress(stream);
+  }
+};
+
+class ZfpAdapter final : public LossyCompressor {
+ public:
+  std::string name() const override { return "ZFP"; }
+
+  std::vector<std::uint8_t> compress(std::span<const double> data,
+                                     double eb) const override {
+    ZfpParams p;
+    p.tolerance = eb;
+    return zfp_compress(data, p);
+  }
+
+  std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const override {
+    return zfp_decompress(stream);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LossyCompressor> make_pastri_compressor(
+    const pastri::BlockSpec& spec) {
+  return std::make_unique<PastriAdapter>(spec);
+}
+std::unique_ptr<LossyCompressor> make_sz_compressor() {
+  return std::make_unique<SzAdapter>();
+}
+std::unique_ptr<LossyCompressor> make_zfp_compressor() {
+  return std::make_unique<ZfpAdapter>();
+}
+
+}  // namespace pastri::baselines

@@ -1,0 +1,37 @@
+// compressor_iface.h - Uniform interface over the three lossy codecs the
+// paper evaluates (PaSTRI, SZ, ZFP), used by the Fig. 9-11 benches, the
+// examples, and the cross-compressor property tests.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/block_spec.h"
+
+namespace pastri::baselines {
+
+/// An error-bounded lossy compressor for 1-D double data.
+class LossyCompressor {
+ public:
+  virtual ~LossyCompressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compress with a point-wise absolute error bound `eb`.
+  virtual std::vector<std::uint8_t> compress(std::span<const double> data,
+                                             double eb) const = 0;
+
+  virtual std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const = 0;
+};
+
+/// PaSTRI needs the block geometry (the BF configuration); the baselines
+/// treat data as a flat 1-D array, exactly as the paper runs them.
+std::unique_ptr<LossyCompressor> make_pastri_compressor(
+    const pastri::BlockSpec& spec);
+std::unique_ptr<LossyCompressor> make_sz_compressor();
+std::unique_ptr<LossyCompressor> make_zfp_compressor();
+
+}  // namespace pastri::baselines

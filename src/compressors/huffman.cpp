@@ -1,0 +1,189 @@
+#include "compressors/huffman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+#include "bitio/varint.h"
+
+namespace pastri::baselines {
+namespace {
+
+constexpr unsigned kMaxCodeLen = 58;
+
+}  // namespace
+
+HuffmanCodec HuffmanCodec::from_frequencies(
+    std::span<const std::uint64_t> freq) {
+  HuffmanCodec h;
+  h.lengths_.assign(freq.size(), 0);
+
+  // Heap-based Huffman tree; node = (weight, id).  Ids < n are leaves.
+  struct Node {
+    std::uint64_t weight;
+    std::uint32_t id;
+    bool operator>(const Node& o) const {
+      return weight != o.weight ? weight > o.weight : id > o.id;
+    }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> heap;
+  std::vector<std::array<std::int64_t, 2>> children;
+  children.reserve(freq.size());
+  std::uint32_t next_id = static_cast<std::uint32_t>(freq.size());
+  for (std::uint32_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) heap.push({freq[s], s});
+  }
+  if (heap.empty()) {
+    h.build_canonical_();
+    return h;
+  }
+  if (heap.size() == 1) {
+    h.lengths_[heap.top().id] = 1;
+    h.build_canonical_();
+    return h;
+  }
+  std::vector<std::uint32_t> internal_first;
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    children.push_back({a.id, b.id});
+    heap.push({a.weight + b.weight, next_id++});
+  }
+  // Depth-first traversal to assign lengths.
+  struct Item {
+    std::uint32_t id;
+    unsigned depth;
+  };
+  std::vector<Item> stack{{heap.top().id, 0}};
+  const std::uint32_t nleaves = static_cast<std::uint32_t>(freq.size());
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    if (it.id < nleaves) {
+      h.lengths_[it.id] =
+          static_cast<std::uint8_t>(std::min(it.depth, kMaxCodeLen));
+      continue;
+    }
+    const auto& ch = children[it.id - nleaves];
+    stack.push_back({static_cast<std::uint32_t>(ch[0]), it.depth + 1});
+    stack.push_back({static_cast<std::uint32_t>(ch[1]), it.depth + 1});
+  }
+  h.build_canonical_();
+  return h;
+}
+
+void HuffmanCodec::build_canonical_() {
+  codes_.assign(lengths_.size(), 0);
+  sorted_symbols_.clear();
+  max_len_ = 0;
+  for (unsigned l : lengths_) max_len_ = std::max(max_len_, l);
+  first_code_.assign(max_len_ + 2, 0);
+  first_symbol_.assign(max_len_ + 2, 0);
+  if (max_len_ == 0) return;
+
+  // Symbols sorted by (length, symbol value).
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] > 0) sorted_symbols_.push_back(s);
+  }
+  std::sort(sorted_symbols_.begin(), sorted_symbols_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return lengths_[a] != lengths_[b] ? lengths_[a] < lengths_[b]
+                                                : a < b;
+            });
+  std::vector<std::uint32_t> count(max_len_ + 2, 0);
+  for (unsigned l : lengths_) {
+    if (l > 0) ++count[l];
+  }
+  std::uint64_t code = 0;
+  std::uint32_t sym_offset = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    first_code_[l] = code;
+    first_symbol_[l] = sym_offset;
+    code += count[l];
+    sym_offset += count[l];
+    code <<= 1;
+  }
+  // Assign codes in sorted order.
+  std::vector<std::uint64_t> next(max_len_ + 2);
+  for (unsigned l = 1; l <= max_len_; ++l) next[l] = first_code_[l];
+  for (std::uint32_t s : sorted_symbols_) {
+    codes_[s] = next[lengths_[s]]++;
+  }
+}
+
+void HuffmanCodec::encode(bitio::BitWriter& w, std::uint32_t symbol) const {
+  const unsigned len = lengths_[symbol];
+  assert(len > 0 && "encoding symbol with no code");
+  const std::uint64_t code = codes_[symbol];
+  // MSB-first so canonical prefix decoding works.
+  for (unsigned i = len; i-- > 0;) {
+    w.write_bit((code >> i) & 1);
+  }
+}
+
+std::uint32_t HuffmanCodec::decode(bitio::BitReader& r) const {
+  std::uint64_t code = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    code = (code << 1) | (r.read_bit() ? 1 : 0);
+    const std::uint32_t cnt =
+        (l + 1 <= max_len_ ? first_symbol_[l + 1]
+                           : static_cast<std::uint32_t>(
+                                 sorted_symbols_.size())) -
+        first_symbol_[l];
+    if (cnt > 0 && code >= first_code_[l] && code < first_code_[l] + cnt) {
+      return sorted_symbols_[first_symbol_[l] +
+                             static_cast<std::uint32_t>(code -
+                                                        first_code_[l])];
+    }
+  }
+  throw std::runtime_error("Huffman: invalid code in stream");
+}
+
+void HuffmanCodec::serialize(bitio::BitWriter& w) const {
+  bitio::write_varint(w, lengths_.size());
+  for (std::size_t i = 0; i < lengths_.size();) {
+    if (lengths_[i] == 0) {
+      std::size_t run = 0;
+      while (i + run < lengths_.size() && lengths_[i + run] == 0) ++run;
+      w.write_bits(0, 6);
+      bitio::write_varint(w, run);
+      i += run;
+    } else {
+      w.write_bits(lengths_[i], 6);
+      ++i;
+    }
+  }
+}
+
+HuffmanCodec HuffmanCodec::from_stream(bitio::BitReader& r) {
+  HuffmanCodec h;
+  const std::uint64_t n = bitio::read_varint(r);
+  if (n > (std::uint64_t{1} << 24)) {
+    throw std::runtime_error("Huffman: absurd alphabet size");
+  }
+  h.lengths_.assign(n, 0);
+  for (std::size_t i = 0; i < n;) {
+    const unsigned len = static_cast<unsigned>(r.read_bits(6));
+    if (len == 0) {
+      const std::uint64_t run = bitio::read_varint(r);
+      if (i + run > n) throw std::runtime_error("Huffman: bad zero run");
+      i += run;
+    } else {
+      h.lengths_[i] = static_cast<std::uint8_t>(len);
+      ++i;
+    }
+  }
+  h.build_canonical_();
+  return h;
+}
+
+std::size_t HuffmanCodec::dictionary_bits() const {
+  bitio::BitWriter w;
+  serialize(w);
+  return w.bit_count();
+}
+
+}  // namespace pastri::baselines

@@ -1,0 +1,58 @@
+// huffman.h - Canonical Huffman coding over a dense symbol alphabet.
+//
+// Used by the SZ-style baseline to entropy-code quantization bins, and by
+// the `bench_ablation_huffman_ecq` experiment that reproduces the paper's
+// Section IV-C argument for why PaSTRI's fixed trees beat Huffman on ECQ
+// streams (dictionary cost, single-occurrence degradation, serialization).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri::baselines {
+
+/// Canonical Huffman codec for symbols in [0, alphabet_size).
+class HuffmanCodec {
+ public:
+  /// Build from symbol frequencies (size = alphabet size).  Symbols with
+  /// zero frequency get no code.  Code lengths are capped at 58 bits
+  /// (alphabets here are <= 2^16, so the cap never binds in practice).
+  static HuffmanCodec from_frequencies(std::span<const std::uint64_t> freq);
+
+  /// Reconstruct a codec from serialized code lengths.
+  static HuffmanCodec from_stream(bitio::BitReader& r);
+
+  /// Serialize code lengths (RLE of zero runs) so the decoder can rebuild
+  /// the canonical code.
+  void serialize(bitio::BitWriter& w) const;
+
+  void encode(bitio::BitWriter& w, std::uint32_t symbol) const;
+  std::uint32_t decode(bitio::BitReader& r) const;
+
+  /// Exact bit cost of a symbol (0 if the symbol has no code).
+  unsigned code_length(std::uint32_t symbol) const {
+    return lengths_[symbol];
+  }
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+  /// Bits needed to serialize the dictionary.
+  std::size_t dictionary_bits() const;
+
+ private:
+  void build_canonical_();
+
+  std::vector<std::uint8_t> lengths_;       // per symbol
+  std::vector<std::uint64_t> codes_;        // canonical codes (MSB-first)
+  // Decoding tables (canonical): per length, first code and symbol offset.
+  std::vector<std::uint64_t> first_code_;   // index by length
+  std::vector<std::uint32_t> first_symbol_; // index by length
+  std::vector<std::uint32_t> sorted_symbols_;
+  unsigned max_len_ = 0;
+};
+
+}  // namespace pastri::baselines

@@ -1,0 +1,118 @@
+#include "compressors/lossless/fpc.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri::baselines {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43504600;  // "FPC"
+
+/// The two FPC predictors, shared verbatim by encoder and decoder so the
+/// tables evolve identically on both sides.
+class Predictors {
+ public:
+  explicit Predictors(unsigned table_log2)
+      : mask_((std::size_t{1} << table_log2) - 1),
+        fcm_(mask_ + 1, 0),
+        dfcm_(mask_ + 1, 0) {}
+
+  std::uint64_t predict_fcm() const { return fcm_[fcm_hash_]; }
+  std::uint64_t predict_dfcm() const {
+    return dfcm_[dfcm_hash_] + last_;
+  }
+
+  void update(std::uint64_t actual) {
+    fcm_[fcm_hash_] = actual;
+    fcm_hash_ = ((fcm_hash_ << 6) ^ (actual >> 48)) & mask_;
+    const std::uint64_t delta = actual - last_;
+    dfcm_[dfcm_hash_] = delta;
+    dfcm_hash_ = ((dfcm_hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_ = actual;
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<std::uint64_t> fcm_, dfcm_;
+  std::size_t fcm_hash_ = 0, dfcm_hash_ = 0;
+  std::uint64_t last_ = 0;
+};
+
+/// Leading-zero-byte count, with FPC's quirk: a count of 4 is encoded as
+/// 3 (the 3-bit header can express only 8 of the 9 possibilities, and 4
+/// is the rarest).
+unsigned lzb_code(std::uint64_t residual) {
+  unsigned bytes =
+      residual == 0 ? 8u
+                    : static_cast<unsigned>(std::countl_zero(residual)) / 8;
+  if (bytes == 4) bytes = 3;
+  return bytes >= 4 ? bytes - 1 : bytes;  // map {0..3,5..8} -> 0..7
+}
+
+unsigned lzb_from_code(unsigned code) {
+  return code >= 4 ? code + 1 : code;  // inverse of lzb_code
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> fpc_compress(std::span<const double> data,
+                                       const FpcParams& params) {
+  if (params.table_log2 < 4 || params.table_log2 > 24) {
+    throw std::invalid_argument("FPC: table_log2 out of [4, 24]");
+  }
+  bitio::BitWriter w;
+  w.write_bits(kMagic, 32);
+  w.write_bits(params.table_log2, 8);
+  w.write_bits(data.size(), 64);
+
+  Predictors pred(params.table_log2);
+  for (double d : data) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    const std::uint64_t r1 = bits ^ pred.predict_fcm();
+    const std::uint64_t r2 = bits ^ pred.predict_dfcm();
+    const bool use_dfcm = r2 < r1;
+    const std::uint64_t residual = use_dfcm ? r2 : r1;
+    const unsigned code = lzb_code(residual);
+    const unsigned payload_bytes = 8 - lzb_from_code(code);
+    w.write_bit(use_dfcm);
+    w.write_bits(code, 3);
+    if (payload_bytes > 0) w.write_bits(residual, 8 * payload_bytes);
+    pred.update(bits);
+  }
+  return w.take();
+}
+
+std::vector<double> fpc_decompress(std::span<const std::uint8_t> stream) {
+  bitio::BitReader r(stream);
+  if (r.read_bits(32) != kMagic) {
+    throw std::runtime_error("FPC: bad stream magic");
+  }
+  const unsigned table_log2 = static_cast<unsigned>(r.read_bits(8));
+  if (table_log2 < 4 || table_log2 > 24) {
+    throw std::runtime_error("FPC: corrupt header");
+  }
+  const std::uint64_t n = r.read_bits(64);
+
+  Predictors pred(table_log2);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool use_dfcm = r.read_bit();
+    const unsigned code = static_cast<unsigned>(r.read_bits(3));
+    const unsigned payload_bytes = 8 - lzb_from_code(code);
+    const std::uint64_t residual =
+        payload_bytes > 0 ? r.read_bits(8 * payload_bytes) : 0;
+    const std::uint64_t prediction =
+        use_dfcm ? pred.predict_dfcm() : pred.predict_fcm();
+    const std::uint64_t bits = prediction ^ residual;
+    std::memcpy(&out[i], &bits, 8);
+    pred.update(bits);
+  }
+  return out;
+}
+
+}  // namespace pastri::baselines

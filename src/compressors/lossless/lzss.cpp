@@ -1,0 +1,110 @@
+#include "compressors/lossless/lzss.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri::baselines {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53535A4C;  // "LZSS"
+constexpr std::size_t kWindow = 1u << 15;     // 32 KiB
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kHashSize = 1u << 16;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 16;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> data) {
+  bitio::BitWriter w;
+  w.write_bits(kMagic, 32);
+  w.write_bits(data.size(), 64);
+
+  // Hash chains: head per hash bucket, prev per position (within window).
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(data.size(), -1);
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::size_t best_len = 0, best_dist = 0;
+    if (i + kMinMatch <= data.size()) {
+      const std::uint32_t h = hash4(&data[i]);
+      std::int64_t cand = head[h];
+      int chain = 64;  // bounded chain walk keeps this O(n)
+      while (cand >= 0 && chain-- > 0 &&
+             i - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        const std::size_t maxl = std::min(kMaxMatch, data.size() - i);
+        while (len < maxl && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+        }
+        cand = prev[c];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      w.write_bit(true);
+      w.write_bits(best_dist - 1, 15);
+      w.write_bits(best_len - kMinMatch, 8);
+      // Insert all covered positions into the hash chains.
+      const std::size_t end = i + best_len;
+      for (; i < end && i + 4 <= data.size(); ++i) {
+        const std::uint32_t h = hash4(&data[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      i = end;
+    } else {
+      w.write_bit(false);
+      w.write_bits(data[i], 8);
+      if (i + 4 <= data.size()) {
+        const std::uint32_t h = hash4(&data[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      ++i;
+    }
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> stream) {
+  bitio::BitReader r(stream);
+  if (r.read_bits(32) != kMagic) {
+    throw std::runtime_error("LZSS: bad stream magic");
+  }
+  const std::uint64_t n = r.read_bits(64);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (r.read_bit()) {
+      const std::size_t dist = static_cast<std::size_t>(r.read_bits(15)) + 1;
+      const std::size_t len =
+          static_cast<std::size_t>(r.read_bits(8)) + kMinMatch;
+      if (dist > out.size()) throw std::runtime_error("LZSS: bad distance");
+      const std::size_t start = out.size() - dist;
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[start + k]);  // overlapping copies allowed
+      }
+    } else {
+      out.push_back(static_cast<std::uint8_t>(r.read_bits(8)));
+    }
+  }
+  if (out.size() != n) throw std::runtime_error("LZSS: length mismatch");
+  return out;
+}
+
+}  // namespace pastri::baselines

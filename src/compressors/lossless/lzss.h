@@ -1,0 +1,23 @@
+// lzss.h - Deflate-style lossless baseline (LZ77 window + flagged
+// literal/match tokens).
+//
+// Stands in for the GZIP/DEFLATE class of lossless compressors the paper
+// dismisses in Sections I-II: on double-precision scientific data their
+// ratio is limited (~1.1-2x) because mantissa bytes look random.  The
+// `bench_ablation_lossless` experiment reproduces that observation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pastri::baselines {
+
+/// Compress arbitrary bytes (greedy LZSS, 32 KiB window, 3..258 match).
+std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> data);
+
+/// Inverse of lzss_compress.  Throws std::runtime_error on corrupt input.
+std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> stream);
+
+}  // namespace pastri::baselines

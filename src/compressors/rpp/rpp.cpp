@@ -1,0 +1,81 @@
+#include "compressors/rpp/rpp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri::baselines {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52505000;  // "RPP"
+
+unsigned mantissa_bits_needed(int unbiased_exp, int eb_exp) {
+  return static_cast<unsigned>(
+      std::clamp(unbiased_exp - eb_exp + 1, 0, 52));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> rpp_compress(std::span<const double> data,
+                                       double error_bound) {
+  if (!(error_bound > 0.0)) {
+    throw std::invalid_argument("RPP: error bound must be positive");
+  }
+  const int eb_exp = static_cast<int>(std::floor(std::log2(error_bound)));
+
+  bitio::BitWriter w;
+  w.write_bits(kMagic, 32);
+  w.write_raw(error_bound);
+  w.write_bits(data.size(), 64);
+
+  for (double v : data) {
+    if (std::abs(v) <= error_bound || !std::isfinite(v)) {
+      w.write_bit(true);  // "tiny": reconstructs as zero
+      continue;
+    }
+    w.write_bit(false);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    w.write_bit((bits >> 63) != 0);
+    const std::uint64_t expf = (bits >> 52) & 0x7FF;
+    w.write_bits(expf, 11);
+    const unsigned k =
+        mantissa_bits_needed(static_cast<int>(expf) - 1023, eb_exp);
+    if (k > 0) {
+      w.write_bits((bits & ((std::uint64_t{1} << 52) - 1)) >> (52 - k), k);
+    }
+  }
+  return w.take();
+}
+
+std::vector<double> rpp_decompress(std::span<const std::uint8_t> stream) {
+  bitio::BitReader r(stream);
+  if (r.read_bits(32) != kMagic) {
+    throw std::runtime_error("RPP: bad stream magic");
+  }
+  const double eb = r.read_raw<double>();
+  if (!(eb > 0.0)) throw std::runtime_error("RPP: corrupt header");
+  const int eb_exp = static_cast<int>(std::floor(std::log2(eb)));
+  const std::uint64_t n = r.read_bits(64);
+
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.read_bit()) continue;  // zero
+    const bool neg = r.read_bit();
+    const std::uint64_t expf = r.read_bits(11);
+    const unsigned k =
+        mantissa_bits_needed(static_cast<int>(expf) - 1023, eb_exp);
+    std::uint64_t mant = 0;
+    if (k > 0) mant = r.read_bits(k) << (52 - k);
+    const std::uint64_t bits =
+        (neg ? std::uint64_t{1} << 63 : 0) | (expf << 52) | mant;
+    std::memcpy(&out[i], &bits, 8);
+  }
+  return out;
+}
+
+}  // namespace pastri::baselines

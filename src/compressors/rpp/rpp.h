@@ -1,0 +1,23 @@
+// rpp.h - Reduced-precision pack: the "customized real number format"
+// baseline of the paper's Section II (Fulscher & Widmark 1993, paper
+// ref. [19]), which "may lead to a compression ratio of only
+// approximately 1.5-2.5 times".
+//
+// Each value is stored as sign + IEEE exponent + just enough mantissa
+// bits to satisfy the absolute error bound; values at or below the bound
+// collapse to a one-bit zero flag.  No prediction, no entropy coding --
+// precisely the class of scheme the paper argues is insufficient.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pastri::baselines {
+
+std::vector<std::uint8_t> rpp_compress(std::span<const double> data,
+                                       double error_bound);
+
+std::vector<double> rpp_decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace pastri::baselines

@@ -1,0 +1,196 @@
+#include "compressors/sz/sz.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "bitio/varint.h"
+#include "compressors/huffman.h"
+
+namespace pastri::baselines {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x315A53;  // "SZ1"
+
+/// Best-fit curve-fitting prediction (SZ 1.x): constant, linear, or
+/// quadratic extrapolation from preceding decompressed values.  The
+/// predictor for point i is chosen as the one that would have predicted
+/// point i-1 best -- a decision both encoder and decoder can replay from
+/// decompressed data alone, so no side information is stored.
+struct Predictor {
+  double d1 = 0, d2 = 0, d3 = 0, d4 = 0;  // d[i-1] .. d[i-4]
+  std::size_t seen = 0;
+
+  static double constant(double a) { return a; }
+  static double linear(double a, double b) { return 2 * a - b; }
+  static double quadratic(double a, double b, double c) {
+    return 3 * a - 3 * b + c;
+  }
+
+  double predict() const {
+    if (seen == 0) return 0.0;
+    if (seen == 1) return constant(d1);
+    if (seen == 2) return linear(d1, d2);
+    // Pick the model that best reproduced d[i-1] from its predecessors.
+    const double e1 = std::abs(d1 - constant(d2));
+    const double e2 = std::abs(d1 - linear(d2, d3));
+    const double e3 =
+        seen >= 4 ? std::abs(d1 - quadratic(d2, d3, d4)) : e2 + 1.0;
+    if (e1 <= e2 && e1 <= e3) return constant(d1);
+    if (e2 <= e3) return linear(d1, d2);
+    return quadratic(d1, d2, d3);
+  }
+
+  void push(double v) {
+    d4 = d3;
+    d3 = d2;
+    d2 = d1;
+    d1 = v;
+    ++seen;
+  }
+};
+
+/// Binary-representation outlier codec: sign + raw exponent + just enough
+/// mantissa bits for the requested absolute bound.
+unsigned mantissa_bits_needed(int unbiased_exp, double eb) {
+  const int eb_exp = static_cast<int>(std::floor(std::log2(eb)));
+  const int k = unbiased_exp - eb_exp + 1;
+  return static_cast<unsigned>(std::clamp(k, 0, 52));
+}
+
+void write_outlier(bitio::BitWriter& w, double v, double eb) {
+  if (std::abs(v) <= eb || !std::isfinite(v)) {
+    w.write_bit(true);  // "tiny": reconstruct as zero
+    return;
+  }
+  w.write_bit(false);
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  const std::uint64_t sign = bits >> 63;
+  const std::uint64_t expf = (bits >> 52) & 0x7FF;
+  const std::uint64_t mant = bits & ((std::uint64_t{1} << 52) - 1);
+  w.write_bit(sign != 0);
+  w.write_bits(expf, 11);
+  const unsigned k = mantissa_bits_needed(static_cast<int>(expf) - 1023, eb);
+  if (k > 0) w.write_bits(mant >> (52 - k), k);
+}
+
+double read_outlier(bitio::BitReader& r, double eb) {
+  if (r.read_bit()) return 0.0;
+  const bool neg = r.read_bit();
+  const std::uint64_t expf = r.read_bits(11);
+  const unsigned k = mantissa_bits_needed(static_cast<int>(expf) - 1023, eb);
+  std::uint64_t mant = 0;
+  if (k > 0) mant = r.read_bits(k) << (52 - k);
+  const std::uint64_t bits =
+      (neg ? std::uint64_t{1} << 63 : 0) | (expf << 52) | mant;
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> sz_compress(std::span<const double> data,
+                                      const SzParams& params,
+                                      SzStats* stats) {
+  if (!(params.error_bound > 0.0)) {
+    throw std::invalid_argument("SZ: error bound must be positive");
+  }
+  if (params.intervals < 4 || std::popcount(params.intervals) != 1) {
+    throw std::invalid_argument("SZ: intervals must be a power of two >= 4");
+  }
+  const double eb = params.error_bound;
+  const std::int64_t radius = params.intervals / 2;
+
+  // Pass 1: quantize against the running decompressed signal.
+  std::vector<std::uint32_t> codes(data.size());
+  std::vector<double> outliers;
+  Predictor pred;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double p = pred.predict();
+    const double delta = data[i] - p;
+    const double qd = std::nearbyint(delta / (2.0 * eb));
+    double recon;
+    if (std::abs(qd) < static_cast<double>(radius)) {
+      const auto q = static_cast<std::int64_t>(qd);
+      codes[i] = static_cast<std::uint32_t>(q + radius);
+      recon = p + static_cast<double>(q) * 2.0 * eb;
+    } else {
+      codes[i] = 0;  // unpredictable
+      outliers.push_back(data[i]);
+      // Reconstruct exactly as the decoder will.
+      bitio::BitWriter tmp;
+      write_outlier(tmp, data[i], eb);
+      const auto bytes = tmp.take();
+      bitio::BitReader rd(bytes);
+      recon = read_outlier(rd, eb);
+    }
+    pred.push(recon);
+  }
+
+  // Pass 2: Huffman over the code alphabet.
+  std::vector<std::uint64_t> freq(params.intervals, 0);
+  for (std::uint32_t c : codes) ++freq[c];
+  const HuffmanCodec huff = HuffmanCodec::from_frequencies(freq);
+
+  bitio::BitWriter w;
+  w.write_bits(kMagic, 32);
+  w.write_raw(eb);
+  w.write_bits(params.intervals, 32);
+  w.write_bits(data.size(), 64);
+  huff.serialize(w);
+  const std::size_t dict_bits = w.bit_count();
+  for (std::uint32_t c : codes) huff.encode(w, c);
+  const std::size_t payload_bits = w.bit_count() - dict_bits;
+  for (double v : outliers) write_outlier(w, v, eb);
+
+  if (stats) {
+    stats->quantized_points = data.size() - outliers.size();
+    stats->unpredictable_points = outliers.size();
+    stats->huffman_dictionary_bits = huff.dictionary_bits();
+    stats->huffman_payload_bits = payload_bits;
+    stats->outlier_bits = w.bit_count() - dict_bits - payload_bits;
+  }
+  return w.take();
+}
+
+std::vector<double> sz_decompress(std::span<const std::uint8_t> stream) {
+  bitio::BitReader r(stream);
+  if (r.read_bits(32) != kMagic) {
+    throw std::runtime_error("SZ: bad stream magic");
+  }
+  const double eb = r.read_raw<double>();
+  const std::uint32_t intervals = static_cast<std::uint32_t>(r.read_bits(32));
+  const std::uint64_t n = r.read_bits(64);
+  if (!(eb > 0.0) || intervals < 4) {
+    throw std::runtime_error("SZ: corrupt header");
+  }
+  const std::int64_t radius = intervals / 2;
+  const HuffmanCodec huff = HuffmanCodec::from_stream(r);
+
+  std::vector<std::uint32_t> codes(n);
+  for (auto& c : codes) c = huff.decode(r);
+
+  std::vector<double> out(n);
+  Predictor pred;
+  for (std::size_t i = 0; i < n; ++i) {
+    double recon;
+    if (codes[i] == 0) {
+      recon = read_outlier(r, eb);
+    } else {
+      const double p = pred.predict();
+      recon = p + static_cast<double>(static_cast<std::int64_t>(codes[i]) -
+                                      radius) *
+                      2.0 * eb;
+    }
+    out[i] = recon;
+    pred.push(recon);
+  }
+  return out;
+}
+
+}  // namespace pastri::baselines

@@ -1,0 +1,47 @@
+// sz.h - SZ-style error-bounded lossy compressor for 1-D double data.
+//
+// Reimplements the algorithm family of SZ 1.4 (Di & Cappello, IPDPS'16;
+// Tao et al., IPDPS'17) that the paper benchmarks against:
+//
+//   1. Predict each value from preceding *decompressed* neighbours with
+//      the best-fit curve-fitting predictor (constant / linear /
+//      quadratic extrapolation).
+//   2. Error-controlled linear-scaling quantization of the prediction
+//      residual into 2*radius bins of width 2*EB.
+//   3. Canonical Huffman coding of the bin indices.
+//   4. Values whose residual exceeds the bin range ("unpredictable data")
+//      are stored by binary representation analysis: sign + exponent +
+//      just enough mantissa bits to honour the error bound.
+//
+// The point-wise absolute error bound holds by construction, as in SZ.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pastri::baselines {
+
+struct SzParams {
+  double error_bound = 1e-10;
+  /// Number of quantization intervals (SZ's "quantization_intervals").
+  /// Must be a power of two; bin indices occupy [1, intervals-1] with 0
+  /// reserved for unpredictable values.
+  std::uint32_t intervals = 65536;
+};
+
+struct SzStats {
+  std::size_t quantized_points = 0;
+  std::size_t unpredictable_points = 0;
+  std::size_t huffman_dictionary_bits = 0;
+  std::size_t huffman_payload_bits = 0;
+  std::size_t outlier_bits = 0;
+};
+
+std::vector<std::uint8_t> sz_compress(std::span<const double> data,
+                                      const SzParams& params,
+                                      SzStats* stats = nullptr);
+
+std::vector<double> sz_decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace pastri::baselines

@@ -1,0 +1,208 @@
+#include "compressors/zfp/zfp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <cmath>
+#include <stdexcept>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri::baselines {
+namespace zfp_detail {
+
+// ZFP's reversible 1-D lifting transform over a block of 4 integers
+// (a rounded 4-point orthogonal transform akin to a slanted DCT).
+void fwd_lift(std::int64_t* p) {
+  std::int64_t x = p[0], y = p[1], z = p[2], w = p[3];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1;
+  y -= w >> 1;
+  p[0] = x; p[1] = y; p[2] = z; p[3] = w;
+}
+
+void inv_lift(std::int64_t* p) {
+  std::int64_t x = p[0], y = p[1], z = p[2], w = p[3];
+  y += w >> 1;
+  w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0] = x; p[1] = y; p[2] = z; p[3] = w;
+}
+
+constexpr std::uint64_t kNbMask = 0xaaaaaaaaaaaaaaaaULL;
+
+std::uint64_t int_to_negabinary(std::int64_t x) {
+  return (static_cast<std::uint64_t>(x) + kNbMask) ^ kNbMask;
+}
+
+std::int64_t negabinary_to_int(std::uint64_t u) {
+  return static_cast<std::int64_t>((u ^ kNbMask) - kNbMask);
+}
+
+}  // namespace zfp_detail
+
+namespace {
+
+using namespace zfp_detail;
+
+constexpr std::uint32_t kMagic = 0x50465A;  // "ZFP"
+constexpr int kIntPrec = 64;
+constexpr int kBlock = 4;
+constexpr int kExpBias = 1074;  // emax in [-1074, 1023] -> 12-bit field
+
+/// Exponent of the block maximum, as ZFP's exponent(): the e such that
+/// 2^(e-1) <= max|x| < 2^e ... frexp convention: x = f * 2^e, 0.5<=|f|<1.
+int block_exponent(const double* f) {
+  double m = 0.0;
+  for (int i = 0; i < kBlock; ++i) m = std::max(m, std::abs(f[i]));
+  if (m == 0.0) return INT_MIN;
+  int e;
+  std::frexp(m, &e);
+  return e;
+}
+
+/// Precision needed for tolerance 2^minexp at block exponent emax
+/// (ZFP's accuracy-mode precision formula for 1-D, with 2*(dims+1) = 4
+/// guard bits).
+int block_precision(int emax, int minexp) {
+  return std::clamp(emax - minexp + 4, 0, kIntPrec);
+}
+
+/// ZFP's embedded bit-plane group-testing coder for one block of 4
+/// negabinary integers, transcribed from encode_ints/decode_ints.
+void encode_ints(bitio::BitWriter& w, const std::uint64_t* data,
+                 int maxprec) {
+  const int kmin = kIntPrec > maxprec ? kIntPrec - maxprec : 0;
+  int n = 0;
+  for (int k = kIntPrec; k-- > kmin;) {
+    // Gather bit plane k across the block.
+    std::uint64_t x = 0;
+    for (int i = 0; i < kBlock; ++i) {
+      x += ((data[i] >> k) & 1u) << i;
+    }
+    // Verbatim bits for already-significant coefficients.
+    w.write_bits(x, static_cast<unsigned>(n));
+    x >>= n;
+    // Group-test the rest.
+    auto write_ret = [&](bool b) {
+      w.write_bit(b);
+      return b;
+    };
+    for (; n < kBlock && write_ret(x != 0); x >>= 1, ++n) {
+      for (; n < kBlock - 1 && !write_ret(x & 1); x >>= 1, ++n) {
+      }
+    }
+  }
+}
+
+void decode_ints(bitio::BitReader& r, std::uint64_t* data, int maxprec) {
+  const int kmin = kIntPrec > maxprec ? kIntPrec - maxprec : 0;
+  for (int i = 0; i < kBlock; ++i) data[i] = 0;
+  int n = 0;
+  for (int k = kIntPrec; k-- > kmin;) {
+    std::uint64_t x = r.read_bits(static_cast<unsigned>(n));
+    for (; n < kBlock && r.read_bit(); x += std::uint64_t{1} << n++) {
+      for (; n < kBlock - 1 && !r.read_bit(); ++n) {
+      }
+    }
+    // Deposit bit plane k.
+    for (int i = 0; x; ++i, x >>= 1) {
+      data[i] += (x & 1) << k;
+    }
+  }
+}
+
+void encode_block(bitio::BitWriter& w, const double* f, int minexp) {
+  const int emax = block_exponent(f);
+  const int maxprec = emax == INT_MIN ? 0 : block_precision(emax, minexp);
+  if (maxprec == 0) {
+    w.write_bit(false);  // empty block: reconstructs as zeros
+    return;
+  }
+  w.write_bit(true);
+  w.write_bits(static_cast<std::uint64_t>(emax + kExpBias), 12);
+
+  // Block-floating-point cast to 64-bit fixed point with 2 guard bits.
+  std::int64_t q[kBlock];
+  const double scale = std::ldexp(1.0, kIntPrec - 2 - emax);
+  for (int i = 0; i < kBlock; ++i) {
+    q[i] = static_cast<std::int64_t>(f[i] * scale);
+  }
+  fwd_lift(q);
+  std::uint64_t u[kBlock];
+  for (int i = 0; i < kBlock; ++i) u[i] = int_to_negabinary(q[i]);
+  encode_ints(w, u, maxprec);
+}
+
+void decode_block(bitio::BitReader& r, double* f, int minexp) {
+  if (!r.read_bit()) {
+    for (int i = 0; i < kBlock; ++i) f[i] = 0.0;
+    return;
+  }
+  const int emax = static_cast<int>(r.read_bits(12)) - kExpBias;
+  const int maxprec = block_precision(emax, minexp);
+  std::uint64_t u[kBlock];
+  decode_ints(r, u, maxprec);
+  std::int64_t q[kBlock];
+  for (int i = 0; i < kBlock; ++i) q[i] = negabinary_to_int(u[i]);
+  inv_lift(q);
+  const double scale = std::ldexp(1.0, emax - (kIntPrec - 2));
+  for (int i = 0; i < kBlock; ++i) {
+    f[i] = static_cast<double>(q[i]) * scale;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> zfp_compress(std::span<const double> data,
+                                       const ZfpParams& params) {
+  if (!(params.tolerance > 0.0)) {
+    throw std::invalid_argument("ZFP: tolerance must be positive");
+  }
+  const int minexp =
+      static_cast<int>(std::floor(std::log2(params.tolerance)));
+
+  bitio::BitWriter w;
+  w.write_bits(kMagic, 32);
+  w.write_raw(params.tolerance);
+  w.write_bits(data.size(), 64);
+
+  double buf[kBlock];
+  for (std::size_t i = 0; i < data.size(); i += kBlock) {
+    const std::size_t m = std::min<std::size_t>(kBlock, data.size() - i);
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      buf[j] = j < m ? data[i + j] : 0.0;  // pad the final block
+    }
+    encode_block(w, buf, minexp);
+  }
+  return w.take();
+}
+
+std::vector<double> zfp_decompress(std::span<const std::uint8_t> stream) {
+  bitio::BitReader r(stream);
+  if (r.read_bits(32) != kMagic) {
+    throw std::runtime_error("ZFP: bad stream magic");
+  }
+  const double tol = r.read_raw<double>();
+  const std::uint64_t n = r.read_bits(64);
+  if (!(tol > 0.0)) throw std::runtime_error("ZFP: corrupt header");
+  const int minexp = static_cast<int>(std::floor(std::log2(tol)));
+
+  std::vector<double> out(n);
+  double buf[kBlock];
+  for (std::size_t i = 0; i < n; i += kBlock) {
+    decode_block(r, buf, minexp);
+    const std::size_t m = std::min<std::size_t>(kBlock, n - i);
+    for (std::size_t j = 0; j < m; ++j) out[i + j] = buf[j];
+  }
+  return out;
+}
+
+}  // namespace pastri::baselines

@@ -1,0 +1,37 @@
+// zfp.h - ZFP-style fixed-accuracy compressor for 1-D double data.
+//
+// Reimplements the mechanism of ZFP (Lindstrom, TVCG 2014) that the paper
+// benchmarks against, in its 1-D form: values are grouped in blocks of 4,
+// aligned to a per-block common exponent, converted to 64-bit fixed
+// point, decorrelated with ZFP's reversible integer lifting transform,
+// mapped to negabinary, and entropy-coded with the embedded bit-plane
+// group-testing coder, truncated at the precision implied by the absolute
+// error tolerance.  ZFP's weakness on 1-D data (the paper's Section II:
+// "suffers from the low compression ratio for 1D datasets") is inherent
+// to the 4-sample transform and reproduces here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pastri::baselines {
+
+struct ZfpParams {
+  double tolerance = 1e-10;  ///< absolute error tolerance (accuracy mode)
+};
+
+std::vector<std::uint8_t> zfp_compress(std::span<const double> data,
+                                       const ZfpParams& params);
+
+std::vector<double> zfp_decompress(std::span<const std::uint8_t> stream);
+
+// Exposed for unit tests.
+namespace zfp_detail {
+void fwd_lift(std::int64_t* p);
+void inv_lift(std::int64_t* p);
+std::uint64_t int_to_negabinary(std::int64_t x);
+std::int64_t negabinary_to_int(std::uint64_t u);
+}  // namespace zfp_detail
+
+}  // namespace pastri::baselines

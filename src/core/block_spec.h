@@ -1,0 +1,29 @@
+// block_spec.h - Block geometry the user supplies to PaSTRI.
+//
+// PaSTRI is a generic pattern-scaling compressor: it needs to know only
+// how many sub-blocks a block has and how long each sub-block is (the BF
+// configuration determines both, and "such information would typically be
+// available to the user even before the run-time" -- Section III-B).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace pastri {
+
+struct BlockSpec {
+  std::size_t num_sub_blocks = 1;  ///< num_SB = N^i_BF * N^j_BF
+  std::size_t sub_block_size = 1;  ///< SB_size = N^k_BF * N^l_BF
+
+  std::size_t block_size() const { return num_sub_blocks * sub_block_size; }
+
+  void validate() const {
+    if (num_sub_blocks == 0 || sub_block_size == 0) {
+      throw std::invalid_argument("BlockSpec dimensions must be nonzero");
+    }
+  }
+
+  bool operator==(const BlockSpec&) const = default;
+};
+
+}  // namespace pastri

@@ -1,0 +1,368 @@
+// compressor.cpp - PaSTRI stream format, block codec, and the
+// OpenMP block-parallel drivers.
+//
+// Stream layout (bit-exact):
+//   global header: magic u32, version u8, error_bound f64, mode u8,
+//                  metric u8, tree u8, num_sub_blocks u32,
+//                  sub_block_size u32, num_blocks u64
+//   per block (byte-aligned): varint payload_bytes, then the payload:
+//     1 bit  zero-block flag (all |x| <= EB -> nothing else follows)
+//     12 bits biased exponent of the per-block bound (BlockRelative only)
+//     6 bits P_b
+//     SB_size * P_b bits   PQ (two's complement)
+//     num_SB  * P_b bits   SQ (S_b = P_b, Section IV-B)
+//     6 bits EC_b,max
+//     if EC_b,max >= 2:
+//       1 bit sparse flag
+//       dense:  tree-coded ECQ for every point
+//       sparse: varint NOL, then NOL * (index + signed EC_b,max bits)
+//
+// Blocks are independent byte-aligned units -- the property that makes
+// PaSTRI "highly parallelizable ... each block compressed and
+// decompressed completely independent from each other" (Section IV-C).
+#include <omp.h>
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "bitio/varint.h"
+#include "core/format_detail.h"
+#include "core/pastri.h"
+
+namespace pastri {
+namespace {
+
+constexpr int kEbExpBias = 1100;  // per-block bound exponent field bias
+
+/// Per-block bound in BlockRelative mode: rel * max|block| snapped DOWN
+/// to a power of two, so the 12-bit exponent field reproduces it exactly.
+double relative_block_bound(double rel, double extremum) {
+  const double raw = rel * extremum;
+  if (!(raw > 0.0)) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(std::floor(std::log2(raw))));
+}
+
+struct BlockEncoding {
+  bool zero_block = false;
+  bool sparse = false;
+  std::size_t payload_bits = 0;  // excluding flags/bit-width fields
+};
+
+/// Decide the block representation and return exact payload bit cost.
+BlockEncoding plan_block(const QuantizedBlock& qb, const BlockSpec& spec,
+                         const Params& params, bool zero_block) {
+  BlockEncoding enc;
+  enc.zero_block = zero_block;
+  if (zero_block) {
+    enc.payload_bits = 1;
+    return enc;
+  }
+  std::size_t bits = 1 + 6;  // zero flag + P_b
+  bits += spec.sub_block_size * qb.spec.pattern_bits;
+  bits += spec.num_sub_blocks * qb.spec.scale_bits;
+  bits += 6;  // EC_b,max
+  if (qb.ecb_max >= 2) {
+    bits += 1;  // sparse flag
+    const std::size_t dense_bits =
+        ecq_encoded_bits(params.tree, qb.ecq, qb.ecb_max);
+    const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
+    // NOL is a varint (8 bits per 7 payload bits), then one
+    // (index, value) record per outlier -- Eq. (20)'s NOL term.
+    std::size_t nol_varint_bits = 8;
+    for (std::size_t n = qb.num_outliers; n >= 0x80; n >>= 7) {
+      nol_varint_bits += 8;
+    }
+    const std::size_t sparse_bits =
+        nol_varint_bits + qb.num_outliers * (idx_bits + qb.ecb_max);
+    enc.sparse = params.allow_sparse && sparse_bits < dense_bits;
+    bits += enc.sparse ? sparse_bits : dense_bits;
+  }
+  enc.payload_bits = bits;
+  return enc;
+}
+
+}  // namespace
+
+void compress_block(std::span<const double> block, const BlockSpec& spec,
+                    const Params& params, bitio::BitWriter& w, Stats* stats) {
+  assert(block.size() == spec.block_size());
+  double eb = params.error_bound;
+  if (params.bound_mode == BoundMode::BlockRelative) {
+    double extremum = 0.0;
+    for (double v : block) extremum = std::max(extremum, std::abs(v));
+    eb = relative_block_bound(params.error_bound, extremum);
+  }
+
+  // Zero blocks (screened quartets, far-field blocks below the bound):
+  // reconstructing zeros already satisfies the error bound.  In
+  // BlockRelative mode eb scales with the extremum, so only exact-zero
+  // blocks qualify.
+  bool zero_block = true;
+  for (double v : block) {
+    if (std::abs(v) > eb) {
+      zero_block = false;
+      break;
+    }
+  }
+  if (zero_block) {
+    w.write_bit(true);
+    if (stats) {
+      ++stats->blocks_by_type[0];
+      stats->header_bits += 1;
+    }
+    return;
+  }
+  w.write_bit(false);
+  if (params.bound_mode == BoundMode::BlockRelative) {
+    int e;
+    std::frexp(eb, &e);  // eb = 2^(e-1) exactly (power of two)
+    w.write_bits(static_cast<std::uint64_t>(e - 1 + kEbExpBias), 12);
+  }
+
+  const PatternSelection sel = select_pattern(block, spec, params.metric);
+  const QuantizedBlock qb = quantize_block(block, spec, sel, eb);
+  const BlockEncoding enc = plan_block(qb, spec, params, false);
+
+  w.write_bits(qb.spec.pattern_bits, 6);
+  for (std::int64_t v : qb.pq) w.write_signed(v, qb.spec.pattern_bits);
+  for (std::int64_t v : qb.sq) w.write_signed(v, qb.spec.scale_bits);
+  w.write_bits(qb.ecb_max, 6);
+
+  std::size_t ecq_bits = 0;
+  if (qb.ecb_max >= 2) {
+    w.write_bit(enc.sparse);
+    const std::size_t before = w.bit_count();
+    if (enc.sparse) {
+      const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
+      bitio::write_varint(w, qb.num_outliers);
+      for (std::size_t i = 0; i < qb.ecq.size(); ++i) {
+        if (qb.ecq[i] != 0) {
+          w.write_bits(i, idx_bits);
+          w.write_signed(qb.ecq[i], qb.ecb_max);
+        }
+      }
+    } else {
+      for (std::int64_t v : qb.ecq) {
+        ecq_encode(w, params.tree, v, qb.ecb_max);
+      }
+    }
+    ecq_bits = w.bit_count() - before;
+  }
+
+  if (stats) {
+    ++stats->blocks_by_type[block_type(qb.ecb_max)];
+    stats->pattern_bits += spec.sub_block_size * qb.spec.pattern_bits;
+    stats->scale_bits += spec.num_sub_blocks * qb.spec.scale_bits;
+    stats->ecq_bits += ecq_bits;
+    stats->header_bits +=
+        1 + 6 + 6 + (qb.ecb_max >= 2 ? 1 : 0) +
+        (params.bound_mode == BoundMode::BlockRelative ? 12 : 0);
+    stats->sparse_blocks += enc.sparse ? 1 : 0;
+    stats->num_outliers += qb.num_outliers;
+  }
+}
+
+void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
+                      const Params& params, std::span<double> out) {
+  assert(out.size() == spec.block_size());
+  if (r.read_bit()) {  // zero block
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  double eb = params.error_bound;
+  if (params.bound_mode == BoundMode::BlockRelative) {
+    const int e = static_cast<int>(r.read_bits(12)) - kEbExpBias;
+    eb = std::ldexp(1.0, e);
+  }
+  QuantizedBlock qb;
+  qb.spec = make_quant_spec(0.0, eb);
+  qb.spec.pattern_bits = static_cast<unsigned>(r.read_bits(6));
+  if (qb.spec.pattern_bits == 0 || qb.spec.pattern_bits > 54) {
+    throw std::runtime_error("PaSTRI: corrupt P_b field");
+  }
+  qb.spec.scale_bits = qb.spec.pattern_bits;
+  qb.spec.scale_binsize =
+      std::ldexp(1.0, 1 - static_cast<int>(qb.spec.scale_bits));
+
+  qb.pq.resize(spec.sub_block_size);
+  for (auto& v : qb.pq) v = r.read_signed(qb.spec.pattern_bits);
+  qb.sq.resize(spec.num_sub_blocks);
+  for (auto& v : qb.sq) v = r.read_signed(qb.spec.scale_bits);
+
+  qb.ecb_max = static_cast<unsigned>(r.read_bits(6));
+  qb.ecq.assign(spec.block_size(), 0);
+  if (qb.ecb_max >= 2) {
+    const bool sparse = r.read_bit();
+    if (sparse) {
+      const std::uint64_t nol = bitio::read_varint(r);
+      if (nol > spec.block_size()) {
+        throw std::runtime_error("PaSTRI: corrupt outlier count");
+      }
+      const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
+      for (std::uint64_t k = 0; k < nol; ++k) {
+        const std::uint64_t idx = r.read_bits(idx_bits);
+        if (idx >= spec.block_size()) {
+          throw std::runtime_error("PaSTRI: corrupt outlier index");
+        }
+        qb.ecq[idx] = r.read_signed(qb.ecb_max);
+      }
+    } else {
+      for (auto& v : qb.ecq) v = ecq_decode(r, params.tree, qb.ecb_max);
+    }
+  }
+  dequantize_block(qb, spec, out);
+}
+
+BlockAnalysis analyze_block(std::span<const double> block,
+                            const BlockSpec& spec, const Params& params) {
+  BlockAnalysis a;
+  double eb = params.error_bound;
+  if (params.bound_mode == BoundMode::BlockRelative) {
+    double extremum = 0.0;
+    for (double v : block) extremum = std::max(extremum, std::abs(v));
+    eb = relative_block_bound(params.error_bound, extremum);
+  }
+  a.zero_block = true;
+  for (double v : block) {
+    if (std::abs(v) > eb) {
+      a.zero_block = false;
+      break;
+    }
+  }
+  if (a.zero_block && eb == 0.0) {
+    // exact-zero block under a relative bound
+    a.selection.scales.assign(spec.num_sub_blocks, 0.0);
+    a.quantized.pq.assign(spec.sub_block_size, 0);
+    a.quantized.sq.assign(spec.num_sub_blocks, 0);
+    a.quantized.ecq.assign(spec.block_size(), 0);
+    a.payload_bits = 1;
+    return a;
+  }
+  a.selection = select_pattern(block, spec, params.metric);
+  a.quantized = quantize_block(block, spec, a.selection, eb);
+  const BlockEncoding enc =
+      plan_block(a.quantized, spec, params, a.zero_block);
+  a.sparse_chosen = enc.sparse;
+  a.payload_bits = enc.payload_bits;
+  return a;
+}
+
+std::vector<std::uint8_t> compress(std::span<const double> data,
+                                   const BlockSpec& spec,
+                                   const Params& params, Stats* stats) {
+  spec.validate();
+  params.validate();
+  const std::size_t bs = spec.block_size();
+  if (data.size() % bs != 0) {
+    throw std::invalid_argument(
+        "PaSTRI: data size is not a whole number of blocks");
+  }
+  const std::size_t num_blocks = data.size() / bs;
+
+  Stats local;
+  local.input_bytes = data.size() * sizeof(double);
+  local.num_blocks = num_blocks;
+
+  // Compress blocks independently (block-level parallelism, Section IV-C).
+  std::vector<std::vector<std::uint8_t>> payloads(num_blocks);
+  std::vector<Stats> thread_stats;
+  const int nthreads =
+      params.num_threads > 0 ? params.num_threads : omp_get_max_threads();
+  thread_stats.resize(static_cast<std::size_t>(nthreads));
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+#pragma omp for schedule(dynamic, 16)
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(num_blocks);
+         ++b) {
+      bitio::BitWriter w;
+      compress_block(data.subspan(static_cast<std::size_t>(b) * bs, bs),
+                     spec, params, w, &thread_stats[tid]);
+      payloads[static_cast<std::size_t>(b)] = w.take();
+    }
+  }
+  for (const Stats& ts : thread_stats) {
+    local.pattern_bits += ts.pattern_bits;
+    local.scale_bits += ts.scale_bits;
+    local.ecq_bits += ts.ecq_bits;
+    local.header_bits += ts.header_bits;
+    local.sparse_blocks += ts.sparse_blocks;
+    local.num_outliers += ts.num_outliers;
+    for (int t = 0; t < 4; ++t) {
+      local.blocks_by_type[t] += ts.blocks_by_type[t];
+    }
+  }
+
+  bitio::BitWriter w;
+  detail::write_global_header(w, spec, params, num_blocks);
+  local.header_bits += w.bit_count();
+  for (const auto& p : payloads) {
+    bitio::write_varint(w, p.size());
+    local.header_bits += 8 * ((p.size() >= 0x80) ? 2 : 1);
+    w.write_bytes(p);
+  }
+  std::vector<std::uint8_t> out = w.take();
+  local.output_bytes = out.size();
+  if (stats) *stats = local;
+  return out;
+}
+
+std::vector<double> decompress(std::span<const std::uint8_t> stream) {
+  bitio::BitReader header_reader(stream);
+  const StreamInfo info = detail::read_global_header(header_reader);
+  const std::size_t bs = info.spec.block_size();
+
+  Params params;
+  params.error_bound = info.error_bound;
+  params.bound_mode = info.bound_mode;
+  params.metric = info.metric;
+  params.tree = info.tree;
+
+  // Index pass: locate each block's byte-aligned payload.
+  std::vector<std::pair<std::size_t, std::size_t>> extents(info.num_blocks);
+  {
+    bitio::BitReader r = header_reader;
+    for (std::size_t b = 0; b < info.num_blocks; ++b) {
+      const std::uint64_t len = bitio::read_varint(r);
+      assert(r.bit_position() % 8 == 0);
+      const std::size_t off = r.bit_position() / 8;
+      if (off + len > stream.size()) {
+        throw std::runtime_error("PaSTRI: truncated stream");
+      }
+      extents[b] = {off, static_cast<std::size_t>(len)};
+      r.skip_bits(8 * len);
+    }
+  }
+
+  std::vector<double> out(info.num_blocks * bs);
+  // Exceptions cannot propagate out of an OpenMP region; capture the
+  // first one (corrupt block payloads must surface as throws, not
+  // std::terminate) and rethrow after the join.
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic, 16) shared(error)
+  for (std::ptrdiff_t b = 0;
+       b < static_cast<std::ptrdiff_t>(info.num_blocks); ++b) {
+    try {
+      const auto [off, len] = extents[static_cast<std::size_t>(b)];
+      bitio::BitReader r(stream.subspan(off, len));
+      decompress_block(r, info.spec, params,
+                       std::span<double>(out).subspan(
+                           static_cast<std::size_t>(b) * bs, bs));
+    } catch (...) {
+#pragma omp critical(pastri_decompress_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return out;
+}
+
+StreamInfo peek_info(std::span<const std::uint8_t> stream) {
+  bitio::BitReader r(stream);
+  return detail::read_global_header(r);
+}
+
+}  // namespace pastri

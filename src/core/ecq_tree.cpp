@@ -1,0 +1,164 @@
+#include "core/ecq_tree.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/quantize.h"
+
+namespace pastri {
+namespace {
+
+// Tree 4 helpers: bin i >= 2 holds the 2^(i-1) values +-[2^(i-2), 2^(i-1)-1],
+// addressed by a sign bit plus (i-2) offset bits.
+void tree4_encode(bitio::BitWriter& w, std::int64_t v) {
+  if (v == 0) {
+    w.write_bit(false);
+    return;
+  }
+  const unsigned bin = ecq_bin(v);
+  for (unsigned k = 0; k < bin - 1; ++k) w.write_bit(true);
+  w.write_bit(false);
+  const bool neg = v < 0;
+  const std::uint64_t mag = neg ? static_cast<std::uint64_t>(-v)
+                                : static_cast<std::uint64_t>(v);
+  const std::uint64_t offset = mag - (std::uint64_t{1} << (bin - 2));
+  w.write_bit(neg);
+  if (bin > 2) w.write_bits(offset, bin - 2);
+}
+
+std::int64_t tree4_decode(bitio::BitReader& r) {
+  unsigned ones = 0;
+  while (r.read_bit()) ++ones;
+  if (ones == 0) return 0;
+  const unsigned bin = ones + 1;
+  const bool neg = r.read_bit();
+  std::uint64_t offset = (bin > 2) ? r.read_bits(bin - 2) : 0;
+  const std::int64_t mag = static_cast<std::int64_t>(
+      (std::uint64_t{1} << (bin - 2)) + offset);
+  return neg ? -mag : mag;
+}
+
+}  // namespace
+
+const char* ecq_tree_name(EcqTree t) {
+  switch (t) {
+    case EcqTree::Tree1: return "Tree1";
+    case EcqTree::Tree2: return "Tree2";
+    case EcqTree::Tree3: return "Tree3";
+    case EcqTree::Tree4: return "Tree4";
+    case EcqTree::Tree5: return "Tree5";
+  }
+  return "?";
+}
+
+unsigned ecq_code_length(EcqTree t, std::int64_t v, unsigned ecb_max) {
+  switch (t) {
+    case EcqTree::Tree1:
+      return v == 0 ? 1 : 1 + ecb_max;
+    case EcqTree::Tree2:
+      if (v == 0) return 1;
+      if (v == 1) return 2;
+      if (v == -1) return 3;
+      return 3 + ecb_max;
+    case EcqTree::Tree3:
+      if (v == 0) return 1;
+      if (v == 1 || v == -1) return 3;
+      return 2 + ecb_max;
+    case EcqTree::Tree4:
+      // (bin-1) unary ones + terminating zero + sign + (bin-2) offset.
+      return v == 0 ? 1 : 2 * ecq_bin(v) - 1;
+    case EcqTree::Tree5:
+      if (ecb_max <= 2) return v == 0 ? 1 : 2;
+      return ecq_code_length(EcqTree::Tree3, v, ecb_max);
+  }
+  return 0;
+}
+
+void ecq_encode(bitio::BitWriter& w, EcqTree t, std::int64_t v,
+                unsigned ecb_max) {
+  switch (t) {
+    case EcqTree::Tree1:
+      if (v == 0) {
+        w.write_bit(false);
+      } else {
+        w.write_bit(true);
+        w.write_signed(v, ecb_max);
+      }
+      return;
+    case EcqTree::Tree2:
+      if (v == 0) {
+        w.write_bit(false);
+      } else if (v == 1) {
+        w.write_bits(0b01, 2);  // '10' written LSB-first as 1 then 0
+      } else if (v == -1) {
+        w.write_bits(0b011, 3);
+      } else {
+        w.write_bits(0b111, 3);
+        w.write_signed(v, ecb_max);
+      }
+      return;
+    case EcqTree::Tree3:
+      if (v == 0) {
+        w.write_bit(false);
+      } else if (v == 1) {
+        w.write_bits(0b011, 3);  // '110'
+      } else if (v == -1) {
+        w.write_bits(0b111, 3);  // '111'
+      } else {
+        w.write_bits(0b01, 2);   // '10'
+        w.write_signed(v, ecb_max);
+      }
+      return;
+    case EcqTree::Tree4:
+      tree4_encode(w, v);
+      return;
+    case EcqTree::Tree5:
+      if (ecb_max <= 2) {
+        if (v == 0) {
+          w.write_bit(false);
+        } else {
+          w.write_bit(true);
+          w.write_bit(v < 0);  // '10' = +1, '11' = -1
+        }
+      } else {
+        ecq_encode(w, EcqTree::Tree3, v, ecb_max);
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown ECQ tree");
+}
+
+std::int64_t ecq_decode(bitio::BitReader& r, EcqTree t, unsigned ecb_max) {
+  switch (t) {
+    case EcqTree::Tree1:
+      if (!r.read_bit()) return 0;
+      return r.read_signed(ecb_max);
+    case EcqTree::Tree2:
+      if (!r.read_bit()) return 0;
+      if (!r.read_bit()) return 1;
+      if (!r.read_bit()) return -1;
+      return r.read_signed(ecb_max);
+    case EcqTree::Tree3:
+      if (!r.read_bit()) return 0;
+      if (!r.read_bit()) return r.read_signed(ecb_max);
+      return r.read_bit() ? -1 : 1;
+    case EcqTree::Tree4:
+      return tree4_decode(r);
+    case EcqTree::Tree5:
+      if (ecb_max <= 2) {
+        if (!r.read_bit()) return 0;
+        return r.read_bit() ? -1 : 1;
+      }
+      return ecq_decode(r, EcqTree::Tree3, ecb_max);
+  }
+  throw std::invalid_argument("unknown ECQ tree");
+}
+
+std::size_t ecq_encoded_bits(EcqTree t, std::span<const std::int64_t> ecq,
+                             unsigned ecb_max) {
+  std::size_t bits = 0;
+  for (std::int64_t v : ecq) bits += ecq_code_length(t, v, ecb_max);
+  return bits;
+}
+
+}  // namespace pastri

@@ -1,0 +1,43 @@
+// ecq_tree.h - Symbol-by-symbol variable-length ECQ encoders (Fig. 7).
+//
+// The paper evaluates five fixed prefix trees and selects Tree 5, whose
+// behaviour adapts to EC_b,max: the optimal {0,+1,-1} tree for type-1
+// blocks and Tree 3 otherwise.  The trees are fixed -- unlike Huffman
+// coding no dictionary is stored and no frequency pass is needed, which
+// is what keeps PaSTRI block-parallel (Section IV-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri {
+
+enum class EcqTree : std::uint8_t {
+  Tree1 = 1,  ///< 0 -> '0'; v -> '1' + v in EC_b bits
+  Tree2 = 2,  ///< 0 -> '0'; 1 -> '10'; -1 -> '110'; v -> '111' + EC_b bits
+  Tree3 = 3,  ///< 0 -> '0'; v -> '10' + EC_b bits; 1 -> '110'; -1 -> '111'
+  Tree4 = 4,  ///< unary bin index + in-bin payload (exp-Golomb-like)
+  Tree5 = 5,  ///< adaptive: optimal {0,1,-1} tree when EC_b,max = 2,
+              ///< Tree 3 otherwise (the paper's choice)
+};
+
+const char* ecq_tree_name(EcqTree t);
+
+/// Number of bits tree `t` spends on value `v` when the block's
+/// EC_b,max is `ecb_max`.  Exact (used for dense-vs-sparse decisions and
+/// the Fig. 7 sweep without materializing streams).
+unsigned ecq_code_length(EcqTree t, std::int64_t v, unsigned ecb_max);
+
+/// Encode/decode one value.  `ecb_max >= 2` (type-0 blocks emit nothing).
+void ecq_encode(bitio::BitWriter& w, EcqTree t, std::int64_t v,
+                unsigned ecb_max);
+std::int64_t ecq_decode(bitio::BitReader& r, EcqTree t, unsigned ecb_max);
+
+/// Convenience: total encoded size of a sequence, in bits.
+std::size_t ecq_encoded_bits(EcqTree t, std::span<const std::int64_t> ecq,
+                             unsigned ecb_max);
+
+}  // namespace pastri

@@ -1,0 +1,58 @@
+// format_detail.h - Internal stream-format constants and global-header
+// (de)serialization shared by the one-shot (compressor.cpp) and
+// streaming (stream.cpp) drivers.  Not part of the public API.
+#pragma once
+
+#include <stdexcept>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "core/pastri.h"
+
+namespace pastri::detail {
+
+inline constexpr std::uint32_t kMagic = 0x52545350;  // "PSTR"
+inline constexpr std::uint8_t kVersion = 2;
+
+inline void write_global_header(bitio::BitWriter& w, const BlockSpec& spec,
+                                const Params& params,
+                                std::uint64_t num_blocks) {
+  w.write_bits(kMagic, 32);
+  w.write_bits(kVersion, 8);
+  w.write_raw(params.error_bound);
+  w.write_bits(static_cast<std::uint64_t>(params.bound_mode), 8);
+  w.write_bits(static_cast<std::uint64_t>(params.metric), 8);
+  w.write_bits(static_cast<std::uint64_t>(params.tree), 8);
+  w.write_bits(spec.num_sub_blocks, 32);
+  w.write_bits(spec.sub_block_size, 32);
+  w.write_bits(num_blocks, 64);
+}
+
+inline StreamInfo read_global_header(bitio::BitReader& r) {
+  if (r.read_bits(32) != kMagic) {
+    throw std::runtime_error("PaSTRI: bad stream magic");
+  }
+  if (r.read_bits(8) != kVersion) {
+    throw std::runtime_error("PaSTRI: unsupported stream version");
+  }
+  StreamInfo info;
+  info.error_bound = r.read_raw<double>();
+  info.bound_mode = static_cast<BoundMode>(r.read_bits(8));
+  info.metric = static_cast<ScalingMetric>(r.read_bits(8));
+  info.tree = static_cast<EcqTree>(r.read_bits(8));
+  info.spec.num_sub_blocks = r.read_bits(32);
+  info.spec.sub_block_size = r.read_bits(32);
+  info.num_blocks = r.read_bits(64);
+  info.spec.validate();
+  if (!(info.error_bound > 0.0)) {
+    throw std::runtime_error("PaSTRI: bad error bound in header");
+  }
+  return info;
+}
+
+/// Size in bits of the global header (all fields are byte multiples, so
+/// block payloads start byte-aligned).
+inline constexpr std::size_t kGlobalHeaderBits =
+    32 + 8 + 64 + 8 + 8 + 8 + 32 + 32 + 64;
+
+}  // namespace pastri::detail

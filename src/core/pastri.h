@@ -1,0 +1,136 @@
+// pastri.h - Public API of the PaSTRI compressor.
+//
+// PaSTRI (Pattern Scaling for Two-electron Repulsion Integrals) is an
+// error-bounded lossy compressor for datasets made of fixed-shape blocks
+// whose sub-blocks are approximate scalar multiples of one another --
+// the latent structure of GAMESS ERI shell blocks (Section III-B of the
+// paper), but the codec is generic over any data with that feature.
+//
+// Typical use:
+//
+//   pastri::BlockSpec spec{.num_sub_blocks = 36, .sub_block_size = 36};
+//   pastri::Params params{.error_bound = 1e-10};
+//   auto compressed = pastri::compress(values, spec, params);
+//   auto roundtrip  = pastri::decompress(compressed);
+//   // |values[i] - roundtrip[i]| <= 1e-10 for every i, guaranteed.
+//
+// Thread safety: `compress`/`decompress` parallelize over blocks with
+// OpenMP internally and are safe to call concurrently on distinct data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/block_spec.h"
+#include "core/ecq_tree.h"
+#include "core/quantize.h"
+#include "core/scaling.h"
+
+namespace pastri {
+
+/// How the error bound is interpreted.
+///
+/// `Absolute` is the paper's mode: one absolute bound for the whole
+/// stream (GAMESS workloads use 1e-10).  `BlockRelative` is the
+/// "extend it to suit more chemistry applications" direction: the bound
+/// for each block is `error_bound * max|block|` (snapped down to a power
+/// of two so both sides derive it identically), preserving *relative*
+/// precision in far-field blocks instead of zeroing them.
+enum class BoundMode : std::uint8_t {
+  Absolute = 0,
+  BlockRelative = 1,
+};
+
+/// Compression parameters.  Defaults are the paper's final design:
+/// ER scaling, Tree 5 encoding, sparse/dense adaptivity, EB = 1e-10.
+struct Params {
+  /// Point-wise absolute bound, or the relative factor in BlockRelative
+  /// mode.
+  double error_bound = 1e-10;
+  BoundMode bound_mode = BoundMode::Absolute;
+  ScalingMetric metric = ScalingMetric::ER;
+  EcqTree tree = EcqTree::Tree5;
+  bool allow_sparse = true;  ///< per-block sparse-ECQ representation
+  int num_threads = 0;       ///< 0 = OpenMP default
+
+  void validate() const {
+    if (!(error_bound > 0.0)) {
+      throw std::invalid_argument("error_bound must be positive");
+    }
+    if (bound_mode == BoundMode::BlockRelative && !(error_bound < 1.0)) {
+      throw std::invalid_argument(
+          "relative error bound must be in (0, 1)");
+    }
+  }
+};
+
+/// Storage accounting for one compression run (drives the paper's
+/// "PQ+SQ ~= 20-30 %, ECQ ~= 70-80 %, bookkeeping < 0.5 %" breakdown and
+/// the Fig. 6 block-type census).
+struct Stats {
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  std::size_t header_bits = 0;   ///< global + per-block metadata
+  std::size_t pattern_bits = 0;  ///< PQ payload
+  std::size_t scale_bits = 0;    ///< SQ payload
+  std::size_t ecq_bits = 0;      ///< ECQ payload
+  std::size_t num_blocks = 0;
+  std::size_t blocks_by_type[4] = {0, 0, 0, 0};
+  std::size_t sparse_blocks = 0;
+  std::size_t num_outliers = 0;
+
+  double ratio() const {
+    return output_bytes ? static_cast<double>(input_bytes) / output_bytes
+                        : 0.0;
+  }
+};
+
+/// Stream metadata readable without decompressing.
+struct StreamInfo {
+  double error_bound = 0.0;
+  BoundMode bound_mode = BoundMode::Absolute;
+  ScalingMetric metric = ScalingMetric::ER;
+  EcqTree tree = EcqTree::Tree5;
+  BlockSpec spec;
+  std::size_t num_blocks = 0;
+};
+
+/// Compress `data` (a whole number of blocks).  Throws
+/// std::invalid_argument on size mismatch or bad parameters.
+std::vector<std::uint8_t> compress(std::span<const double> data,
+                                   const BlockSpec& spec,
+                                   const Params& params,
+                                   Stats* stats = nullptr);
+
+/// Decompress a full stream produced by `compress`.
+/// Throws std::runtime_error on malformed input.
+std::vector<double> decompress(std::span<const std::uint8_t> stream);
+
+/// Parse the stream header only.
+StreamInfo peek_info(std::span<const std::uint8_t> stream);
+
+// ---- Block-level API (building blocks, also used by tests/benches) ----
+
+/// Compress one block into `w` and account into `stats` (may be null).
+void compress_block(std::span<const double> block, const BlockSpec& spec,
+                    const Params& params, bitio::BitWriter& w, Stats* stats);
+
+/// Decompress one block from `r`.
+void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
+                      const Params& params, std::span<double> out);
+
+/// Introspection for analysis benches/tests: the full quantized
+/// representation of one block under `params` (pattern selection included).
+struct BlockAnalysis {
+  PatternSelection selection;
+  QuantizedBlock quantized;
+  bool zero_block = false;   ///< whole block within EB of zero
+  bool sparse_chosen = false;
+  std::size_t payload_bits = 0;
+};
+BlockAnalysis analyze_block(std::span<const double> block,
+                            const BlockSpec& spec, const Params& params);
+
+}  // namespace pastri

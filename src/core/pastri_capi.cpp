@@ -1,0 +1,123 @@
+#include "core/pastri_capi.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/pastri.h"
+
+namespace {
+
+thread_local std::string g_last_error;
+
+int fail(int code, const char* what) {
+  g_last_error = what;
+  return code;
+}
+
+pastri::Params to_cpp(const pastri_params& p) {
+  pastri::Params out;
+  out.error_bound = p.error_bound;
+  out.bound_mode = static_cast<pastri::BoundMode>(p.bound_mode);
+  out.metric = static_cast<pastri::ScalingMetric>(p.metric);
+  out.tree = static_cast<pastri::EcqTree>(p.tree);
+  out.allow_sparse = p.allow_sparse != 0;
+  out.num_threads = p.num_threads;
+  return out;
+}
+
+}  // namespace
+
+extern "C" {
+
+void pastri_params_init(pastri_params* params) {
+  if (params == nullptr) return;
+  const pastri::Params d;
+  params->error_bound = d.error_bound;
+  params->bound_mode = static_cast<int>(d.bound_mode);
+  params->metric = static_cast<int>(d.metric);
+  params->tree = static_cast<int>(d.tree);
+  params->allow_sparse = d.allow_sparse ? 1 : 0;
+  params->num_threads = d.num_threads;
+}
+
+int pastri_compress_buffer(const double* data, size_t count,
+                           size_t num_sub_blocks, size_t sub_block_size,
+                           const pastri_params* params,
+                           unsigned char** out, size_t* out_size) {
+  if ((data == nullptr && count != 0) || params == nullptr ||
+      out == nullptr || out_size == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    const pastri::BlockSpec spec{num_sub_blocks, sub_block_size};
+    const auto stream = pastri::compress(
+        std::span<const double>(data, count), spec, to_cpp(*params));
+    auto* buf = static_cast<unsigned char*>(std::malloc(stream.size()));
+    if (buf == nullptr && !stream.empty()) {
+      return fail(PASTRI_ERR_INTERNAL, "out of memory");
+    }
+    std::memcpy(buf, stream.data(), stream.size());
+    *out = buf;
+    *out_size = stream.size();
+    return PASTRI_OK;
+  } catch (const std::invalid_argument& e) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  }
+}
+
+int pastri_decompress_buffer(const unsigned char* stream,
+                             size_t stream_size, double** out,
+                             size_t* out_count) {
+  if (stream == nullptr || out == nullptr || out_count == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    const auto values = pastri::decompress(
+        std::span<const std::uint8_t>(stream, stream_size));
+    auto* buf = static_cast<double*>(
+        std::malloc(values.size() * sizeof(double)));
+    if (buf == nullptr && !values.empty()) {
+      return fail(PASTRI_ERR_INTERNAL, "out of memory");
+    }
+    std::memcpy(buf, values.data(), values.size() * sizeof(double));
+    *out = buf;
+    *out_count = values.size();
+    return PASTRI_OK;
+  } catch (const std::runtime_error& e) {
+    return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  }
+}
+
+int pastri_peek(const unsigned char* stream, size_t stream_size,
+                double* error_bound, size_t* num_sub_blocks,
+                size_t* sub_block_size, size_t* num_blocks) {
+  if (stream == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    const pastri::StreamInfo info = pastri::peek_info(
+        std::span<const std::uint8_t>(stream, stream_size));
+    if (error_bound != nullptr) *error_bound = info.error_bound;
+    if (num_sub_blocks != nullptr) {
+      *num_sub_blocks = info.spec.num_sub_blocks;
+    }
+    if (sub_block_size != nullptr) {
+      *sub_block_size = info.spec.sub_block_size;
+    }
+    if (num_blocks != nullptr) *num_blocks = info.num_blocks;
+    return PASTRI_OK;
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
+  }
+}
+
+void pastri_free(void* ptr) { std::free(ptr); }
+
+const char* pastri_last_error(void) { return g_last_error.c_str(); }
+
+}  // extern "C"

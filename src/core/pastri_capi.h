@@ -1,0 +1,65 @@
+// pastri_capi.h - C-linkage API for the PaSTRI compressor.
+//
+// The paper's implementation shipped inside SZ, a C library; this header
+// gives C callers (and FFI bindings) the same surface: plain structs,
+// integer error codes, malloc-owned output buffers released with
+// pastri_free().  The streams are byte-identical to the C++ API's.
+#pragma once
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Error codes returned by the API (0 = success). */
+enum {
+  PASTRI_OK = 0,
+  PASTRI_ERR_INVALID_ARGUMENT = -1,
+  PASTRI_ERR_CORRUPT_STREAM = -2,
+  PASTRI_ERR_INTERNAL = -3,
+};
+
+/* Mirrors pastri::Params; initialize with pastri_params_init. */
+typedef struct pastri_params {
+  double error_bound;  /* absolute bound, or relative factor */
+  int bound_mode;      /* 0 = absolute, 1 = block-relative */
+  int metric;          /* 0=FR 1=ER 2=AR 3=AAR 4=IS */
+  int tree;            /* 1..5 (Fig. 7 trees) */
+  int allow_sparse;    /* nonzero = adaptive sparse ECQ */
+  int num_threads;     /* 0 = OpenMP default */
+} pastri_params;
+
+/* Fill with the paper's defaults (EB=1e-10, ER, Tree 5, sparse on). */
+void pastri_params_init(pastri_params* params);
+
+/* Compress `count` doubles structured as blocks of
+ * num_sub_blocks * sub_block_size values.  On success *out receives a
+ * malloc'd buffer of *out_size bytes (caller frees with pastri_free).
+ */
+int pastri_compress_buffer(const double* data, size_t count,
+                           size_t num_sub_blocks, size_t sub_block_size,
+                           const pastri_params* params,
+                           unsigned char** out, size_t* out_size);
+
+/* Decompress a stream produced by pastri_compress_buffer (or the C++
+ * API).  On success *out receives a malloc'd array of *out_count
+ * doubles. */
+int pastri_decompress_buffer(const unsigned char* stream,
+                             size_t stream_size, double** out,
+                             size_t* out_count);
+
+/* Read stream metadata without decompressing; any pointer may be NULL. */
+int pastri_peek(const unsigned char* stream, size_t stream_size,
+                double* error_bound, size_t* num_sub_blocks,
+                size_t* sub_block_size, size_t* num_blocks);
+
+/* Release a buffer returned by this API. */
+void pastri_free(void* ptr);
+
+/* Human-readable message for the most recent failure on this thread. */
+const char* pastri_last_error(void);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif

@@ -1,0 +1,90 @@
+#include "core/period_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pastri {
+
+double score_period(std::span<const double> data, std::size_t period) {
+  if (period == 0 || period * 2 > data.size()) return 0.0;
+  const std::size_t slices = data.size() / period;
+
+  // The score is the energy fraction explained by the ER scaling model
+  // itself: pick the highest-amplitude slice as the pattern, scale every
+  // other slice by its value at the pattern's extremum index, and
+  // measure the residual.  1.0 = perfect pattern repetition.  Unlike a
+  // per-slice correlation this cannot be gamed by degenerate short
+  // slices, and period *multiples* score low (a double-length slice is
+  // not a scalar multiple of another double-length slice).
+  std::size_t ref = 0, ext_index = 0;
+  double ref_amp = -1.0;
+  std::vector<double> amps(slices, 0.0);
+  for (std::size_t s = 0; s < slices; ++s) {
+    for (std::size_t i = 0; i < period; ++i) {
+      const double a = std::abs(data[s * period + i]);
+      amps[s] = std::max(amps[s], a);
+      if (a > ref_amp) {
+        ref_amp = a;
+        ref = s;
+        ext_index = i;
+      }
+    }
+  }
+  if (ref_amp <= 0.0) return 0.0;
+  const auto pattern = data.subspan(ref * period, period);
+
+  double residual = 0.0, energy = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t s = 0; s < slices; ++s) {
+    if (s == ref || amps[s] < 1e-3 * ref_amp) continue;
+    ++counted;
+    const auto slice = data.subspan(s * period, period);
+    const double scale = slice[ext_index] / pattern[ext_index];
+    for (std::size_t i = 0; i < period; ++i) {
+      const double r = slice[i] - scale * pattern[i];
+      residual += r * r;
+      energy += slice[i] * slice[i];
+    }
+  }
+  // A period with no comparable slices is unsupported, not perfect.
+  if (counted == 0 || energy <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - std::sqrt(residual / energy));
+}
+
+std::vector<PeriodCandidate> rank_periods(std::span<const double> data,
+                                          std::size_t min_period,
+                                          std::size_t max_period) {
+  std::vector<PeriodCandidate> out;
+  for (std::size_t p = std::max<std::size_t>(2, min_period);
+       p <= max_period && p * 2 <= data.size(); ++p) {
+    if (data.size() % p != 0) continue;
+    out.push_back({p, score_period(data, p)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PeriodCandidate& a, const PeriodCandidate& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+BlockSpec suggest_block_spec(std::span<const double> data,
+                             std::size_t max_period, double min_score) {
+  const auto ranked = rank_periods(data, 2, max_period);
+  for (const auto& cand : ranked) {
+    if (cand.score < min_score) break;
+    // Prefer the *smallest* period among near-equal scores: a multiple
+    // k*p of a true period p scores just as well but wastes pattern
+    // storage.  `ranked` is sorted by score, so scan the near-tie group.
+    std::size_t best = cand.period;
+    for (const auto& other : ranked) {
+      if (other.score >= cand.score - 0.01 && other.period < best &&
+          cand.period % other.period == 0) {
+        best = other.period;
+      }
+    }
+    return BlockSpec{data.size() / best, best};
+  }
+  return BlockSpec{1, data.size()};
+}
+
+}  // namespace pastri

@@ -1,0 +1,44 @@
+// period_detect.h - Automatic sub-block period detection.
+//
+// The paper requires the user to supply the BF configuration ("such
+// information would typically be available to the user even before the
+// run-time", Section III-B) but also bills PaSTRI as "a generic
+// compression algorithm that can work for any dataset as long as it
+// exhibits similar features".  This module closes the gap: given raw
+// 1-D data it searches candidate periods and scores each by how well a
+// scaled pattern explains the data, recovering the (SB_size, num_SB)
+// geometry without metadata.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/block_spec.h"
+
+namespace pastri {
+
+struct PeriodCandidate {
+  std::size_t period = 0;   ///< candidate sub-block size
+  double score = 0.0;       ///< mean |correlation| between period slices
+};
+
+/// Score one candidate period: the average absolute Pearson correlation
+/// between consecutive period-length slices of `data` (1.0 = perfect
+/// pattern repetition).  Returns 0 for degenerate slices.
+double score_period(std::span<const double> data, std::size_t period);
+
+/// Evaluate all divisors of `data.size()` in [min_period, max_period]
+/// and return them sorted by descending score.
+std::vector<PeriodCandidate> rank_periods(std::span<const double> data,
+                                          std::size_t min_period,
+                                          std::size_t max_period);
+
+/// Suggest a BlockSpec for block-structured data: picks the best-scoring
+/// divisor period p and returns {data.size()/p, p}.  Returns the trivial
+/// spec {1, data.size()} when nothing scores above `min_score`.
+BlockSpec suggest_block_spec(std::span<const double> data,
+                             std::size_t max_period = 4096,
+                             double min_score = 0.8);
+
+}  // namespace pastri

@@ -1,0 +1,143 @@
+#include "core/quantize.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace pastri {
+namespace {
+
+/// round-half-away-from-zero to int64, saturating (residuals of
+/// pathological inputs must not overflow UB-style).
+std::int64_t round_to_i64(double x) {
+  const double r = std::nearbyint(x);
+  if (r >= 9.2e18) return std::int64_t{1} << 62;
+  if (r <= -9.2e18) return -(std::int64_t{1} << 62);
+  return static_cast<std::int64_t>(std::llround(x));
+}
+
+/// Two's-complement width for a magnitude: smallest b with |v| <= 2^(b-1)-1
+/// ... except we allow the asymmetric minimum -2^(b-1).
+unsigned signed_bits_for(std::uint64_t magnitude) {
+  unsigned b = 1;
+  while (magnitude > (std::uint64_t{1} << (b - 1)) - 1 && b < 63) ++b;
+  return b;
+}
+
+std::int64_t clamp_signed(std::int64_t v, unsigned bits) {
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+QuantSpec make_quant_spec(double pattern_extremum, double error_bound) {
+  QuantSpec q;
+  q.pattern_binsize = 2.0 * error_bound;
+  q.ec_binsize = 2.0 * error_bound;
+  // Eq. (8): P_b = ceil(log2(PQ_range)) with PQ_range = 2*|P_ext| / binsize;
+  // equivalently the two's-complement width of round(|P_ext| / (2 EB)).
+  const double pq_ext_d = std::abs(pattern_extremum) / q.pattern_binsize;
+  const std::uint64_t pq_ext =
+      pq_ext_d >= 9.2e18 ? (std::uint64_t{1} << 62)
+                         : static_cast<std::uint64_t>(std::llround(pq_ext_d));
+  q.pattern_bits = std::clamp(signed_bits_for(pq_ext), 2u, 54u);
+  // The practical approach (end of Section IV-B): S_b = P_b.
+  q.scale_bits = q.pattern_bits;
+  q.scale_binsize = std::ldexp(1.0, 1 - static_cast<int>(q.scale_bits));
+  return q;
+}
+
+unsigned ecq_bin(std::int64_t v) {
+  if (v == 0) return 1;
+  const std::uint64_t mag =
+      v > 0 ? static_cast<std::uint64_t>(v)
+            : static_cast<std::uint64_t>(-(v + 1)) + 1;  // |INT64_MIN| safe
+  // bin i covers |v| in [2^(i-2), 2^(i-1)-1]  =>  i = bit_width(|v|) + 1.
+  return static_cast<unsigned>(std::bit_width(mag)) + 1;
+}
+
+int block_type(unsigned ecb_max) {
+  if (ecb_max <= 1) return 0;
+  if (ecb_max == 2) return 1;
+  if (ecb_max <= 6) return 2;
+  return 3;
+}
+
+QuantizedBlock quantize_block(std::span<const double> block,
+                              const BlockSpec& spec,
+                              const PatternSelection& sel,
+                              double error_bound) {
+  assert(block.size() == spec.block_size());
+  const std::size_t nsb = spec.num_sub_blocks;
+  const std::size_t sbs = spec.sub_block_size;
+  const auto pattern = block.subspan(sel.pattern_sub_block * sbs, sbs);
+
+  double p_ext = 0.0;
+  for (double v : pattern) p_ext = std::max(p_ext, std::abs(v));
+
+  QuantizedBlock qb;
+  qb.spec = make_quant_spec(p_ext, error_bound);
+
+  // Pattern: PQ = round(P / (2 EB)); clamping cannot fire because
+  // pattern_bits was sized from the extremum, but keep it for safety.
+  qb.pq.resize(sbs);
+  std::vector<double> p_hat(sbs);
+  for (std::size_t i = 0; i < sbs; ++i) {
+    std::int64_t v = round_to_i64(pattern[i] / qb.spec.pattern_binsize);
+    v = clamp_signed(v, qb.spec.pattern_bits);
+    qb.pq[i] = v;
+    p_hat[i] = static_cast<double>(v) * qb.spec.pattern_binsize;
+  }
+
+  // Scales: SQ = round(S / S_binsize), clamped into S_b bits (S = +1 maps
+  // to the largest code, costing at most one extra ECQ bin -- Eq. (23)).
+  qb.sq.resize(nsb);
+  std::vector<double> s_hat(nsb);
+  for (std::size_t j = 0; j < nsb; ++j) {
+    std::int64_t v = round_to_i64(sel.scales[j] / qb.spec.scale_binsize);
+    v = clamp_signed(v, qb.spec.scale_bits);
+    qb.sq[j] = v;
+    s_hat[j] = static_cast<double>(v) * qb.spec.scale_binsize;
+  }
+
+  // Error-correction codes against the *reconstructed* scaled pattern.
+  qb.ecq.resize(block.size());
+  for (std::size_t j = 0; j < nsb; ++j) {
+    for (std::size_t i = 0; i < sbs; ++i) {
+      const std::size_t idx = j * sbs + i;
+      const double approx = s_hat[j] * p_hat[i];
+      const std::int64_t e =
+          round_to_i64((block[idx] - approx) / qb.spec.ec_binsize);
+      qb.ecq[idx] = e;
+      if (e != 0) {
+        ++qb.num_outliers;
+        qb.ecb_max = std::max(qb.ecb_max, ecq_bin(e));
+      }
+    }
+  }
+  return qb;
+}
+
+void dequantize_block(const QuantizedBlock& qb, const BlockSpec& spec,
+                      std::span<double> out) {
+  assert(out.size() == spec.block_size());
+  const std::size_t nsb = spec.num_sub_blocks;
+  const std::size_t sbs = spec.sub_block_size;
+  assert(qb.pq.size() == sbs && qb.sq.size() == nsb);
+  for (std::size_t j = 0; j < nsb; ++j) {
+    const double s_hat =
+        static_cast<double>(qb.sq[j]) * qb.spec.scale_binsize;
+    for (std::size_t i = 0; i < sbs; ++i) {
+      const double p_hat =
+          static_cast<double>(qb.pq[i]) * qb.spec.pattern_binsize;
+      out[j * sbs + i] = s_hat * p_hat +
+                         static_cast<double>(qb.ecq[j * sbs + i]) *
+                             qb.spec.ec_binsize;
+    }
+  }
+}
+
+}  // namespace pastri

@@ -1,0 +1,64 @@
+// quantize.h - Quantization calculus of Section IV-B.
+//
+// PaSTRI's "practical approach": fix the pattern bin size at 2*EB (so the
+// pattern quantization error is at most EB), derive P_b from the pattern
+// extremum via Eq. (8), reuse S_b = P_b for the scales, and let the
+// per-point error-correction codes ECQ = round(residual / 2*EB) absorb
+// everything else.  Because ECQ quantizes the residual against the
+// *reconstructed* (quantized) scaled pattern, the point-wise error bound
+//   |x - (SQ*S_bin * PQ*P_bin + ECQ*2*EB)| <= EB
+// holds unconditionally -- the paper's Eq. (23) shows the cost is at most
+// two extra ECQ bins versus the unconstrained optimum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/block_spec.h"
+#include "core/scaling.h"
+
+namespace pastri {
+
+/// Bit-width/bin-size plan for one block.
+struct QuantSpec {
+  unsigned pattern_bits = 1;   ///< P_b (two's-complement width of PQ)
+  unsigned scale_bits = 1;     ///< S_b = P_b
+  double pattern_binsize = 0;  ///< 2 * EB
+  double scale_binsize = 0;    ///< 2^(1 - S_b)
+  double ec_binsize = 0;       ///< 2 * EB
+};
+
+/// Derive the plan from the pattern extremum and the error bound.
+QuantSpec make_quant_spec(double pattern_extremum, double error_bound);
+
+/// Quantized representation of one block.
+struct QuantizedBlock {
+  QuantSpec spec;
+  std::vector<std::int64_t> pq;   ///< quantized pattern, SB_size entries
+  std::vector<std::int64_t> sq;   ///< quantized scales, num_SB entries
+  std::vector<std::int64_t> ecq;  ///< per-point codes, block_size entries
+  unsigned ecb_max = 1;           ///< max ECQ bin (Fig. 6 x-axis)
+  std::size_t num_outliers = 0;   ///< count of nonzero ECQ
+};
+
+/// Minimum number of bits ("bin") to represent an ECQ value per Fig. 6:
+/// 0 -> 1 bit, +-1 -> 2 bits, +-[2,3] -> 3 bits, +-[2^(i-2), 2^(i-1)-1]
+/// -> i bits.
+unsigned ecq_bin(std::int64_t v);
+
+/// Block type from EC_b,max (Section IV-C): 0, 1, 2 (<=6), or 3 (>6).
+int block_type(unsigned ecb_max);
+
+/// Quantize a block given its pattern selection.  The reconstruction
+/// error of every point is bounded by `error_bound` by construction.
+QuantizedBlock quantize_block(std::span<const double> block,
+                              const BlockSpec& spec,
+                              const PatternSelection& sel,
+                              double error_bound);
+
+/// Inverse of quantize_block: reconstruct the block values.
+void dequantize_block(const QuantizedBlock& qb, const BlockSpec& spec,
+                      std::span<double> out);
+
+}  // namespace pastri

@@ -1,0 +1,143 @@
+#include "core/scaling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pastri {
+namespace {
+
+/// Clamp a scaling coefficient into the representable range [-1, 1].
+/// For ER/FR/AR the clamp never fires (the pattern maximizes the metric);
+/// it protects the sign-corrected metrics and floating-point edge cases.
+double clamp_scale(double s) {
+  if (!std::isfinite(s)) return 0.0;
+  return std::clamp(s, -1.0, 1.0);
+}
+
+/// Sign of the inner product of a sub-block with the pattern; used by the
+/// sign-corrected metrics (AAR, IS) whose raw coefficient is nonnegative.
+double correlation_sign(std::span<const double> sb,
+                        std::span<const double> pattern) {
+  double dot = 0.0;
+  for (std::size_t i = 0; i < sb.size(); ++i) dot += sb[i] * pattern[i];
+  return dot < 0.0 ? -1.0 : 1.0;
+}
+
+}  // namespace
+
+const char* scaling_metric_name(ScalingMetric m) {
+  switch (m) {
+    case ScalingMetric::FR: return "FR";
+    case ScalingMetric::ER: return "ER";
+    case ScalingMetric::AR: return "AR";
+    case ScalingMetric::AAR: return "AAR";
+    case ScalingMetric::IS: return "IS";
+  }
+  return "?";
+}
+
+PatternSelection select_pattern(std::span<const double> block,
+                                const BlockSpec& spec, ScalingMetric metric) {
+  assert(block.size() == spec.block_size());
+  const std::size_t nsb = spec.num_sub_blocks;
+  const std::size_t sbs = spec.sub_block_size;
+
+  PatternSelection sel;
+  sel.scales.assign(nsb, 0.0);
+
+  auto sub = [&](std::size_t j) {
+    return block.subspan(j * sbs, sbs);
+  };
+
+  // Per-sub-block metric value; the pattern is the argmax.
+  std::vector<double> metric_val(nsb, 0.0);
+  // ER needs the local index of the block-wide extremum.
+  std::size_t er_index = 0;
+
+  switch (metric) {
+    case ScalingMetric::FR:
+      for (std::size_t j = 0; j < nsb; ++j) {
+        metric_val[j] = std::abs(sub(j)[0]);
+      }
+      break;
+    case ScalingMetric::ER: {
+      double best = -1.0;
+      for (std::size_t j = 0; j < nsb; ++j) {
+        auto s = sub(j);
+        for (std::size_t i = 0; i < sbs; ++i) {
+          const double a = std::abs(s[i]);
+          if (a > metric_val[j]) metric_val[j] = a;
+          if (a > best) {
+            best = a;
+            er_index = i;
+          }
+        }
+      }
+      break;
+    }
+    case ScalingMetric::AR:
+      for (std::size_t j = 0; j < nsb; ++j) {
+        double m = 0.0;
+        for (double v : sub(j)) m += v;
+        metric_val[j] = std::abs(m) / static_cast<double>(sbs);
+      }
+      break;
+    case ScalingMetric::AAR:
+      for (std::size_t j = 0; j < nsb; ++j) {
+        double m = 0.0;
+        for (double v : sub(j)) m += std::abs(v);
+        metric_val[j] = m / static_cast<double>(sbs);
+      }
+      break;
+    case ScalingMetric::IS:
+      for (std::size_t j = 0; j < nsb; ++j) {
+        auto s = sub(j);
+        const auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+        metric_val[j] = *hi - *lo;
+      }
+      break;
+  }
+
+  sel.pattern_sub_block = static_cast<std::size_t>(
+      std::max_element(metric_val.begin(), metric_val.end()) -
+      metric_val.begin());
+  const auto pattern = sub(sel.pattern_sub_block);
+  const double denom = metric_val[sel.pattern_sub_block];
+  if (denom == 0.0) return sel;  // all-zero (or metric-degenerate) block
+
+  for (std::size_t j = 0; j < nsb; ++j) {
+    double s = 0.0;
+    switch (metric) {
+      case ScalingMetric::FR:
+        s = (pattern[0] != 0.0) ? sub(j)[0] / pattern[0] : 0.0;
+        break;
+      case ScalingMetric::ER:
+        s = sub(j)[er_index] / pattern[er_index];
+        break;
+      case ScalingMetric::AR: {
+        double num = 0.0, den = 0.0;
+        for (double v : sub(j)) num += v;
+        for (double v : pattern) den += v;
+        s = (den != 0.0) ? num / den : 0.0;
+        break;
+      }
+      case ScalingMetric::AAR: {
+        double num = 0.0;
+        for (double v : sub(j)) num += std::abs(v);
+        s = (num / static_cast<double>(sbs)) / denom;
+        s *= correlation_sign(sub(j), pattern);
+        break;
+      }
+      case ScalingMetric::IS: {
+        s = metric_val[j] / denom;
+        s *= correlation_sign(sub(j), pattern);
+        break;
+      }
+    }
+    sel.scales[j] = clamp_scale(s);
+  }
+  return sel;
+}
+
+}  // namespace pastri

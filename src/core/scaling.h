@@ -1,0 +1,44 @@
+// scaling.h - Pattern-scaling metrics (Section IV-A, Fig. 4).
+//
+// Each metric selects one sub-block as the scaled pattern (SP) and
+// assigns every sub-block a single scaling coefficient S with |S| <= 1.
+// The paper evaluates five candidates and adopts ER (ratio of extremums):
+// the pattern is the sub-block containing the block-wide absolute
+// extremum, and because that extremum dominates every other sub-block's
+// value at the same local index, ER is the metric for which |S| <= 1
+// holds *by construction* -- the property the S-quantization of
+// Section IV-B relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/block_spec.h"
+
+namespace pastri {
+
+enum class ScalingMetric : std::uint8_t {
+  FR = 0,   ///< ratio of first points
+  ER = 1,   ///< ratio of extremums (the paper's choice)
+  AR = 2,   ///< ratio of averages
+  AAR = 3,  ///< ratio of absolute averages (sign-corrected)
+  IS = 4,   ///< interval scaling / ratio of ranges (sign-corrected)
+};
+
+const char* scaling_metric_name(ScalingMetric m);
+
+/// Result of pattern selection over one block.
+struct PatternSelection {
+  std::size_t pattern_sub_block = 0;  ///< index of the SP sub-block
+  std::vector<double> scales;         ///< one coefficient per sub-block,
+                                      ///< clamped to [-1, 1]
+};
+
+/// Select the pattern sub-block and per-sub-block scaling coefficients.
+/// `block.size()` must equal `spec.block_size()`.  For an all-zero block
+/// the pattern is sub-block 0 with all-zero scales.
+PatternSelection select_pattern(std::span<const double> block,
+                                const BlockSpec& spec, ScalingMetric metric);
+
+}  // namespace pastri

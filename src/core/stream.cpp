@@ -1,0 +1,70 @@
+#include "core/stream.h"
+
+#include "bitio/varint.h"
+#include "core/format_detail.h"
+
+namespace pastri {
+
+StreamCompressor::StreamCompressor(const BlockSpec& spec,
+                                   const Params& params)
+    : spec_(spec), params_(params) {
+  spec_.validate();
+  params_.validate();
+}
+
+void StreamCompressor::append_block(std::span<const double> block) {
+  if (block.size() != spec_.block_size()) {
+    throw std::invalid_argument("StreamCompressor: block size mismatch");
+  }
+  bitio::BitWriter w;
+  compress_block(block, spec_, params_, w, &stats_);
+  payloads_.push_back(w.take());
+  stats_.num_blocks = payloads_.size();
+  stats_.input_bytes += block.size() * sizeof(double);
+}
+
+std::vector<std::uint8_t> StreamCompressor::finish() {
+  bitio::BitWriter w;
+  detail::write_global_header(w, spec_, params_, payloads_.size());
+  for (const auto& p : payloads_) {
+    bitio::write_varint(w, p.size());
+    w.write_bytes(p);
+  }
+  payloads_.clear();
+  std::vector<std::uint8_t> out = w.take();
+  stats_.output_bytes += out.size();
+  return out;
+}
+
+StreamDecompressor::StreamDecompressor(
+    std::span<const std::uint8_t> stream)
+    : stream_(stream) {
+  bitio::BitReader r(stream_);
+  info_ = detail::read_global_header(r);
+  params_.error_bound = info_.error_bound;
+  params_.bound_mode = info_.bound_mode;
+  params_.metric = info_.metric;
+  params_.tree = info_.tree;
+  remaining_ = info_.num_blocks;
+  byte_pos_ = r.bit_position() / 8;
+}
+
+bool StreamDecompressor::next_block(std::span<double> out) {
+  if (remaining_ == 0) return false;
+  if (out.size() != info_.spec.block_size()) {
+    throw std::invalid_argument("StreamDecompressor: block size mismatch");
+  }
+  bitio::BitReader r(stream_.subspan(byte_pos_));
+  const std::uint64_t len = bitio::read_varint(r);
+  const std::size_t payload_start = byte_pos_ + r.bit_position() / 8;
+  if (payload_start + len > stream_.size()) {
+    throw std::runtime_error("PaSTRI: truncated stream");
+  }
+  bitio::BitReader payload(stream_.subspan(payload_start, len));
+  decompress_block(payload, info_.spec, params_, out);
+  byte_pos_ = payload_start + len;
+  --remaining_;
+  return true;
+}
+
+}  // namespace pastri

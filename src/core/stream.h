@@ -1,0 +1,69 @@
+// stream.h - Incremental (block-at-a-time) compression and
+// decompression.
+//
+// GAMESS-style producers emit ERI shell blocks one quartet at a time and
+// consumers read them back each SCF iteration; holding the whole dataset
+// in memory on both sides defeats the purpose of compression for the
+// largest systems.  These classes provide the out-of-core pipeline the
+// paper's infrastructure implies: append blocks as they are computed,
+// then stream them back without materializing the full array.
+//
+// The produced bytes are exactly the `pastri::compress` format, so the
+// streaming and one-shot APIs interoperate both ways.
+#pragma once
+
+#include "core/pastri.h"
+
+namespace pastri {
+
+/// Compress blocks one at a time; `finish()` yields a stream readable by
+/// `decompress` / `StreamDecompressor`.
+class StreamCompressor {
+ public:
+  StreamCompressor(const BlockSpec& spec, const Params& params);
+
+  /// Compress and buffer one block (size must equal spec.block_size()).
+  void append_block(std::span<const double> block);
+
+  /// Number of blocks appended so far.
+  std::size_t blocks_appended() const { return payloads_.size(); }
+
+  /// Finalize and return the complete stream.  The compressor can be
+  /// reused afterwards (it resets to empty).
+  std::vector<std::uint8_t> finish();
+
+  /// Accounting so far (input/output byte totals are updated at finish).
+  const Stats& stats() const { return stats_; }
+
+ private:
+  BlockSpec spec_;
+  Params params_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  Stats stats_;
+};
+
+/// Iterate blocks of a compressed stream without decompressing it all.
+class StreamDecompressor {
+ public:
+  /// Parses the header immediately; throws on malformed input.
+  /// The span must outlive the decompressor.
+  explicit StreamDecompressor(std::span<const std::uint8_t> stream);
+
+  const StreamInfo& info() const { return info_; }
+
+  /// Blocks remaining to read.
+  std::size_t blocks_remaining() const { return remaining_; }
+
+  /// Decompress the next block into `out` (size spec.block_size()).
+  /// Returns false when the stream is exhausted.
+  bool next_block(std::span<double> out);
+
+ private:
+  std::span<const std::uint8_t> stream_;
+  StreamInfo info_;
+  Params params_;
+  std::size_t remaining_ = 0;
+  std::size_t byte_pos_ = 0;
+};
+
+}  // namespace pastri

@@ -1,0 +1,108 @@
+#include "io/compressed_file.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "io/file_per_process.h"
+
+namespace pastri::io {
+namespace {
+
+constexpr char kManifestMagic[] = "PaSTRIshards v1";
+
+std::string manifest_path(const std::string& dir,
+                          const std::string& basename) {
+  return dir + "/" + basename + ".manifest";
+}
+
+}  // namespace
+
+std::size_t write_compressed_dataset(const qc::EriDataset& ds,
+                                     const Params& params, int num_shards,
+                                     const std::string& dir,
+                                     const std::string& basename) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("num_shards must be >= 1");
+  }
+  const std::size_t shards = static_cast<std::size_t>(num_shards);
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  const std::size_t bs = ds.shape.block_size();
+
+  ShardLayout layout;
+  layout.num_shards = shards;
+  const std::size_t base = ds.num_blocks / shards;
+  const std::size_t extra = ds.num_blocks % shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    layout.blocks_per_shard.push_back(base + (s < extra ? 1 : 0));
+  }
+
+  std::size_t total = 0;
+  std::size_t block0 = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t nblocks = layout.blocks_per_shard[s];
+    const std::span<const double> chunk(
+        ds.values.data() + block0 * bs, nblocks * bs);
+    const auto stream = compress(chunk, spec, params);
+    write_rank_file(dir, basename, static_cast<int>(s), stream);
+    total += stream.size();
+    block0 += nblocks;
+  }
+
+  std::ofstream mf(manifest_path(dir, basename), std::ios::trunc);
+  if (!mf) throw std::runtime_error("cannot write manifest");
+  mf << kManifestMagic << "\n";
+  mf << ds.label << "\n";
+  mf << ds.shape.n[0] << " " << ds.shape.n[1] << " " << ds.shape.n[2]
+     << " " << ds.shape.n[3] << "\n";
+  mf << ds.num_blocks << " " << shards << "\n";
+  for (std::size_t n : layout.blocks_per_shard) mf << n << " ";
+  mf << "\n";
+  if (!mf) throw std::runtime_error("manifest write failed");
+  return total;
+}
+
+CompressedDatasetInfo read_manifest(const std::string& dir,
+                                    const std::string& basename) {
+  std::ifstream mf(manifest_path(dir, basename));
+  if (!mf) throw std::runtime_error("cannot open manifest");
+  std::string magic;
+  std::getline(mf, magic);
+  if (magic != kManifestMagic) {
+    throw std::runtime_error("bad manifest magic");
+  }
+  CompressedDatasetInfo info;
+  std::getline(mf, info.label);
+  for (auto& n : info.shape.n) {
+    unsigned v;
+    mf >> v;
+    n = static_cast<std::uint16_t>(v);
+  }
+  mf >> info.num_blocks >> info.layout.num_shards;
+  info.layout.blocks_per_shard.resize(info.layout.num_shards);
+  for (auto& n : info.layout.blocks_per_shard) mf >> n;
+  if (!mf) throw std::runtime_error("truncated manifest");
+  return info;
+}
+
+qc::EriDataset read_compressed_dataset(const std::string& dir,
+                                       const std::string& basename) {
+  const CompressedDatasetInfo info = read_manifest(dir, basename);
+  qc::EriDataset ds;
+  ds.label = info.label;
+  ds.shape = info.shape;
+  ds.num_blocks = info.num_blocks;
+  ds.values.reserve(info.num_blocks * info.shape.block_size());
+  for (std::size_t s = 0; s < info.layout.num_shards; ++s) {
+    const auto bytes = read_rank_file(dir, basename, static_cast<int>(s));
+    const auto values = decompress(bytes);
+    if (values.size() !=
+        info.layout.blocks_per_shard[s] * info.shape.block_size()) {
+      throw std::runtime_error("shard size mismatch");
+    }
+    ds.values.insert(ds.values.end(), values.begin(), values.end());
+  }
+  return ds;
+}
+
+}  // namespace pastri::io

@@ -1,0 +1,46 @@
+// compressed_file.h - On-disk container for PaSTRI-compressed ERI
+// datasets, sharded file-per-process as the paper's Bebop experiment
+// does ("file-per-process mode with POSIX I/O on each process").
+//
+// Each shard is an independent PaSTRI stream over a contiguous range of
+// blocks, so ranks can dump and load their shards with no coordination;
+// a small manifest records the dataset metadata and shard layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pastri.h"
+#include "qc/dataset.h"
+
+namespace pastri::io {
+
+struct ShardLayout {
+  std::size_t num_shards = 1;
+  std::vector<std::size_t> blocks_per_shard;  ///< one entry per shard
+};
+
+/// Compress `ds` into `num_shards` independent streams under
+/// `<dir>/<basename>.manifest` + `<dir>/<basename>.<shard>`.
+/// Returns the total compressed bytes written.
+std::size_t write_compressed_dataset(const qc::EriDataset& ds,
+                                     const Params& params, int num_shards,
+                                     const std::string& dir,
+                                     const std::string& basename);
+
+/// Load a dataset written by write_compressed_dataset.  Values satisfy
+/// the stream's error bound relative to the originals.
+qc::EriDataset read_compressed_dataset(const std::string& dir,
+                                       const std::string& basename);
+
+/// Read only the manifest (label, shape, shard layout).
+struct CompressedDatasetInfo {
+  std::string label;
+  qc::BlockShape shape;
+  std::size_t num_blocks = 0;
+  ShardLayout layout;
+};
+CompressedDatasetInfo read_manifest(const std::string& dir,
+                                    const std::string& basename);
+
+}  // namespace pastri::io

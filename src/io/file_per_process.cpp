@@ -1,0 +1,84 @@
+#include "io/file_per_process.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace pastri::io {
+namespace {
+
+std::string rank_path(const std::string& dir, const std::string& basename,
+                      int rank) {
+  return dir + "/" + basename + "." + std::to_string(rank);
+}
+
+}  // namespace
+
+void write_rank_file(const std::string& dir, const std::string& basename,
+                     int rank, std::span<const std::uint8_t> data) {
+  const std::string path = rank_path(dir, basename, rank);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_rank_file(const std::string& dir,
+                                         const std::string& basename,
+                                         int rank) {
+  const std::string path = rank_path(dir, basename, rank);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(data.data()), size);
+  if (!f) throw std::runtime_error("read failed: " + path);
+  return data;
+}
+
+bool remove_rank_file(const std::string& dir, const std::string& basename,
+                      int rank) {
+  std::error_code ec;
+  return std::filesystem::remove(rank_path(dir, basename, rank), ec);
+}
+
+double timed_dump(const std::string& dir, const std::string& basename,
+                  int ranks, std::span<const std::uint8_t> data) {
+  if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t chunk = (data.size() + ranks - 1) / ranks;
+  for (int r = 0; r < ranks; ++r) {
+    const std::size_t off = static_cast<std::size_t>(r) * chunk;
+    if (off >= data.size()) {
+      write_rank_file(dir, basename, r, {});
+      continue;
+    }
+    write_rank_file(dir, basename, r,
+                    data.subspan(off, std::min(chunk, data.size() - off)));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::uint8_t> timed_load(const std::string& dir,
+                                     const std::string& basename, int ranks,
+                                     double* seconds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint8_t> out;
+  for (int r = 0; r < ranks; ++r) {
+    const auto part = read_rank_file(dir, basename, r);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  if (seconds) {
+    *seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  }
+  return out;
+}
+
+}  // namespace pastri::io

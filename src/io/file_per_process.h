@@ -1,0 +1,41 @@
+// file_per_process.h - POSIX file-per-process dump/load, the I/O pattern
+// the paper uses on GPFS ("file-per-process mode with POSIX I/O on each
+// process", Section V-A).  Locally this exercises the real read/write
+// path; the Fig. 10 bench combines it with the PfsModel to extrapolate
+// to cluster scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pastri::io {
+
+/// Write `data` as `<dir>/<basename>.<rank>` (created/truncated).
+/// Throws std::runtime_error on failure.
+void write_rank_file(const std::string& dir, const std::string& basename,
+                     int rank, std::span<const std::uint8_t> data);
+
+/// Read back a rank file written by write_rank_file.
+std::vector<std::uint8_t> read_rank_file(const std::string& dir,
+                                         const std::string& basename,
+                                         int rank);
+
+/// Remove a rank file (best-effort; returns false if it did not exist).
+bool remove_rank_file(const std::string& dir, const std::string& basename,
+                      int rank);
+
+/// Dump `data` split evenly over `ranks` files, each written serially;
+/// returns total elapsed seconds.  Used to measure the local single-node
+/// write rate that seeds the PfsModel.
+double timed_dump(const std::string& dir, const std::string& basename,
+                  int ranks, std::span<const std::uint8_t> data);
+
+/// Load previously dumped rank files back into one buffer; returns
+/// elapsed seconds via `*seconds` (may be null).
+std::vector<std::uint8_t> timed_load(const std::string& dir,
+                                     const std::string& basename, int ranks,
+                                     double* seconds);
+
+}  // namespace pastri::io

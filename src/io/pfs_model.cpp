@@ -1,0 +1,41 @@
+#include "io/pfs_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pastri::io {
+
+double PfsModel::aggregate_bandwidth(int cores) const {
+  if (cores < 1) throw std::invalid_argument("cores must be >= 1");
+  const double n = static_cast<double>(cores);
+  const double linear = n * per_core_bandwidth_mbps;
+  const double saturating =
+      peak_bandwidth_mbps * n / (n + half_saturation_cores);
+  return std::min(linear, saturating);
+}
+
+IoTimes dump_time(const PfsModel& pfs, const CodecProfile& codec,
+                  double total_data_mb, int cores) {
+  IoTimes t;
+  const double per_core_mb = total_data_mb / cores;
+  t.compute_seconds = per_core_mb / codec.compress_rate_mbps;
+  const double compressed_mb = total_data_mb / codec.compression_ratio;
+  t.io_seconds = compressed_mb / pfs.aggregate_bandwidth(cores);
+  return t;
+}
+
+IoTimes load_time(const PfsModel& pfs, const CodecProfile& codec,
+                  double total_data_mb, int cores) {
+  IoTimes t;
+  const double compressed_mb = total_data_mb / codec.compression_ratio;
+  t.io_seconds = compressed_mb / pfs.aggregate_bandwidth(cores);
+  const double per_core_mb = total_data_mb / cores;
+  t.compute_seconds = per_core_mb / codec.decompress_rate_mbps;
+  return t;
+}
+
+double raw_io_time(const PfsModel& pfs, double total_data_mb, int cores) {
+  return total_data_mb / pfs.aggregate_bandwidth(cores);
+}
+
+}  // namespace pastri::io

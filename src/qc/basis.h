@@ -1,0 +1,42 @@
+// basis.h - Synthetic basis-set builder for BF configurations.
+//
+// The paper's datasets are named by BF configuration -- (dd|dd), (ff|ff),
+// and d/f hybrids -- i.e. by which shell types form the ERI blocks.  We
+// build a basis by placing one shell of the requested angular momentum on
+// every heavy atom, with element-dependent exponents so the shapes vary
+// across shells as they do in real basis sets.
+#pragma once
+
+#include <vector>
+
+#include "qc/molecule.h"
+
+namespace pastri::qc {
+
+struct BasisOptions {
+  int l = 2;                ///< shell angular momentum (2=d, 3=f)
+  int contraction = 1;      ///< primitives per shell
+  int shells_per_atom = 2;  ///< tight->diffuse exponent spread, as in
+                            ///< triple-zeta polarization sets
+  bool heavy_atoms_only = false;  ///< real sets put d (and f) on H too
+  double exponent_scale = 1.0;    ///< global scale knob for exponents
+};
+
+/// A basis: a flat list of shells over a molecule.
+struct BasisSet {
+  std::vector<Shell> shells;
+
+  std::size_t num_shells() const { return shells.size(); }
+  std::size_t num_basis_functions() const {
+    std::size_t n = 0;
+    for (const auto& s : shells) n += s.num_components();
+    return n;
+  }
+};
+
+/// Place one shell of momentum `opt.l` on each (heavy) atom.
+/// Exponents depend on the element (C/N/O differ) and, for contracted
+/// shells, form a small even-tempered series; shells are normalized.
+BasisSet make_basis(const Molecule& mol, const BasisOptions& opt);
+
+}  // namespace pastri::qc

@@ -1,0 +1,64 @@
+#include "qc/cartesian.h"
+
+#include <cassert>
+
+namespace pastri::qc {
+namespace {
+
+constexpr std::array<CartComponent, 1> kS{{{0, 0, 0}}};
+constexpr std::array<CartComponent, 3> kP{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+constexpr std::array<CartComponent, 6> kD{{
+    {2, 0, 0}, {0, 2, 0}, {0, 0, 2}, {1, 1, 0}, {1, 0, 1}, {0, 1, 1}}};
+constexpr std::array<CartComponent, 10> kF{{
+    {3, 0, 0}, {0, 3, 0}, {0, 0, 3}, {2, 1, 0}, {2, 0, 1},
+    {1, 2, 0}, {0, 2, 1}, {1, 0, 2}, {0, 1, 2}, {1, 1, 1}}};
+constexpr std::array<CartComponent, 15> kG{{
+    {4, 0, 0}, {0, 4, 0}, {0, 0, 4}, {3, 1, 0}, {3, 0, 1},
+    {1, 3, 0}, {0, 3, 1}, {1, 0, 3}, {0, 1, 3}, {2, 2, 0},
+    {2, 0, 2}, {0, 2, 2}, {2, 1, 1}, {1, 2, 1}, {1, 1, 2}}};
+
+constexpr const char* kLabels[5][15] = {
+    {"1"},
+    {"x", "y", "z"},
+    {"xx", "yy", "zz", "xy", "xz", "yz"},
+    {"xxx", "yyy", "zzz", "xxy", "xxz", "xyy", "yyz", "xzz", "yzz", "xyz"},
+    {"xxxx", "yyyy", "zzzz", "xxxy", "xxxz", "xyyy", "yyyz", "xzzz", "yzzz",
+     "xxyy", "xxzz", "yyzz", "xxyz", "xyyz", "xyzz"}};
+
+}  // namespace
+
+std::span<const CartComponent> cartesian_components(int l) {
+  assert(l >= 0 && l <= kMaxAngularMomentum);
+  switch (l) {
+    case 0: return kS;
+    case 1: return kP;
+    case 2: return kD;
+    case 3: return kF;
+    default: return kG;
+  }
+}
+
+char shell_letter(int l) {
+  assert(l >= 0 && l <= kMaxAngularMomentum);
+  constexpr char names[] = {'s', 'p', 'd', 'f', 'g'};
+  return names[l];
+}
+
+int shell_momentum(char letter) {
+  switch (letter) {
+    case 's': return 0;
+    case 'p': return 1;
+    case 'd': return 2;
+    case 'f': return 3;
+    case 'g': return 4;
+    default: return -1;
+  }
+}
+
+std::string_view component_label(int l, int index) {
+  assert(l >= 0 && l <= kMaxAngularMomentum);
+  assert(index >= 0 && index < num_cartesians(l));
+  return kLabels[l][index];
+}
+
+}  // namespace pastri::qc

@@ -1,0 +1,54 @@
+// cartesian.h - Cartesian Gaussian angular-momentum bookkeeping.
+//
+// A shell of total angular momentum L contains (L+1)(L+2)/2 Cartesian
+// basis functions x^i y^j z^k (i+j+k = L).  GAMESS enumerates them in a
+// fixed order per shell type; PaSTRI's sub-block pattern structure is a
+// function of this ordering, so we pin it down here once and use it for
+// both integral generation and block layout.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace pastri::qc {
+
+/// One Cartesian component: exponents of x, y, z.
+struct CartComponent {
+  std::uint8_t lx = 0, ly = 0, lz = 0;
+  constexpr int total() const { return lx + ly + lz; }
+};
+
+/// Highest shell angular momentum supported (s=0 ... g=4).
+inline constexpr int kMaxAngularMomentum = 4;
+
+/// Number of Cartesian components of a shell with angular momentum l.
+constexpr int num_cartesians(int l) { return (l + 1) * (l + 2) / 2; }
+
+/// GAMESS-style component ordering for each shell type:
+///   s : 1
+///   p : x y z
+///   d : xx yy zz xy xz yz
+///   f : xxx yyy zzz xxy xxz xyy yyz xzz yzz xyz
+///   g : xxxx yyyy zzzz xxxy xxxz xyyy yyyz xzzz yzzz xxyy xxzz yyzz
+///       xxyz xyyz xyzz
+std::span<const CartComponent> cartesian_components(int l);
+
+/// One-letter shell name for angular momentum l ("s","p","d","f","g").
+char shell_letter(int l);
+
+/// Inverse of shell_letter; returns -1 for unknown letters.
+int shell_momentum(char letter);
+
+/// Human-readable component label, e.g. "xxy" ("1" for s).
+std::string_view component_label(int l, int index);
+
+/// Double factorial (2n-1)!! with (-1)!! = 1, used in normalization.
+constexpr double double_factorial_odd(int n) {
+  double r = 1.0;
+  for (int k = 2 * n - 1; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+}  // namespace pastri::qc

@@ -1,0 +1,97 @@
+#include "qc/compressed_eri_store.h"
+
+#include "qc/md_eri.h"
+#include "qc/one_electron.h"
+
+namespace pastri::qc {
+
+CompressedEriStore::CompressedEriStore(const BasisSet& basis,
+                                       const Params& params) {
+  n_ = basis.num_basis_functions();
+  shell_offset_.assign(basis.shells.size() + 1, 0);
+  shell_l_.resize(basis.shells.size());
+  for (std::size_t s = 0; s < basis.shells.size(); ++s) {
+    shell_offset_[s + 1] =
+        shell_offset_[s] + basis.shells[s].num_components();
+    shell_l_[s] = basis.shells[s].l;
+  }
+
+  // Group quartets by configuration class and collect raw block values.
+  std::map<std::array<int, 4>, std::vector<double>> raw;
+  std::vector<double> block;
+  const std::size_t ns = basis.shells.size();
+  for (std::size_t a = 0; a < ns; ++a) {
+    for (std::size_t b = 0; b < ns; ++b) {
+      for (std::size_t c = 0; c < ns; ++c) {
+        for (std::size_t d = 0; d < ns; ++d) {
+          const std::array<int, 4> cls{shell_l_[a], shell_l_[b],
+                                       shell_l_[c], shell_l_[d]};
+          ClassData& cd = streams_[cls];
+          if (cd.quartets.empty()) {
+            cd.spec.num_sub_blocks =
+                static_cast<std::size_t>(num_cartesians(cls[0])) *
+                num_cartesians(cls[1]);
+            cd.spec.sub_block_size =
+                static_cast<std::size_t>(num_cartesians(cls[2])) *
+                num_cartesians(cls[3]);
+          }
+          cd.quartets.push_back({a, b, c, d});
+          block.resize(cd.spec.block_size());
+          compute_eri_block(basis.shells[a], basis.shells[b],
+                            basis.shells[c], basis.shells[d], block);
+          auto& values = raw[cls];
+          values.insert(values.end(), block.begin(), block.end());
+        }
+      }
+    }
+  }
+
+  for (auto& [cls, cd] : streams_) {
+    const auto& values = raw[cls];
+    uncompressed_bytes_ += values.size() * sizeof(double);
+    cd.stream = compress(values, cd.spec, params);
+  }
+}
+
+EriTensor CompressedEriStore::materialize() const {
+  EriTensor eri(n_ * n_ * n_ * n_, 0.0);
+  for (const auto& [cls, cd] : streams_) {
+    const std::vector<double> values = decompress(cd.stream);
+    const std::size_t bs = cd.spec.block_size();
+    const std::size_t na = static_cast<std::size_t>(num_cartesians(cls[0]));
+    const std::size_t nb = static_cast<std::size_t>(num_cartesians(cls[1]));
+    const std::size_t nc = static_cast<std::size_t>(num_cartesians(cls[2]));
+    const std::size_t nd = static_cast<std::size_t>(num_cartesians(cls[3]));
+    for (std::size_t q = 0; q < cd.quartets.size(); ++q) {
+      const auto [sa, sb, sc, sd] = cd.quartets[q];
+      const double* blk = values.data() + q * bs;
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < na; ++i) {
+        for (std::size_t j = 0; j < nb; ++j) {
+          for (std::size_t k = 0; k < nc; ++k) {
+            for (std::size_t l = 0; l < nd; ++l, ++idx) {
+              const std::size_t mu = shell_offset_[sa] + i;
+              const std::size_t nu = shell_offset_[sb] + j;
+              const std::size_t la = shell_offset_[sc] + k;
+              const std::size_t si = shell_offset_[sd] + l;
+              eri[((mu * n_ + nu) * n_ + la) * n_ + si] = blk[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return eri;
+}
+
+std::size_t CompressedEriStore::compressed_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [cls, cd] : streams_) total += cd.stream.size();
+  return total;
+}
+
+std::size_t CompressedEriStore::uncompressed_bytes() const {
+  return uncompressed_bytes_;
+}
+
+}  // namespace pastri::qc

@@ -1,0 +1,55 @@
+// compressed_eri_store.h - ERIs held in PaSTRI-compressed form, the
+// paper's Fig. 11 infrastructure: "generating the data once, then
+// compressing it once by using PaSTRI, and then decompressing it
+// whenever it is needed again."
+//
+// A general basis mixes shell types, so blocks come in several shapes;
+// PaSTRI streams are per-BF-configuration (the paper's datasets are
+// organized the same way).  The store groups shell quartets by their
+// (lA lB | lC lD) class, keeps one compressed stream per class, and
+// materializes the dense ERI tensor on demand -- e.g. once per SCF
+// iteration in an out-of-core run.
+#pragma once
+
+#include <map>
+
+#include "core/pastri.h"
+#include "qc/scf.h"
+
+namespace pastri::qc {
+
+class CompressedEriStore {
+ public:
+  /// Compute all shell-quartet blocks of `basis` and compress them,
+  /// one PaSTRI stream per quartet class.
+  CompressedEriStore(const BasisSet& basis, const Params& params);
+
+  /// Decompress everything into the dense (mu nu | la si) tensor.
+  /// Every value is within the error bound of the exact integral.
+  EriTensor materialize() const;
+
+  std::size_t compressed_bytes() const;
+  std::size_t uncompressed_bytes() const;
+  double ratio() const {
+    return compressed_bytes()
+               ? static_cast<double>(uncompressed_bytes()) /
+                     static_cast<double>(compressed_bytes())
+               : 0.0;
+  }
+  std::size_t num_classes() const { return streams_.size(); }
+
+ private:
+  struct ClassData {
+    BlockSpec spec;
+    std::vector<std::array<std::size_t, 4>> quartets;  ///< shell indices
+    std::vector<std::uint8_t> stream;
+  };
+
+  std::size_t n_ = 0;  ///< number of basis functions
+  std::vector<std::size_t> shell_offset_;
+  std::vector<int> shell_l_;
+  std::map<std::array<int, 4>, ClassData> streams_;
+  std::size_t uncompressed_bytes_ = 0;
+};
+
+}  // namespace pastri::qc

@@ -1,0 +1,81 @@
+#include "qc/dataset.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "qc/cartesian.h"
+
+namespace pastri::qc {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'a', 'S', 'T', 'R', 'I', 'd', 's'};
+
+int momentum_from_components(int ncomp) {
+  for (int l = 0; l <= kMaxAngularMomentum; ++l) {
+    if (num_cartesians(l) == ncomp) return l;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string BlockShape::config_name() const {
+  std::string s = "(";
+  for (int i = 0; i < 4; ++i) {
+    const int l = momentum_from_components(n[i]);
+    s += (l >= 0) ? shell_letter(l) : '?';
+    if (i == 1) s += '|';
+  }
+  s += ')';
+  return s;
+}
+
+void save_dataset(const EriDataset& ds, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  f.write(kMagic, sizeof(kMagic));
+  const std::uint32_t label_len = static_cast<std::uint32_t>(ds.label.size());
+  f.write(reinterpret_cast<const char*>(&label_len), sizeof(label_len));
+  f.write(ds.label.data(), label_len);
+  for (auto v : ds.shape.n) {
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  const std::uint64_t nblocks = ds.num_blocks;
+  f.write(reinterpret_cast<const char*>(&nblocks), sizeof(nblocks));
+  f.write(reinterpret_cast<const char*>(ds.values.data()),
+          static_cast<std::streamsize>(ds.values.size() * sizeof(double)));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+EriDataset load_dataset(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("bad dataset magic: " + path);
+  }
+  EriDataset ds;
+  std::uint32_t label_len = 0;
+  f.read(reinterpret_cast<char*>(&label_len), sizeof(label_len));
+  if (!f || label_len > (1u << 20)) {
+    throw std::runtime_error("bad dataset label: " + path);
+  }
+  ds.label.resize(label_len);
+  f.read(ds.label.data(), label_len);
+  for (auto& v : ds.shape.n) {
+    f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  }
+  std::uint64_t nblocks = 0;
+  f.read(reinterpret_cast<char*>(&nblocks), sizeof(nblocks));
+  if (!f) throw std::runtime_error("truncated dataset header: " + path);
+  ds.num_blocks = nblocks;
+  ds.values.resize(nblocks * ds.shape.block_size());
+  f.read(reinterpret_cast<char*>(ds.values.data()),
+         static_cast<std::streamsize>(ds.values.size() * sizeof(double)));
+  if (!f) throw std::runtime_error("truncated dataset values: " + path);
+  return ds;
+}
+
+}  // namespace pastri::qc

@@ -1,0 +1,59 @@
+// dataset.h - ERI dataset container: a stream of equally-shaped 4-D shell
+// blocks flattened to 1-D, exactly the layout GAMESS hands to PaSTRI.
+//
+// Block layout (Fig. 2 of the paper): element (ia, ib, ic, id) of block
+// (AB|CD) lives at ((ia*nB + ib)*nC + ic)*nD + id.  A *sub-block* is one
+// contiguous run of nC*nD values at fixed (ia, ib); there are nA*nB
+// sub-blocks per block (Algorithm 1 lines 3-4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pastri::qc {
+
+/// Shape of every block in a dataset, as component counts of the four
+/// shells (e.g. (dd|dd) -> {6,6,6,6}, (fd|ff) -> {10,6,10,10}).
+struct BlockShape {
+  std::array<std::uint16_t, 4> n{1, 1, 1, 1};
+
+  std::size_t block_size() const {
+    return std::size_t{n[0]} * n[1] * n[2] * n[3];
+  }
+  std::size_t num_sub_blocks() const { return std::size_t{n[0]} * n[1]; }
+  std::size_t sub_block_size() const { return std::size_t{n[2]} * n[3]; }
+
+  bool operator==(const BlockShape&) const = default;
+
+  /// Human-readable configuration name, e.g. "(dd|dd)".
+  std::string config_name() const;
+};
+
+/// A dataset: metadata plus the concatenated block values.
+struct EriDataset {
+  std::string label;      ///< e.g. "benzene (dd|dd)"
+  BlockShape shape;
+  std::size_t num_blocks = 0;
+  std::vector<double> values;  ///< num_blocks * shape.block_size() doubles
+
+  std::size_t size_bytes() const { return values.size() * sizeof(double); }
+
+  std::span<const double> block(std::size_t b) const {
+    const std::size_t bs = shape.block_size();
+    return {values.data() + b * bs, bs};
+  }
+  std::span<double> block(std::size_t b) {
+    const std::size_t bs = shape.block_size();
+    return {values.data() + b * bs, bs};
+  }
+};
+
+/// Serialize to / from a simple binary container (magic + header + raw
+/// doubles).  Throws std::runtime_error on I/O or format errors.
+void save_dataset(const EriDataset& ds, const std::string& path);
+EriDataset load_dataset(const std::string& path);
+
+}  // namespace pastri::qc

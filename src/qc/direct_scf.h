@@ -1,0 +1,44 @@
+// direct_scf.h - Integral-direct Fock construction.
+//
+// The "Original" arm of the paper's Fig. 11: instead of storing ERIs
+// (raw or compressed), recompute every shell-quartet block on the fly
+// each time the Fock matrix is built, skipping quartets that fail the
+// Cauchy-Schwarz screen -- the standard direct-SCF mode of GAMESS.
+// Comparing this against `CompressedEriStore` + `run_rhf` is the
+// recompute-vs-decompress trade the paper quantifies.
+#pragma once
+
+#include "qc/scf.h"
+
+namespace pastri::qc {
+
+/// Precomputed screening data for a basis (Schwarz bounds per shell
+/// pair), reused across Fock builds.
+class DirectFockBuilder {
+ public:
+  explicit DirectFockBuilder(const BasisSet& basis,
+                             double screen_threshold = 1e-12);
+
+  /// G(D): the two-electron part of the Fock matrix for density D,
+  /// built by recomputing every surviving shell quartet.
+  Matrix build_g(const Matrix& density) const;
+
+  /// Number of shell quartets skipped by screening in the last build.
+  std::size_t last_screened() const { return last_screened_; }
+  std::size_t total_quartets() const;
+
+ private:
+  const BasisSet& basis_;
+  double threshold_;
+  std::vector<std::size_t> offset_;
+  std::vector<double> schwarz_;  ///< per shell pair
+  mutable std::size_t last_screened_ = 0;
+};
+
+/// Restricted Hartree-Fock with direct (recomputed) integrals.
+/// Produces the same fixed point as run_rhf on the dense tensor.
+ScfResult run_rhf_direct(const Molecule& mol, const BasisSet& basis,
+                         const ScfOptions& opt = {},
+                         double screen_threshold = 1e-12);
+
+}  // namespace pastri::qc

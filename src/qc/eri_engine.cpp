@@ -1,0 +1,195 @@
+#include "qc/eri_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pastri::qc {
+namespace {
+
+/// One basis per distinct angular momentum used by the configuration.
+struct SlotShells {
+  std::array<const std::vector<Shell>*, 4> slot{};
+  std::array<BasisSet, kMaxAngularMomentum + 1> by_l;
+};
+
+SlotShells build_slot_shells(const Molecule& mol, const DatasetOptions& opt) {
+  SlotShells s;
+  std::array<bool, kMaxAngularMomentum + 1> built{};
+  for (int i = 0; i < 4; ++i) {
+    const int l = opt.config[i];
+    if (l < 0 || l > kMaxAngularMomentum) {
+      throw std::invalid_argument("configuration momentum out of range");
+    }
+    if (!built[l]) {
+      BasisOptions bo;
+      bo.l = l;
+      bo.contraction = opt.contraction;
+      s.by_l[l] = make_basis(mol, bo);
+      built[l] = true;
+    }
+    s.slot[i] = &s.by_l[l].shells;
+  }
+  return s;
+}
+
+/// Sample `k` distinct values from [0, n) deterministically; returned
+/// sorted so the dataset block order is stable across runs.
+std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k,
+                                        std::uint64_t seed) {
+  std::vector<std::size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  // Floyd's algorithm: k iterations, no O(n) storage.
+  std::mt19937_64 rng(seed);
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::uniform_int_distribution<std::size_t> dist(0, j);
+    const std::size_t t = dist(rng);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::array<int, 4> parse_config(const std::string& name) {
+  std::string letters;
+  for (char c : name) {
+    if (c == '(' || c == ')' || c == '|' || c == ' ') continue;
+    letters += c;
+  }
+  if (letters.size() != 4) {
+    throw std::invalid_argument("config must name four shells: " + name);
+  }
+  std::array<int, 4> cfg{};
+  for (int i = 0; i < 4; ++i) {
+    const int l = shell_momentum(letters[i]);
+    if (l < 0) throw std::invalid_argument("bad shell letter in: " + name);
+    cfg[i] = l;
+  }
+  return cfg;
+}
+
+EriDataset generate_eri_dataset(const Molecule& mol,
+                                const DatasetOptions& opt) {
+  const SlotShells shells = build_slot_shells(mol, opt);
+  const auto& s0 = *shells.slot[0];
+  const auto& s1 = *shells.slot[1];
+  const auto& s2 = *shells.slot[2];
+  const auto& s3 = *shells.slot[3];
+  if (s0.empty() || s1.empty() || s2.empty() || s3.empty()) {
+    throw std::invalid_argument("molecule yields no shells for this config");
+  }
+
+  EriDataset ds;
+  ds.shape.n = {static_cast<std::uint16_t>(num_cartesians(opt.config[0])),
+                static_cast<std::uint16_t>(num_cartesians(opt.config[1])),
+                static_cast<std::uint16_t>(num_cartesians(opt.config[2])),
+                static_cast<std::uint16_t>(num_cartesians(opt.config[3]))};
+  ds.label = mol.name + " " + ds.shape.config_name();
+
+  const std::size_t block_size = ds.shape.block_size();
+  std::size_t max_blocks = opt.max_blocks;
+  if (opt.target_bytes != 0) {
+    max_blocks = std::max<std::size_t>(
+        1, opt.target_bytes / (block_size * sizeof(double)));
+  }
+
+  const std::size_t total =
+      s0.size() * s1.size() * s2.size() * s3.size();
+  const auto indices = sample_indices(total, std::min(total, max_blocks),
+                                      opt.seed);
+
+  // Schwarz bounds per bra pair / ket pair (pure configurations share one
+  // table between bra and ket).
+  std::vector<double> q_bra(s0.size() * s1.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(s0.size());
+       ++i) {
+    for (std::size_t j = 0; j < s1.size(); ++j) {
+      q_bra[static_cast<std::size_t>(i) * s1.size() + j] =
+          schwarz_bound(s0[static_cast<std::size_t>(i)], s1[j]);
+    }
+  }
+  std::vector<double> q_ket;
+  if (&s2 == &s0 && &s3 == &s1) {
+    q_ket = q_bra;
+  } else {
+    q_ket.resize(s2.size() * s3.size());
+#pragma omp parallel for schedule(dynamic)
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(s2.size());
+         ++k) {
+      for (std::size_t l = 0; l < s3.size(); ++l) {
+        q_ket[static_cast<std::size_t>(k) * s3.size() + l] =
+            schwarz_bound(s2[static_cast<std::size_t>(k)], s3[l]);
+      }
+    }
+  }
+
+  // Decide which sampled quartets survive screening.
+  struct Item {
+    std::size_t i, j, k, l;
+    bool screened;
+  };
+  std::vector<Item> items;
+  items.reserve(indices.size());
+  for (std::size_t flat : indices) {
+    Item it;
+    it.l = flat % s3.size();
+    flat /= s3.size();
+    it.k = flat % s2.size();
+    flat /= s2.size();
+    it.j = flat % s1.size();
+    it.i = flat / s1.size();
+    it.screened = q_bra[it.i * s1.size() + it.j] *
+                      q_ket[it.k * s3.size() + it.l] <
+                  opt.screen_threshold;
+    if (it.screened && !opt.keep_screened) continue;
+    items.push_back(it);
+  }
+
+  ds.num_blocks = items.size();
+  ds.values.assign(ds.num_blocks * block_size, 0.0);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(items.size());
+       ++b) {
+    const Item& it = items[static_cast<std::size_t>(b)];
+    if (it.screened) continue;  // stays all-zero
+    compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
+                      ds.block(static_cast<std::size_t>(b)));
+  }
+  return ds;
+}
+
+std::vector<double> compute_block(const Shell& A, const Shell& B,
+                                  const Shell& C, const Shell& D) {
+  std::vector<double> out(
+      static_cast<std::size_t>(num_cartesians(A.l)) * num_cartesians(B.l) *
+      num_cartesians(C.l) * num_cartesians(D.l));
+  compute_eri_block(A, B, C, D, out);
+  return out;
+}
+
+double measure_generation_rate(const Molecule& mol, const DatasetOptions& opt,
+                               std::size_t blocks) {
+  DatasetOptions o = opt;
+  o.max_blocks = blocks;
+  o.target_bytes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const EriDataset ds = generate_eri_dataset(mol, o);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return (static_cast<double>(ds.size_bytes()) / 1e6) / std::max(secs, 1e-9);
+}
+
+}  // namespace pastri::qc

@@ -1,0 +1,62 @@
+// eri_engine.h - Shell-quartet enumeration, Schwarz screening, and
+// dataset generation: the GAMESS-side substrate that feeds PaSTRI.
+//
+// The paper's datasets are streams of shell blocks for one BF
+// configuration at a time -- (dd|dd), (ff|ff), hybrids -- sampled down to
+// a practical size.  `generate_eri_dataset` reproduces that: it builds
+// shells of the requested momenta on the molecule's heavy atoms,
+// enumerates all ordered shell quartets, draws a deterministic uniform
+// sample, and evaluates each block with the McMurchie-Davidson engine.
+// Quartets failing the Schwarz bound are emitted as all-zero blocks,
+// matching the paper's "screened elements are represented as zeros".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "qc/basis.h"
+#include "qc/dataset.h"
+#include "qc/md_eri.h"
+#include "qc/molecule.h"
+
+namespace pastri::qc {
+
+struct DatasetOptions {
+  /// BF configuration: angular momentum of each of the four shell slots.
+  std::array<int, 4> config{2, 2, 2, 2};  // default (dd|dd)
+
+  int contraction = 1;        ///< primitives per shell
+  std::uint64_t seed = 12345; ///< sampling seed (deterministic)
+
+  /// Cap on the number of blocks; if `target_bytes` is nonzero it wins.
+  std::size_t max_blocks = std::numeric_limits<std::size_t>::max();
+  std::size_t target_bytes = 0;
+
+  /// Schwarz product threshold below which a quartet is screened out
+  /// (emitted as zeros).  GAMESS uses ~1e-10..1e-12 integral cutoffs.
+  double screen_threshold = 1e-12;
+
+  /// If false, screened quartets are dropped from the sample instead of
+  /// being stored as zero blocks.
+  bool keep_screened = true;
+};
+
+/// Parse "(dd|dd)"-style names ("dddd", "(fd|ff)", ...) into a config.
+/// Throws std::invalid_argument on malformed names.
+std::array<int, 4> parse_config(const std::string& name);
+
+/// Generate a sampled ERI dataset for `mol` under `opt`.
+EriDataset generate_eri_dataset(const Molecule& mol,
+                                const DatasetOptions& opt);
+
+/// Compute a single shell-quartet block for externally built shells
+/// (thin wrapper over compute_eri_block that allocates the output).
+std::vector<double> compute_block(const Shell& A, const Shell& B,
+                                  const Shell& C, const Shell& D);
+
+/// Throughput measurement helper for Fig. 11: evaluates `blocks` sampled
+/// blocks and returns generated MB per second of wall time.
+double measure_generation_rate(const Molecule& mol, const DatasetOptions& opt,
+                               std::size_t blocks);
+
+}  // namespace pastri::qc

@@ -1,0 +1,87 @@
+#include "qc/gamess_text.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pastri::qc {
+
+void write_gamess_text(const EriDataset& ds, std::ostream& out) {
+  out << "$ERIDATA " << ds.label << "\n";
+  out << "$SHAPE " << ds.shape.n[0] << " " << ds.shape.n[1] << " "
+      << ds.shape.n[2] << " " << ds.shape.n[3] << "\n";
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const std::size_t bs = ds.shape.block_size();
+  for (std::size_t b = 0; b < ds.num_blocks; ++b) {
+    out << "$BLOCK " << b << "\n";
+    const auto block = ds.block(b);
+    for (std::size_t i = 0; i < bs; ++i) {
+      out << block[i] << ((i + 1) % 4 == 0 || i + 1 == bs ? "\n" : " ");
+    }
+  }
+  out << "$END\n";
+  if (!out) throw std::runtime_error("gamess_text: write failed");
+}
+
+void save_gamess_text(const EriDataset& ds, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  write_gamess_text(ds, f);
+}
+
+EriDataset read_gamess_text(std::istream& in) {
+  EriDataset ds;
+  std::string token;
+  if (!(in >> token) || token != "$ERIDATA") {
+    throw std::runtime_error("gamess_text: missing $ERIDATA header");
+  }
+  std::getline(in, ds.label);
+  // Trim the leading space from " label".
+  if (!ds.label.empty() && ds.label.front() == ' ') {
+    ds.label.erase(0, 1);
+  }
+  if (!(in >> token) || token != "$SHAPE") {
+    throw std::runtime_error("gamess_text: missing $SHAPE");
+  }
+  for (auto& n : ds.shape.n) {
+    unsigned v;
+    if (!(in >> v) || v == 0 || v > 0xFFFF) {
+      throw std::runtime_error("gamess_text: bad shape");
+    }
+    n = static_cast<std::uint16_t>(v);
+  }
+  const std::size_t bs = ds.shape.block_size();
+
+  while (in >> token) {
+    if (token == "$END") {
+      ds.num_blocks = ds.values.size() / bs;
+      return ds;
+    }
+    if (token != "$BLOCK") {
+      throw std::runtime_error("gamess_text: expected $BLOCK, got " +
+                               token);
+    }
+    std::size_t index;
+    if (!(in >> index) || index != ds.values.size() / bs) {
+      throw std::runtime_error("gamess_text: blocks out of order");
+    }
+    for (std::size_t i = 0; i < bs; ++i) {
+      double v;
+      if (!(in >> v)) {
+        throw std::runtime_error("gamess_text: truncated block values");
+      }
+      ds.values.push_back(v);
+    }
+  }
+  throw std::runtime_error("gamess_text: missing $END");
+}
+
+EriDataset load_gamess_text(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  return read_gamess_text(f);
+}
+
+}  // namespace pastri::qc

@@ -1,0 +1,32 @@
+// gamess_text.h - Text-format adapter for ERI block dumps.
+//
+// GAMESS deployments exchange integral data through dump files; this
+// adapter defines a simple, self-describing text format so datasets can
+// be moved in and out of this library without the binary container:
+//
+//   $ERIDATA label <free text>
+//   $SHAPE n0 n1 n2 n3
+//   $BLOCK <index>
+//   <block_size values, whitespace-separated, %.17g>
+//   ... one $BLOCK section per block ...
+//   $END
+//
+// Values survive a round trip bit-exactly (printed with max_digits10).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qc/dataset.h"
+
+namespace pastri::qc {
+
+/// Write a dataset in the text format (throws on I/O failure).
+void write_gamess_text(const EriDataset& ds, std::ostream& out);
+void save_gamess_text(const EriDataset& ds, const std::string& path);
+
+/// Parse the text format (throws std::runtime_error on malformed input).
+EriDataset read_gamess_text(std::istream& in);
+EriDataset load_gamess_text(const std::string& path);
+
+}  // namespace pastri::qc

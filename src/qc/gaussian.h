@@ -1,0 +1,87 @@
+// gaussian.h - Contracted Cartesian Gaussian shells.
+//
+// A shell is the GAMESS unit of ERI work: all (L+1)(L+2)/2 Cartesian
+// components share one center and one radial contraction.  ERI shell
+// blocks (pq|uv) -- the unit PaSTRI compresses -- are indexed by four
+// shells.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "qc/cartesian.h"
+
+namespace pastri::qc {
+
+using Vec3 = std::array<double, 3>;
+
+inline double dist2(const Vec3& a, const Vec3& b) {
+  const double dx = a[0] - b[0], dy = a[1] - b[1], dz = a[2] - b[2];
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// One primitive Gaussian in a contraction: coefficient * exp(-exponent r^2).
+struct Primitive {
+  double exponent = 1.0;
+  double coefficient = 1.0;
+};
+
+/// Normalization constant of a primitive Cartesian Gaussian
+/// x^lx y^ly z^lz exp(-a r^2) such that its self-overlap is 1.
+inline double primitive_norm(double a, int lx, int ly, int lz) {
+  const int L = lx + ly + lz;
+  const double pref = std::pow(2.0 * a / std::numbers::pi, 0.75);
+  const double num = std::pow(4.0 * a, 0.5 * L);
+  const double den = std::sqrt(double_factorial_odd(lx) *
+                               double_factorial_odd(ly) *
+                               double_factorial_odd(lz));
+  return pref * num / den;
+}
+
+/// A contracted shell of Cartesian Gaussians.
+struct Shell {
+  int l = 0;                        ///< total angular momentum (0=s ... 4=g)
+  Vec3 center{0, 0, 0};             ///< position in Bohr
+  std::vector<Primitive> primitives;
+  int atom_index = -1;              ///< owning atom in the molecule, or -1
+
+  int num_components() const { return num_cartesians(l); }
+
+  /// Normalize the contraction so the (L,0,0) component has unit norm,
+  /// folding per-primitive normalization into the coefficients.
+  /// (Per-component corrections for e.g. d_xy vs d_xx are applied at
+  /// integral time via `component_norm_ratio`.)
+  void normalize() {
+    for (auto& p : primitives) {
+      p.coefficient *= primitive_norm(p.exponent, l, 0, 0);
+    }
+    // Self-overlap of the contracted (L,0,0) component, using the closed
+    // form of the one-center overlap of two unnormalized x^L Gaussians:
+    //   <x^L e^{-a r^2} | x^L e^{-b r^2}> =
+    //       (2L-1)!! (pi/(a+b))^{3/2} / (2(a+b))^L
+    double s = 0.0;
+    for (const auto& pi : primitives) {
+      for (const auto& pj : primitives) {
+        const double gamma = pi.exponent + pj.exponent;
+        const double ov = double_factorial_odd(l) *
+                          std::pow(std::numbers::pi / gamma, 1.5) /
+                          std::pow(2.0 * gamma, l);
+        s += pi.coefficient * pj.coefficient * ov;
+      }
+    }
+    const double scale = 1.0 / std::sqrt(s);
+    for (auto& p : primitives) p.coefficient *= scale;
+  }
+};
+
+/// Ratio of the norm of component (lx,ly,lz) to the (L,0,0) component of
+/// the same shell, applied per Cartesian component at integral time.
+inline double component_norm_ratio(int l, const CartComponent& c) {
+  return std::sqrt(double_factorial_odd(l) /
+                   (double_factorial_odd(c.lx) * double_factorial_odd(c.ly) *
+                    double_factorial_odd(c.lz)));
+}
+
+}  // namespace pastri::qc

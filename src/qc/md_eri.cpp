@@ -1,0 +1,290 @@
+#include "qc/md_eri.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "qc/boys.h"
+
+namespace pastri::qc {
+
+// ---------------------------------------------------------------------------
+// HermiteE
+// ---------------------------------------------------------------------------
+
+HermiteE::HermiteE(int imax, int jmax, double a, double b, double Ax,
+                   double Bx)
+    : jmax_(jmax), tmax_(imax + jmax),
+      table_(static_cast<std::size_t>(imax + 1) * (jmax + 1) * (tmax_ + 1),
+             0.0) {
+  const double p = a + b;
+  const double mu = a * b / p;
+  const double X = Ax - Bx;
+  const double XPA = -b / p * X;  // P - A where P = (aA + bB)/p
+  const double XPB = a / p * X;   // P - B
+  const double inv2p = 0.5 / p;
+
+  auto E = [&](int i, int j, int t) -> double& {
+    return table_[index_(i, j, t)];
+  };
+
+  E(0, 0, 0) = std::exp(-mu * X * X);
+
+  // Build up in i with j = 0:
+  //   E_t^{i+1,0} = (1/2p) E_{t-1}^{i,0} + XPA E_t^{i,0} + (t+1) E_{t+1}^{i,0}
+  for (int i = 0; i < imax; ++i) {
+    for (int t = 0; t <= i + 1; ++t) {
+      double v = XPA * E(i, 0, t);
+      if (t > 0) v += inv2p * E(i, 0, t - 1);
+      if (t + 1 <= i) v += (t + 1) * E(i, 0, t + 1);
+      E(i + 1, 0, t) = v;
+    }
+  }
+  // Build up in j for every i:
+  //   E_t^{i,j+1} = (1/2p) E_{t-1}^{i,j} + XPB E_t^{i,j} + (t+1) E_{t+1}^{i,j}
+  for (int i = 0; i <= imax; ++i) {
+    for (int j = 0; j < jmax; ++j) {
+      for (int t = 0; t <= i + j + 1; ++t) {
+        double v = XPB * E(i, j, t);
+        if (t > 0) v += inv2p * E(i, j, t - 1);
+        if (t + 1 <= i + j) v += (t + 1) * E(i, j, t + 1);
+        E(i, j + 1, t) = v;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HermiteR
+// ---------------------------------------------------------------------------
+
+HermiteR::HermiteR(int lmax_total)
+    : lmax_(lmax_total), stride_(static_cast<std::size_t>(lmax_total) + 1) {
+  assert(lmax_total >= 0 && lmax_total <= kMaxBoysOrder);
+  r0_.assign(stride_ * stride_ * stride_, 0.0);
+  work_.assign((lmax_ + 1) * stride_ * stride_ * stride_, 0.0);
+}
+
+void HermiteR::compute(double alpha, const Vec3& PQ, int L) {
+  assert(L <= lmax_);
+  const double T =
+      alpha * (PQ[0] * PQ[0] + PQ[1] * PQ[1] + PQ[2] * PQ[2]);
+
+  double F[kMaxBoysOrder + 1];
+  boys(T, L, std::span<double>(F, L + 1));
+
+  const std::size_t nstride = stride_ * stride_ * stride_;
+  auto R = [&](int n, int t, int u, int v) -> double& {
+    return work_[n * nstride + index_(t, u, v)];
+  };
+
+  // Base case: R^n_{000} = (-2 alpha)^n F_n(T).
+  double m2a = 1.0;
+  for (int n = 0; n <= L; ++n) {
+    R(n, 0, 0, 0) = m2a * F[n];
+    m2a *= -2.0 * alpha;
+  }
+
+  // Raise (t,u,v) one index at a time; each raise consumes one auxiliary
+  // order n, so fill n from high to low per (t+u+v) layer:
+  //   R^n_{t+1,u,v} = t R^{n+1}_{t-1,u,v} + X R^{n+1}_{t,u,v}
+  for (int sum = 1; sum <= L; ++sum) {
+    for (int t = 0; t <= sum; ++t) {
+      for (int u = 0; t + u <= sum; ++u) {
+        const int v = sum - t - u;
+        for (int n = 0; n <= L - sum; ++n) {
+          double val;
+          if (t > 0) {
+            val = PQ[0] * R(n + 1, t - 1, u, v);
+            if (t > 1) val += (t - 1) * R(n + 1, t - 2, u, v);
+          } else if (u > 0) {
+            val = PQ[1] * R(n + 1, t, u - 1, v);
+            if (u > 1) val += (u - 1) * R(n + 1, t, u - 2, v);
+          } else {
+            val = PQ[2] * R(n + 1, t, u, v - 1);
+            if (v > 1) val += (v - 1) * R(n + 1, t, u, v - 2);
+          }
+          R(n, t, u, v) = val;
+        }
+      }
+    }
+  }
+
+  // Export the n = 0 slice.
+  for (int t = 0; t <= L; ++t) {
+    for (int u = 0; t + u <= L; ++u) {
+      for (int v = 0; t + u + v <= L; ++v) {
+        r0_[index_(t, u, v)] = R(0, t, u, v);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per component-pair Hermite term list: flattened (t,u,v,coef) entries of
+/// the product E^x_t E^y_u E^z_v over one primitive pair.
+struct TermList {
+  struct Term {
+    int t, u, v;
+    double coef;
+  };
+  std::vector<Term> terms;
+};
+
+/// All term lists for one primitive pair of two shells, indexed by
+/// (component_a * nB + component_b).
+struct PrimPair {
+  double p = 0;             // a + b
+  Vec3 P{0, 0, 0};          // product center
+  double cc = 0;            // product of contraction coefficients
+  std::vector<TermList> lists;
+};
+
+std::vector<PrimPair> build_prim_pairs(const Shell& A, const Shell& B) {
+  const auto compsA = cartesian_components(A.l);
+  const auto compsB = cartesian_components(B.l);
+  std::vector<PrimPair> pairs;
+  pairs.reserve(A.primitives.size() * B.primitives.size());
+
+  for (const auto& pa : A.primitives) {
+    for (const auto& pb : B.primitives) {
+      PrimPair pp;
+      const double a = pa.exponent, b = pb.exponent;
+      pp.p = a + b;
+      for (int d = 0; d < 3; ++d) {
+        pp.P[d] = (a * A.center[d] + b * B.center[d]) / pp.p;
+      }
+      pp.cc = pa.coefficient * pb.coefficient;
+
+      const HermiteE Ex(A.l, B.l, a, b, A.center[0], B.center[0]);
+      const HermiteE Ey(A.l, B.l, a, b, A.center[1], B.center[1]);
+      const HermiteE Ez(A.l, B.l, a, b, A.center[2], B.center[2]);
+
+      pp.lists.resize(compsA.size() * compsB.size());
+      for (std::size_t ia = 0; ia < compsA.size(); ++ia) {
+        for (std::size_t ib = 0; ib < compsB.size(); ++ib) {
+          TermList& tl = pp.lists[ia * compsB.size() + ib];
+          const auto& ca = compsA[ia];
+          const auto& cb = compsB[ib];
+          const double norm = component_norm_ratio(A.l, ca) *
+                              component_norm_ratio(B.l, cb);
+          for (int t = 0; t <= ca.lx + cb.lx; ++t) {
+            const double ext = Ex(ca.lx, cb.lx, t);
+            if (ext == 0.0) continue;
+            for (int u = 0; u <= ca.ly + cb.ly; ++u) {
+              const double eyu = Ey(ca.ly, cb.ly, u);
+              if (eyu == 0.0) continue;
+              for (int v = 0; v <= ca.lz + cb.lz; ++v) {
+                const double ezv = Ez(ca.lz, cb.lz, v);
+                if (ezv == 0.0) continue;
+                tl.terms.push_back({t, u, v, norm * ext * eyu * ezv});
+              }
+            }
+          }
+        }
+      }
+      pairs.push_back(std::move(pp));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+void compute_eri_block(const Shell& A, const Shell& B, const Shell& C,
+                       const Shell& D, std::span<double> out) {
+  const std::size_t nA = cartesian_components(A.l).size();
+  const std::size_t nB = cartesian_components(B.l).size();
+  const std::size_t nC = cartesian_components(C.l).size();
+  const std::size_t nD = cartesian_components(D.l).size();
+  assert(out.size() == nA * nB * nC * nD);
+
+  std::fill(out.begin(), out.end(), 0.0);
+
+  const auto bra = build_prim_pairs(A, B);
+  const auto ket = build_prim_pairs(C, D);
+  const int L = A.l + B.l + C.l + D.l;
+  HermiteR R(L);
+
+  const double pi52 = std::pow(std::numbers::pi, 2.5);
+
+  for (const auto& pab : bra) {
+    for (const auto& pcd : ket) {
+      const double p = pab.p, q = pcd.p;
+      const double alpha = p * q / (p + q);
+      const Vec3 PQ{pab.P[0] - pcd.P[0], pab.P[1] - pcd.P[1],
+                    pab.P[2] - pcd.P[2]};
+      R.compute(alpha, PQ, L);
+      const double pref =
+          2.0 * pi52 / (p * q * std::sqrt(p + q)) * pab.cc * pcd.cc;
+
+      std::size_t idx = 0;
+      for (std::size_t iab = 0; iab < nA * nB; ++iab) {
+        const auto& tb = pab.lists[iab].terms;
+        for (std::size_t icd = 0; icd < nC * nD; ++icd, ++idx) {
+          const auto& tk = pcd.lists[icd].terms;
+          double sum = 0.0;
+          for (const auto& b : tb) {
+            double inner = 0.0;
+            for (const auto& k : tk) {
+              const double r = R(b.t + k.t, b.u + k.u, b.v + k.v);
+              // (-1)^{T+U+V} sign of the ket Hermite index
+              inner += ((k.t + k.u + k.v) & 1) ? -k.coef * r : k.coef * r;
+            }
+            sum += b.coef * inner;
+          }
+          out[idx] += pref * sum;
+        }
+      }
+    }
+  }
+}
+
+double schwarz_bound(const Shell& A, const Shell& B) {
+  // Only the diagonal (ab|ab) of the pair super-matrix is needed; assemble
+  // just those nA*nB elements instead of the full (nA*nB)^2 block --
+  // screening cost would otherwise dominate high-L dataset generation.
+  const std::size_t nA = cartesian_components(A.l).size();
+  const std::size_t nB = cartesian_components(B.l).size();
+  const auto pairs = build_prim_pairs(A, B);
+  const int L = 2 * (A.l + B.l);
+  HermiteR R(L);
+  const double pi52 = std::pow(std::numbers::pi, 2.5);
+
+  std::vector<double> diag(nA * nB, 0.0);
+  for (const auto& pab : pairs) {
+    for (const auto& pcd : pairs) {
+      const double p = pab.p, q = pcd.p;
+      const double alpha = p * q / (p + q);
+      const Vec3 PQ{pab.P[0] - pcd.P[0], pab.P[1] - pcd.P[1],
+                    pab.P[2] - pcd.P[2]};
+      R.compute(alpha, PQ, L);
+      const double pref =
+          2.0 * pi52 / (p * q * std::sqrt(p + q)) * pab.cc * pcd.cc;
+      for (std::size_t i = 0; i < diag.size(); ++i) {
+        const auto& tb = pab.lists[i].terms;
+        const auto& tk = pcd.lists[i].terms;
+        double sum = 0.0;
+        for (const auto& b : tb) {
+          double inner = 0.0;
+          for (const auto& k : tk) {
+            const double r = R(b.t + k.t, b.u + k.u, b.v + k.v);
+            inner += ((k.t + k.u + k.v) & 1) ? -k.coef * r : k.coef * r;
+          }
+          sum += b.coef * inner;
+        }
+        diag[i] += pref * sum;
+      }
+    }
+  }
+  double mx = 0.0;
+  for (double v : diag) mx = std::max(mx, std::abs(v));
+  return std::sqrt(mx);
+}
+
+}  // namespace pastri::qc

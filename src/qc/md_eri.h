@@ -1,0 +1,86 @@
+// md_eri.h - Two-electron repulsion integrals over contracted Cartesian
+// Gaussian shells via the McMurchie-Davidson scheme.
+//
+// For primitives with exponents a,b,c,d on centers A,B,C,D:
+//
+//   (ab|cd) = 2 pi^{5/2} / (p q sqrt(p+q))
+//             * sum_{tuv} E^{ab}_{tuv} sum_{TUV} (-1)^{T+U+V} E^{cd}_{TUV}
+//               R_{t+T, u+U, v+V}(alpha, P-Q)
+//
+// where p = a+b, q = c+d, alpha = pq/(p+q), E are 1-D Hermite expansion
+// coefficients of Cartesian Gaussian products and R are Hermite Coulomb
+// integrals bottoming out in the Boys function.  This is the textbook
+// formulation (Helgaker-Jorgensen-Olsen ch. 9) and is exactly the class of
+// engine GAMESS's rotated-axis/rys codes implement.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qc/gaussian.h"
+
+namespace pastri::qc {
+
+/// 1-D Hermite expansion coefficients E_t^{ij} for a primitive pair in one
+/// Cartesian direction.  Table layout: E(i,j,t) for 0<=i<=imax,
+/// 0<=j<=jmax, 0<=t<=i+j.
+class HermiteE {
+ public:
+  /// Build the table for exponents (a, b) at 1-D centers (Ax, Bx).
+  HermiteE(int imax, int jmax, double a, double b, double Ax, double Bx);
+
+  double operator()(int i, int j, int t) const {
+    if (t < 0 || t > i + j) return 0.0;
+    return table_[index_(i, j, t)];
+  }
+
+ private:
+  std::size_t index_(int i, int j, int t) const {
+    return (static_cast<std::size_t>(i) * (jmax_ + 1) + j) * (tmax_ + 1) + t;
+  }
+
+  int jmax_, tmax_;
+  std::vector<double> table_;
+};
+
+/// Hermite Coulomb integral tensor R^0_{tuv}(alpha, PQ) for all
+/// t+u+v <= L.  Internally evaluates the auxiliary orders R^n via the
+/// standard downward-in-n recurrences and the Boys function.
+class HermiteR {
+ public:
+  /// Workspace is sized for `lmax_total`; reusable across quartets.
+  explicit HermiteR(int lmax_total);
+
+  /// Fill for the given alpha and PQ = P - Q vector.
+  /// `l_total` must be <= lmax_total given at construction.
+  void compute(double alpha, const Vec3& PQ, int l_total);
+
+  double operator()(int t, int u, int v) const {
+    return r0_[index_(t, u, v)];
+  }
+
+ private:
+  std::size_t index_(int t, int u, int v) const {
+    return (static_cast<std::size_t>(t) * stride_ + u) * stride_ + v;
+  }
+
+  int lmax_;
+  std::size_t stride_;
+  std::vector<double> r0_;    // n = 0 slice, exposed
+  std::vector<double> work_;  // full (n,t,u,v) scratch
+};
+
+/// Full contracted ERI shell block (AB|CD) in GAMESS layout:
+/// out[((ia*nB + ib)*nC + ic)*nD + id], where nX = (lX+1)(lX+2)/2 and the
+/// component order is `cartesian_components(lX)`.
+///
+/// `out.size()` must equal nA*nB*nC*nD.  Values are in Hartree (atomic
+/// units) for normalized basis functions.
+void compute_eri_block(const Shell& A, const Shell& B, const Shell& C,
+                       const Shell& D, std::span<double> out);
+
+/// Cauchy-Schwarz screening bound: sqrt(max_component (ab|ab)).
+/// The true bound |(ab|cd)| <= Q_ab * Q_cd lets callers skip whole blocks.
+double schwarz_bound(const Shell& A, const Shell& B);
+
+}  // namespace pastri::qc

@@ -1,0 +1,115 @@
+#include "qc/mp2.h"
+
+#include <stdexcept>
+
+#include "qc/sto3g.h"
+
+namespace pastri::qc {
+
+EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c) {
+  const std::size_t n = c.size();
+  if (eri_ao.size() != n * n * n * n) {
+    throw std::invalid_argument("MP2: ERI tensor size mismatch");
+  }
+  // Four sequential quarter transformations, O(n^5) total.
+  auto idx = [n](std::size_t a, std::size_t b, std::size_t d,
+                 std::size_t e) {
+    return ((a * n + b) * n + d) * n + e;
+  };
+  EriTensor t1(eri_ao.size(), 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t mu = 0; mu < n; ++mu) {
+      const double cmu = c(mu, p);
+      if (cmu == 0.0) continue;
+      for (std::size_t nu = 0; nu < n; ++nu) {
+        for (std::size_t la = 0; la < n; ++la) {
+          for (std::size_t si = 0; si < n; ++si) {
+            t1[idx(p, nu, la, si)] += cmu * eri_ao[idx(mu, nu, la, si)];
+          }
+        }
+      }
+    }
+  }
+  EriTensor t2(eri_ao.size(), 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      for (std::size_t nu = 0; nu < n; ++nu) {
+        const double cnu = c(nu, q);
+        if (cnu == 0.0) continue;
+        for (std::size_t la = 0; la < n; ++la) {
+          for (std::size_t si = 0; si < n; ++si) {
+            t2[idx(p, q, la, si)] += cnu * t1[idx(p, nu, la, si)];
+          }
+        }
+      }
+    }
+  }
+  t1.assign(eri_ao.size(), 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t la = 0; la < n; ++la) {
+          const double cla = c(la, r);
+          if (cla == 0.0) continue;
+          for (std::size_t si = 0; si < n; ++si) {
+            t1[idx(p, q, r, si)] += cla * t2[idx(p, q, la, si)];
+          }
+        }
+      }
+    }
+  }
+  t2.assign(eri_ao.size(), 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t s = 0; s < n; ++s) {
+          for (std::size_t si = 0; si < n; ++si) {
+            t2[idx(p, q, r, s)] += c(si, s) * t1[idx(p, q, r, si)];
+          }
+        }
+      }
+    }
+  }
+  return t2;
+}
+
+Mp2Result run_mp2(const Molecule& mol, const BasisSet& basis,
+                  const EriTensor& eri, const ScfResult& scf) {
+  if (!scf.converged) {
+    throw std::invalid_argument("MP2 requires a converged SCF reference");
+  }
+  const std::size_t n = basis.num_basis_functions();
+  const std::size_t nocc =
+      static_cast<std::size_t>(electron_count(mol) / 2);
+  if (scf.mo_coefficients.size() != n ||
+      scf.orbital_energies.size() != n) {
+    throw std::invalid_argument("MP2: SCF result does not match basis");
+  }
+
+  const EriTensor mo = transform_eri_to_mo(eri, scf.mo_coefficients);
+  auto at = [n, &mo](std::size_t p, std::size_t q, std::size_t r,
+                     std::size_t s) {
+    return mo[((p * n + q) * n + r) * n + s];
+  };
+  const auto& e = scf.orbital_energies;
+
+  double corr = 0.0;
+  for (std::size_t i = 0; i < nocc; ++i) {
+    for (std::size_t j = 0; j < nocc; ++j) {
+      for (std::size_t a = nocc; a < n; ++a) {
+        for (std::size_t b = nocc; b < n; ++b) {
+          const double iajb = at(i, a, j, b);
+          const double ibja = at(i, b, j, a);
+          corr += iajb * (2.0 * iajb - ibja) /
+                  (e[i] + e[j] - e[a] - e[b]);
+        }
+      }
+    }
+  }
+  Mp2Result res;
+  res.correlation_energy = corr;
+  res.total_energy = scf.total_energy + corr;
+  return res;
+}
+
+}  // namespace pastri::qc

@@ -1,0 +1,32 @@
+// mp2.h - Second-order Moller-Plesset perturbation theory on top of a
+// converged RHF reference.
+//
+// The paper's introduction motivates ERI compression precisely for this
+// workflow: "post-Hartree-Fock methods need to assemble molecular
+// integrals from ERIs.  Compressing and storing the latter can lead to
+// considerable speedup".  MP2 re-reads the full ERI tensor once to build
+// MO-basis integrals, so a compressed ERI store is consumed verbatim.
+#pragma once
+
+#include "qc/scf.h"
+
+namespace pastri::qc {
+
+struct Mp2Result {
+  double correlation_energy = 0.0;  ///< E_MP2 (negative)
+  double total_energy = 0.0;        ///< E_RHF + E_MP2
+};
+
+/// Closed-shell MP2:
+///   E = sum_{ij in occ} sum_{ab in virt}
+///       (ia|jb) [ 2 (ia|jb) - (ib|ja) ] / (e_i + e_j - e_a - e_b)
+/// using the (n^5) quarter-transformation of the AO ERI tensor.
+/// `scf` must be a converged result for the same basis/ERIs.
+Mp2Result run_mp2(const Molecule& mol, const BasisSet& basis,
+                  const EriTensor& eri, const ScfResult& scf);
+
+/// AO -> MO transformation of the full ERI tensor (exposed for tests):
+/// out[(p q| r s)] over MO indices, same n^4 layout as the input.
+EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c);
+
+}  // namespace pastri::qc

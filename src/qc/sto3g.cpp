@@ -1,0 +1,81 @@
+#include "qc/sto3g.h"
+
+#include <stdexcept>
+
+namespace pastri::qc {
+namespace {
+
+// Universal STO-3G contraction coefficients (for normalized primitives).
+constexpr double k1sCoef[3] = {0.1543289673, 0.5353281423, 0.4446345422};
+constexpr double k2sCoef[3] = {-0.09996722919, 0.3995128261, 0.7001154689};
+constexpr double k2pCoef[3] = {0.1559162750, 0.6076837186, 0.3919573931};
+
+struct ElementData {
+  double exp1s[3];
+  bool has_2sp;
+  double exp2sp[3];
+};
+
+/// Standard STO-3G exponents.
+ElementData element_data(int Z) {
+  switch (Z) {
+    case 1:  // H
+      return {{3.425250914, 0.6239137298, 0.1688554040}, false, {}};
+    case 2:  // He
+      return {{6.362421394, 1.158922999, 0.3136497915}, false, {}};
+    case 6:  // C
+      return {{71.61683735, 13.04509632, 3.530512160},
+              true,
+              {2.941249355, 0.6834830964, 0.2222899159}};
+    case 7:  // N
+      return {{99.10616896, 18.05231239, 4.885660238},
+              true,
+              {3.780455879, 0.8784966449, 0.2857143744}};
+    case 8:  // O
+      return {{130.7093200, 23.80886100, 6.443608313},
+              true,
+              {5.033151319, 1.169596125, 0.3803889600}};
+    default:
+      throw std::invalid_argument("STO-3G: unsupported element");
+  }
+}
+
+Shell make_contracted(int l, const Vec3& center, int atom,
+                      const double (&exps)[3], const double (&coefs)[3]) {
+  Shell sh;
+  sh.l = l;
+  sh.center = center;
+  sh.atom_index = atom;
+  for (int k = 0; k < 3; ++k) {
+    sh.primitives.push_back({exps[k], coefs[k]});
+  }
+  sh.normalize();
+  return sh;
+}
+
+}  // namespace
+
+BasisSet make_sto3g_basis(const Molecule& mol) {
+  BasisSet basis;
+  for (std::size_t ai = 0; ai < mol.atoms.size(); ++ai) {
+    const Atom& atom = mol.atoms[ai];
+    const ElementData ed = element_data(atom.Z);
+    basis.shells.push_back(make_contracted(
+        0, atom.position, static_cast<int>(ai), ed.exp1s, k1sCoef));
+    if (ed.has_2sp) {
+      basis.shells.push_back(make_contracted(
+          0, atom.position, static_cast<int>(ai), ed.exp2sp, k2sCoef));
+      basis.shells.push_back(make_contracted(
+          1, atom.position, static_cast<int>(ai), ed.exp2sp, k2pCoef));
+    }
+  }
+  return basis;
+}
+
+int electron_count(const Molecule& mol) {
+  int n = 0;
+  for (const auto& a : mol.atoms) n += a.Z;
+  return n;
+}
+
+}  // namespace pastri::qc

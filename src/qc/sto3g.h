@@ -1,0 +1,22 @@
+// sto3g.h - The STO-3G minimal basis set (Hehre, Stewart, Pople 1969)
+// for H, He, C, N, O.
+//
+// Used by the SCF substrate and its tests: STO-3G Hartree-Fock energies
+// are tabulated to high precision in the literature (e.g. Szabo &
+// Ostlund), which anchors the entire integral stack -- Boys function,
+// Hermite recurrences, one-electron matrices, ERIs -- to known numbers.
+#pragma once
+
+#include "qc/basis.h"
+#include "qc/molecule.h"
+
+namespace pastri::qc {
+
+/// Build the STO-3G basis for a molecule (elements H, He, C, N, O).
+/// Throws std::invalid_argument for unsupported elements.
+BasisSet make_sto3g_basis(const Molecule& mol);
+
+/// Number of electrons of a neutral molecule.
+int electron_count(const Molecule& mol);
+
+}  // namespace pastri::qc

@@ -1,0 +1,85 @@
+#include "zchecker/dataset_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/scaling.h"
+
+namespace pastri::zchecker {
+
+DatasetStats analyze_dataset(const EriDataset& ds) {
+  DatasetStats st;
+  st.num_blocks = ds.num_blocks;
+  st.min_nonzero_extremum = std::numeric_limits<double>::infinity();
+
+  const pastri::BlockSpec spec{ds.shape.num_sub_blocks(),
+                               ds.shape.sub_block_size()};
+  double log_sum = 0.0, dev_sum = 0.0;
+  std::size_t nonzero = 0;
+
+  for (std::size_t b = 0; b < ds.num_blocks; ++b) {
+    const auto block = ds.block(b);
+    double mx = 0.0;
+    for (double v : block) mx = std::max(mx, std::abs(v));
+    if (mx == 0.0) {
+      ++st.zero_blocks;
+      continue;
+    }
+    ++nonzero;
+    st.min_nonzero_extremum = std::min(st.min_nonzero_extremum, mx);
+    st.max_extremum = std::max(st.max_extremum, mx);
+    const double lg = std::log10(mx);
+    log_sum += lg;
+    const int decade = static_cast<int>(std::floor(lg));
+    if (decade >= -16 && decade < 0) {
+      ++st.extremum_decades[static_cast<std::size_t>(decade + 16)];
+    }
+
+    // ER pattern quality.
+    const auto sel =
+        pastri::select_pattern(block, spec, pastri::ScalingMetric::ER);
+    const auto pattern = block.subspan(
+        sel.pattern_sub_block * spec.sub_block_size, spec.sub_block_size);
+    double dev = 0.0;
+    for (std::size_t j = 0; j < spec.num_sub_blocks; ++j) {
+      for (std::size_t i = 0; i < spec.sub_block_size; ++i) {
+        dev = std::max(dev,
+                       std::abs(block[j * spec.sub_block_size + i] -
+                                sel.scales[j] * pattern[i]));
+      }
+    }
+    const double rel = dev / mx;
+    dev_sum += rel;
+    st.worst_relative_deviation =
+        std::max(st.worst_relative_deviation, rel);
+  }
+  if (nonzero > 0) {
+    st.mean_log10_extremum = log_sum / static_cast<double>(nonzero);
+    st.mean_relative_deviation = dev_sum / static_cast<double>(nonzero);
+  }
+  if (st.zero_blocks == st.num_blocks) st.min_nonzero_extremum = 0.0;
+  return st;
+}
+
+void print_dataset_stats(const DatasetStats& st) {
+  std::printf("blocks        : %zu (%zu screened to zero, %.1f%%)\n",
+              st.num_blocks, st.zero_blocks,
+              st.num_blocks
+                  ? 100.0 * st.zero_blocks / st.num_blocks
+                  : 0.0);
+  std::printf("block extrema : %.3e .. %.3e (mean decade 1e%.1f)\n",
+              st.min_nonzero_extremum, st.max_extremum,
+              st.mean_log10_extremum);
+  std::printf("ER deviation  : mean %.2e, worst %.2e (relative to "
+              "block extremum)\n",
+              st.mean_relative_deviation, st.worst_relative_deviation);
+  std::printf("extremum decades (1e-16..1e0):");
+  for (std::size_t i = 0; i < st.extremum_decades.size(); ++i) {
+    std::printf(" %zu", st.extremum_decades[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace pastri::zchecker

@@ -1,0 +1,41 @@
+// dataset_stats.h - Descriptive statistics of ERI datasets.
+//
+// The paper's analysis (Sections III-B and IV-C) rests on population
+// properties of the block stream: how block magnitudes are distributed,
+// how many quartets screen out, and how well the scaled pattern explains
+// each block.  This module computes those summaries for inspection tools
+// and benches.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "qc/dataset.h"
+
+namespace pastri::zchecker {
+
+using qc::EriDataset;
+
+struct DatasetStats {
+  std::size_t num_blocks = 0;
+  std::size_t zero_blocks = 0;        ///< exactly-zero (screened) blocks
+  double min_nonzero_extremum = 0.0;  ///< smallest nonzero block max|v|
+  double max_extremum = 0.0;          ///< largest block max|v|
+  double mean_log10_extremum = 0.0;   ///< over nonzero blocks
+
+  /// Histogram of log10(block extremum) in [-16, 0), one decade per bin.
+  std::array<std::size_t, 16> extremum_decades{};
+
+  /// Pattern quality: per-block max deviation from the ER scaled pattern,
+  /// relative to the block extremum; summarized as mean and worst.
+  double mean_relative_deviation = 0.0;
+  double worst_relative_deviation = 0.0;
+};
+
+/// Scan a dataset (single pass per block).
+DatasetStats analyze_dataset(const EriDataset& ds);
+
+/// Pretty-print to stdout (used by eri_dataset_tool).
+void print_dataset_stats(const DatasetStats& stats);
+
+}  // namespace pastri::zchecker

@@ -1,0 +1,118 @@
+#include "zchecker/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pastri::zchecker {
+
+ErrorStats compare(std::span<const double> original,
+                   std::span<const double> reconstructed) {
+  assert(original.size() == reconstructed.size());
+  ErrorStats s;
+  s.n = original.size();
+  if (s.n == 0) return s;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sum_sq = 0.0, sum_abs = 0.0;
+  for (std::size_t i = 0; i < s.n; ++i) {
+    const double e = original[i] - reconstructed[i];
+    s.max_abs_error = std::max(s.max_abs_error, std::abs(e));
+    sum_sq += e * e;
+    sum_abs += std::abs(e);
+    lo = std::min(lo, original[i]);
+    hi = std::max(hi, original[i]);
+  }
+  s.mse = sum_sq / static_cast<double>(s.n);
+  s.mean_abs_error = sum_abs / static_cast<double>(s.n);
+  s.value_range = hi - lo;
+  const double rmse = std::sqrt(s.mse);
+  s.psnr_db = rmse > 0.0 && s.value_range > 0.0
+                  ? 20.0 * std::log10(s.value_range / rmse)
+                  : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+double compression_ratio(std::size_t original_bytes,
+                         std::size_t compressed_bytes) {
+  return compressed_bytes == 0
+             ? 0.0
+             : static_cast<double>(original_bytes) /
+                   static_cast<double>(compressed_bytes);
+}
+
+double bitrate_bits_per_value(std::size_t original_bytes,
+                              std::size_t compressed_bytes) {
+  const double ratio = compression_ratio(original_bytes, compressed_bytes);
+  return ratio > 0.0 ? 64.0 / ratio : 0.0;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> data, double lo,
+                                   double hi, std::size_t bins) {
+  assert(bins > 0 && hi > lo);
+  std::vector<std::size_t> h(bins, 0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double v : data) {
+    if (v < lo || v >= hi) continue;
+    ++h[static_cast<std::size_t>((v - lo) * scale)];
+  }
+  return h;
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n == 0) return 0.0;
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+double autocorrelation(std::span<const double> x, std::size_t lag) {
+  const std::size_t n = x.size();
+  if (lag >= n || n < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    den += (x[i] - mean) * (x[i] - mean);
+  }
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += (x[i] - mean) * (x[i + lag] - mean);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+std::vector<double> error_autocorrelation(
+    std::span<const double> original,
+    std::span<const double> reconstructed, std::size_t max_lag) {
+  assert(original.size() == reconstructed.size());
+  std::vector<double> err(original.size());
+  for (std::size_t i = 0; i < err.size(); ++i) {
+    err[i] = original[i] - reconstructed[i];
+  }
+  std::vector<double> out;
+  out.reserve(max_lag);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    out.push_back(autocorrelation(err, lag));
+  }
+  return out;
+}
+
+}  // namespace pastri::zchecker

@@ -1,0 +1,60 @@
+// metrics.h - Z-Checker-style compression quality assessment.
+//
+// The paper evaluates with Z-Checker (Tao et al. 2017): compression
+// ratio, bit rate (64/ratio for doubles), PSNR = 20 log10(range/sqrt(MSE))
+// and point-wise maximum error.  This module computes those plus the
+// supporting statistics the analysis benches need.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pastri::zchecker {
+
+struct ErrorStats {
+  std::size_t n = 0;
+  double max_abs_error = 0.0;
+  double mse = 0.0;
+  double value_range = 0.0;  ///< max - min of the original data
+  double psnr_db = 0.0;      ///< 20 log10(range / rmse)
+  double mean_abs_error = 0.0;
+};
+
+/// Compare original vs reconstructed data point-wise.
+ErrorStats compare(std::span<const double> original,
+                   std::span<const double> reconstructed);
+
+struct RatePoint {
+  double error_bound = 0.0;
+  double ratio = 0.0;     ///< original bytes / compressed bytes
+  double bitrate = 0.0;   ///< bits per value = 64 / ratio
+  double psnr_db = 0.0;
+};
+
+/// Compression ratio and bit rate for double data.
+double compression_ratio(std::size_t original_bytes,
+                         std::size_t compressed_bytes);
+double bitrate_bits_per_value(std::size_t original_bytes,
+                              std::size_t compressed_bytes);
+
+/// Histogram of values into `bins` equal-width bins over [lo, hi].
+std::vector<std::size_t> histogram(std::span<const double> data, double lo,
+                                   double hi, std::size_t bins);
+
+/// Pearson correlation between two equal-length series (used to verify
+/// the sub-block pattern property in tests).
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Lag-k autocorrelation of a series.  Z-Checker reports the
+/// autocorrelation of compression errors: values near zero mean the
+/// error behaves like white noise (desirable -- no structured artifact).
+double autocorrelation(std::span<const double> x, std::size_t lag);
+
+/// Autocorrelation of the point-wise compression error at lags 1..max_lag.
+std::vector<double> error_autocorrelation(
+    std::span<const double> original, std::span<const double> reconstructed,
+    std::size_t max_lag);
+
+}  // namespace pastri::zchecker

@@ -1,0 +1,229 @@
+// Unit tests for the bit-granular I/O layer every codec builds on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "bitio/varint.h"
+
+namespace pastri::bitio {
+namespace {
+
+TEST(BitWriter, EmptyStreamIsEmpty) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.take().empty());
+}
+
+TEST(BitWriter, SingleBitsPackLsbFirst) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  w.write_bit(true);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b00001101);  // first bit in bit 0
+}
+
+TEST(BitWriter, BitCountTracksExactly) {
+  BitWriter w;
+  w.write_bits(0x3, 2);
+  EXPECT_EQ(w.bit_count(), 2u);
+  w.write_bits(0x12345, 20);
+  EXPECT_EQ(w.bit_count(), 22u);
+  w.write_bits(0xFFFFFFFFFFFFFFFFull, 64);
+  EXPECT_EQ(w.bit_count(), 86u);
+}
+
+TEST(BitWriter, TakePadsToByte) {
+  BitWriter w;
+  w.write_bits(0x5, 3);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x5);
+}
+
+TEST(BitWriter, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.write_bits(0xFFF, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitWriter, MasksValueToWidth) {
+  BitWriter w;
+  w.write_bits(0xFF, 4);  // only low 4 bits should land
+  w.write_bits(0x0, 4);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x0F);
+}
+
+TEST(BitRoundTrip, FixedWidthValues) {
+  BitWriter w;
+  w.write_bits(0xDEADBEEF, 32);
+  w.write_bits(0x1, 1);
+  w.write_bits(0x7F, 7);
+  w.write_bits(0xABCDEF0123456789ull, 64);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_bits(1), 0x1u);
+  EXPECT_EQ(r.read_bits(7), 0x7Fu);
+  EXPECT_EQ(r.read_bits(64), 0xABCDEF0123456789ull);
+}
+
+TEST(BitRoundTrip, SignedValues) {
+  BitWriter w;
+  w.write_signed(-1, 2);
+  w.write_signed(1, 2);
+  w.write_signed(-512, 10);
+  w.write_signed(511, 10);
+  w.write_signed(-123456789, 32);
+  w.write_signed(INT64_MIN, 64);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_signed(2), -1);
+  EXPECT_EQ(r.read_signed(2), 1);
+  EXPECT_EQ(r.read_signed(10), -512);
+  EXPECT_EQ(r.read_signed(10), 511);
+  EXPECT_EQ(r.read_signed(32), -123456789);
+  EXPECT_EQ(r.read_signed(64), INT64_MIN);
+}
+
+TEST(BitRoundTrip, Unary) {
+  BitWriter w;
+  for (unsigned v : {0u, 1u, 5u, 13u}) w.write_unary(v);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (unsigned v : {0u, 1u, 5u, 13u}) EXPECT_EQ(r.read_unary(), v);
+}
+
+TEST(BitRoundTrip, RawDouble) {
+  BitWriter w;
+  w.write_bit(true);  // deliberately misalign
+  w.write_raw(3.14159265358979);
+  w.write_raw(-1e-300);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_raw<double>(), 3.14159265358979);
+  EXPECT_EQ(r.read_raw<double>(), -1e-300);
+}
+
+TEST(BitRoundTrip, WriteBytesAlignedAndUnaligned) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 255, 0, 42};
+  {
+    BitWriter w;
+    w.write_bytes(payload);
+    const auto bytes = w.take();
+    EXPECT_EQ(bytes, payload);
+  }
+  {
+    BitWriter w;
+    w.write_bits(0x2, 3);
+    w.align_to_byte();
+    w.write_bytes(payload);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 1 + payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           bytes.begin() + 1));
+  }
+}
+
+TEST(BitRoundTrip, RandomizedMixedWidths) {
+  std::mt19937_64 gen(1234);
+  std::vector<std::pair<std::uint64_t, unsigned>> items;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned width = 1 + gen() % 64;
+    std::uint64_t value = gen();
+    if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+    items.emplace_back(value, width);
+    w.write_bits(value, width);
+  }
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (const auto& [value, width] : items) {
+    EXPECT_EQ(r.read_bits(width), value);
+  }
+}
+
+TEST(BitReader, ThrowsPastEnd) {
+  const std::vector<std::uint8_t> one{0xAB};
+  BitReader r(one);
+  r.read_bits(8);
+  EXPECT_THROW(r.read_bits(1), std::out_of_range);
+}
+
+TEST(BitReader, SkipBits) {
+  BitWriter w;
+  w.write_bits(0xAA, 8);
+  w.write_bits(0x1234, 16);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  r.skip_bits(8);
+  EXPECT_EQ(r.read_bits(16), 0x1234u);
+  EXPECT_THROW(r.skip_bits(1), std::out_of_range);
+}
+
+TEST(BitReader, BitsRemaining) {
+  const std::vector<std::uint8_t> data{0, 0, 0};
+  BitReader r(data);
+  EXPECT_EQ(r.bits_remaining(), 24u);
+  r.read_bits(5);
+  EXPECT_EQ(r.bits_remaining(), 19u);
+  r.align_to_byte();
+  EXPECT_EQ(r.bits_remaining(), 16u);
+}
+
+TEST(Zigzag, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(Zigzag, RoundTripExtremes) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                         INT64_MAX, INT64_MIN, std::int64_t{123456789},
+                         std::int64_t{-987654321}}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(Varint, RoundTrip) {
+  BitWriter w;
+  const std::vector<std::uint64_t> vals{0, 1, 127, 128, 300, 1u << 20,
+                                        UINT64_MAX};
+  for (auto v : vals) write_varint(w, v);
+  const std::vector<std::int64_t> svals{0, -1, 63, -64, 1 << 20,
+                                        INT64_MIN, INT64_MAX};
+  for (auto v : svals) write_svarint(w, v);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (auto v : vals) EXPECT_EQ(read_varint(r), v);
+  for (auto v : svals) EXPECT_EQ(read_svarint(r), v);
+}
+
+TEST(Varint, SingleByteForSmall) {
+  BitWriter w;
+  write_varint(w, 127);
+  EXPECT_EQ(w.bit_count(), 8u);
+}
+
+TEST(BitsForCount, Minimums) {
+  EXPECT_EQ(bits_for_count(0), 1u);
+  EXPECT_EQ(bits_for_count(1), 1u);
+  EXPECT_EQ(bits_for_count(2), 1u);
+  EXPECT_EQ(bits_for_count(3), 2u);
+  EXPECT_EQ(bits_for_count(4), 2u);
+  EXPECT_EQ(bits_for_count(5), 3u);
+  EXPECT_EQ(bits_for_count(1296), 11u);  // (dd|dd) block size
+  EXPECT_EQ(bits_for_count(10000), 14u);
+}
+
+}  // namespace
+}  // namespace pastri::bitio

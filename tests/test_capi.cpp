@@ -1,0 +1,141 @@
+// Tests for the C-linkage API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pastri_capi.h"
+#include "test_util.h"
+
+namespace {
+
+using pastri::BlockSpec;
+
+TEST(CApi, ParamsInitMatchesPaperDefaults) {
+  pastri_params p;
+  pastri_params_init(&p);
+  EXPECT_EQ(p.error_bound, 1e-10);
+  EXPECT_EQ(p.bound_mode, 0);
+  EXPECT_EQ(p.metric, 1);  // ER
+  EXPECT_EQ(p.tree, 5);    // Tree 5
+  EXPECT_NE(p.allow_sparse, 0);
+  pastri_params_init(nullptr);  // must not crash
+}
+
+TEST(CApi, RoundTrip) {
+  const BlockSpec spec{9, 14};
+  std::vector<double> data;
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    const auto block = pastri::testutil::noisy_pattern_block(spec, 1e-6, b);
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  pastri_params p;
+  pastri_params_init(&p);
+
+  unsigned char* stream = nullptr;
+  size_t stream_size = 0;
+  ASSERT_EQ(pastri_compress_buffer(data.data(), data.size(),
+                                   spec.num_sub_blocks,
+                                   spec.sub_block_size, &p, &stream,
+                                   &stream_size),
+            PASTRI_OK);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_LT(stream_size, data.size() * sizeof(double));
+
+  double* out = nullptr;
+  size_t out_count = 0;
+  ASSERT_EQ(pastri_decompress_buffer(stream, stream_size, &out,
+                                     &out_count),
+            PASTRI_OK);
+  ASSERT_EQ(out_count, data.size());
+  double max_err = 0;
+  for (size_t i = 0; i < out_count; ++i) {
+    max_err = std::max(max_err, std::abs(out[i] - data[i]));
+  }
+  EXPECT_LE(max_err, p.error_bound * (1 + 1e-12));
+
+  pastri_free(stream);
+  pastri_free(out);
+}
+
+TEST(CApi, PeekReadsHeader) {
+  const BlockSpec spec{6, 6};
+  const auto data = pastri::testutil::random_doubles(36 * 4, -1, 1);
+  pastri_params p;
+  pastri_params_init(&p);
+  p.error_bound = 1e-9;
+  unsigned char* stream = nullptr;
+  size_t stream_size = 0;
+  ASSERT_EQ(pastri_compress_buffer(data.data(), data.size(), 6, 6, &p,
+                                   &stream, &stream_size),
+            PASTRI_OK);
+  double eb = 0;
+  size_t nsb = 0, sbs = 0, blocks = 0;
+  ASSERT_EQ(pastri_peek(stream, stream_size, &eb, &nsb, &sbs, &blocks),
+            PASTRI_OK);
+  EXPECT_EQ(eb, 1e-9);
+  EXPECT_EQ(nsb, 6u);
+  EXPECT_EQ(sbs, 6u);
+  EXPECT_EQ(blocks, 4u);
+  EXPECT_EQ(pastri_peek(stream, stream_size, nullptr, nullptr, nullptr,
+                        nullptr),
+            PASTRI_OK);
+  pastri_free(stream);
+}
+
+TEST(CApi, InvalidArgumentErrors) {
+  pastri_params p;
+  pastri_params_init(&p);
+  unsigned char* stream = nullptr;
+  size_t size = 0;
+  double value = 1.0;
+  EXPECT_EQ(pastri_compress_buffer(&value, 1, 0, 0, &p, &stream, &size),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(pastri_last_error()[0], '\0');
+  EXPECT_EQ(pastri_compress_buffer(&value, 1, 1, 1, nullptr, &stream,
+                                   &size),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  // Size not a whole number of blocks:
+  EXPECT_EQ(pastri_compress_buffer(&value, 1, 2, 3, &p, &stream, &size),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  // Bad error bound:
+  p.error_bound = -1.0;
+  EXPECT_EQ(pastri_compress_buffer(&value, 1, 1, 1, &p, &stream, &size),
+            PASTRI_ERR_INVALID_ARGUMENT);
+}
+
+TEST(CApi, CorruptStreamError) {
+  const auto data = pastri::testutil::random_doubles(16, -1, 1);
+  pastri_params p;
+  pastri_params_init(&p);
+  unsigned char* stream = nullptr;
+  size_t size = 0;
+  ASSERT_EQ(pastri_compress_buffer(data.data(), 16, 4, 4, &p, &stream,
+                                   &size),
+            PASTRI_OK);
+  stream[0] ^= 0xFF;
+  double* out = nullptr;
+  size_t count = 0;
+  EXPECT_EQ(pastri_decompress_buffer(stream, size, &out, &count),
+            PASTRI_ERR_CORRUPT_STREAM);
+  EXPECT_EQ(pastri_peek(stream, size, nullptr, nullptr, nullptr, nullptr),
+            PASTRI_ERR_CORRUPT_STREAM);
+  pastri_free(stream);
+}
+
+TEST(CApi, EmptyInput) {
+  pastri_params p;
+  pastri_params_init(&p);
+  unsigned char* stream = nullptr;
+  size_t size = 0;
+  ASSERT_EQ(pastri_compress_buffer(nullptr, 0, 4, 4, &p, &stream, &size),
+            PASTRI_OK);
+  double* out = nullptr;
+  size_t count = 123;
+  ASSERT_EQ(pastri_decompress_buffer(stream, size, &out, &count),
+            PASTRI_OK);
+  EXPECT_EQ(count, 0u);
+  pastri_free(stream);
+  pastri_free(out);
+}
+
+}  // namespace

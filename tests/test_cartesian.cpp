@@ -1,0 +1,101 @@
+// Tests for Cartesian angular-momentum bookkeeping.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qc/cartesian.h"
+
+namespace pastri::qc {
+namespace {
+
+TEST(Cartesian, ComponentCounts) {
+  EXPECT_EQ(num_cartesians(0), 1);   // s
+  EXPECT_EQ(num_cartesians(1), 3);   // p
+  EXPECT_EQ(num_cartesians(2), 6);   // d
+  EXPECT_EQ(num_cartesians(3), 10);  // f
+  EXPECT_EQ(num_cartesians(4), 15);  // g
+}
+
+TEST(Cartesian, SpanSizesMatchCounts) {
+  for (int l = 0; l <= kMaxAngularMomentum; ++l) {
+    EXPECT_EQ(cartesian_components(l).size(),
+              static_cast<std::size_t>(num_cartesians(l)));
+  }
+}
+
+TEST(Cartesian, ComponentsSumToL) {
+  for (int l = 0; l <= kMaxAngularMomentum; ++l) {
+    for (const auto& c : cartesian_components(l)) {
+      EXPECT_EQ(c.total(), l);
+    }
+  }
+}
+
+TEST(Cartesian, ComponentsAreDistinct) {
+  for (int l = 0; l <= kMaxAngularMomentum; ++l) {
+    std::set<std::array<int, 3>> seen;
+    for (const auto& c : cartesian_components(l)) {
+      EXPECT_TRUE(seen.insert({c.lx, c.ly, c.lz}).second)
+          << "duplicate component in l=" << l;
+    }
+  }
+}
+
+TEST(Cartesian, GamessDOrder) {
+  const auto d = cartesian_components(2);
+  // xx yy zz xy xz yz
+  EXPECT_EQ(component_label(2, 0), "xx");
+  EXPECT_EQ(component_label(2, 1), "yy");
+  EXPECT_EQ(component_label(2, 2), "zz");
+  EXPECT_EQ(component_label(2, 3), "xy");
+  EXPECT_EQ(component_label(2, 4), "xz");
+  EXPECT_EQ(component_label(2, 5), "yz");
+  EXPECT_EQ(d[3].lx, 1);
+  EXPECT_EQ(d[3].ly, 1);
+  EXPECT_EQ(d[3].lz, 0);
+}
+
+TEST(Cartesian, LabelsMatchExponents) {
+  for (int l = 0; l <= kMaxAngularMomentum; ++l) {
+    const auto comps = cartesian_components(l);
+    for (int i = 0; i < num_cartesians(l); ++i) {
+      const auto label = component_label(l, i);
+      if (l == 0) {
+        EXPECT_EQ(label, "1");
+        continue;
+      }
+      int nx = 0, ny = 0, nz = 0;
+      for (char ch : label) {
+        nx += (ch == 'x');
+        ny += (ch == 'y');
+        nz += (ch == 'z');
+      }
+      EXPECT_EQ(nx, comps[i].lx) << "l=" << l << " i=" << i;
+      EXPECT_EQ(ny, comps[i].ly);
+      EXPECT_EQ(nz, comps[i].lz);
+    }
+  }
+}
+
+TEST(Cartesian, ShellLetters) {
+  EXPECT_EQ(shell_letter(0), 's');
+  EXPECT_EQ(shell_letter(1), 'p');
+  EXPECT_EQ(shell_letter(2), 'd');
+  EXPECT_EQ(shell_letter(3), 'f');
+  EXPECT_EQ(shell_letter(4), 'g');
+  for (int l = 0; l <= kMaxAngularMomentum; ++l) {
+    EXPECT_EQ(shell_momentum(shell_letter(l)), l);
+  }
+  EXPECT_EQ(shell_momentum('q'), -1);
+}
+
+TEST(Cartesian, DoubleFactorial) {
+  EXPECT_DOUBLE_EQ(double_factorial_odd(0), 1.0);   // (-1)!!
+  EXPECT_DOUBLE_EQ(double_factorial_odd(1), 1.0);   // 1!!
+  EXPECT_DOUBLE_EQ(double_factorial_odd(2), 3.0);   // 3!!
+  EXPECT_DOUBLE_EQ(double_factorial_odd(3), 15.0);  // 5!!
+  EXPECT_DOUBLE_EQ(double_factorial_odd(4), 105.0); // 7!!
+}
+
+}  // namespace
+}  // namespace pastri::qc

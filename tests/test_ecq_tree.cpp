@@ -1,0 +1,150 @@
+// Tests for the five ECQ encoding trees of Fig. 7.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/ecq_tree.h"
+#include "core/quantize.h"
+
+namespace pastri {
+namespace {
+
+const EcqTree kAllTrees[] = {EcqTree::Tree1, EcqTree::Tree2, EcqTree::Tree3,
+                             EcqTree::Tree4, EcqTree::Tree5};
+
+class EcqTreeTest : public ::testing::TestWithParam<EcqTree> {};
+
+TEST_P(EcqTreeTest, RoundTripSmallValues) {
+  const EcqTree t = GetParam();
+  for (unsigned ecb : {2u, 3u, 4u, 6u, 8u, 15u, 22u}) {
+    bitio::BitWriter w;
+    std::vector<std::int64_t> vals;
+    const std::int64_t lim = (std::int64_t{1} << (ecb - 1)) - 1;
+    for (std::int64_t v = -std::min<std::int64_t>(lim, 40);
+         v <= std::min<std::int64_t>(lim, 40); ++v) {
+      if (t == EcqTree::Tree5 && ecb <= 2 && std::abs(v) > 1) continue;
+      vals.push_back(v);
+      ecq_encode(w, t, v, ecb);
+    }
+    const auto bytes = w.take();
+    bitio::BitReader r(bytes);
+    for (std::int64_t v : vals) {
+      EXPECT_EQ(ecq_decode(r, t, ecb), v)
+          << ecq_tree_name(t) << " ecb=" << ecb;
+    }
+  }
+}
+
+TEST_P(EcqTreeTest, RoundTripRandomSequences) {
+  const EcqTree t = GetParam();
+  std::mt19937_64 gen(77);
+  for (unsigned ecb : {3u, 7u, 12u}) {
+    const std::int64_t lim = (std::int64_t{1} << (ecb - 1)) - 1;
+    std::uniform_int_distribution<std::int64_t> dist(-lim, lim);
+    std::vector<std::int64_t> vals(2000);
+    // Skewed distribution: mostly zeros, like real ECQ streams.
+    std::bernoulli_distribution zero(0.8);
+    for (auto& v : vals) v = zero(gen) ? 0 : dist(gen);
+    bitio::BitWriter w;
+    for (auto v : vals) ecq_encode(w, t, v, ecb);
+    const auto bytes = w.take();
+    bitio::BitReader r(bytes);
+    for (auto v : vals) {
+      ASSERT_EQ(ecq_decode(r, t, ecb), v) << ecq_tree_name(t);
+    }
+  }
+}
+
+TEST_P(EcqTreeTest, CodeLengthMatchesActualEncoding) {
+  const EcqTree t = GetParam();
+  for (unsigned ecb : {2u, 5u, 9u}) {
+    const std::int64_t lim = (std::int64_t{1} << (ecb - 1)) - 1;
+    for (std::int64_t v = -std::min<std::int64_t>(lim, 33);
+         v <= std::min<std::int64_t>(lim, 33); ++v) {
+      if (t == EcqTree::Tree5 && ecb <= 2 && std::abs(v) > 1) continue;
+      bitio::BitWriter w;
+      ecq_encode(w, t, v, ecb);
+      EXPECT_EQ(w.bit_count(), ecq_code_length(t, v, ecb))
+          << ecq_tree_name(t) << " v=" << v << " ecb=" << ecb;
+    }
+  }
+}
+
+TEST_P(EcqTreeTest, ZeroIsOneBit) {
+  // Every tree encodes the dominant symbol 0 in a single bit.
+  EXPECT_EQ(ecq_code_length(GetParam(), 0, 8), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrees, EcqTreeTest,
+                         ::testing::ValuesIn(kAllTrees),
+                         [](const auto& info) {
+                           return ecq_tree_name(info.param);
+                         });
+
+TEST(EcqTreeShapes, Tree1Lengths) {
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree1, 0, 8), 1u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree1, 1, 8), 9u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree1, -100, 8), 9u);
+}
+
+TEST(EcqTreeShapes, Tree2GreedyOnes) {
+  // Fig. 7: Tree 2 puts +-1 high: 0 -> 1 bit, 1 -> 2 bits, -1 -> 3 bits,
+  // others -> 3 + EC_b.
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree2, 0, 8), 1u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree2, 1, 8), 2u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree2, -1, 8), 3u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree2, 5, 8), 11u);
+}
+
+TEST(EcqTreeShapes, Tree3OthersHigher) {
+  // Tree 3 pushes "others" up: 2 + EC_b, and +-1 down to 3 bits.
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree3, 5, 8), 10u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree3, 1, 8), 3u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree3, -1, 8), 3u);
+}
+
+TEST(EcqTreeShapes, Tree4BinDepths) {
+  // Tree 4 spends 2*bin - 1 bits ("-1 is encoded by 10 followed by 0 for
+  // 1 and 1 for -1", "+-[2,3] by 110 followed by 2 bits" -- Fig. 7):
+  // +-1 -> 3, +-[2,3] -> 5, +-[4,7] -> 7.
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree4, 1, 8), 3u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree4, -1, 8), 3u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree4, 3, 8), 5u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree4, 7, 8), 7u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree4, 8, 8), 9u);
+}
+
+TEST(EcqTreeShapes, Tree5AdaptsToType1Blocks) {
+  // EC_b,max = 2 (type 1): the optimal {0, 1, -1} tree.
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree5, 0, 2), 1u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree5, 1, 2), 2u);
+  EXPECT_EQ(ecq_code_length(EcqTree::Tree5, -1, 2), 2u);
+  // Larger EC_b,max: identical to Tree 3.
+  for (std::int64_t v : {0l, 1l, -1l, 9l, -30l}) {
+    EXPECT_EQ(ecq_code_length(EcqTree::Tree5, v, 9),
+              ecq_code_length(EcqTree::Tree3, v, 9));
+  }
+}
+
+TEST(EcqTreeShapes, Tree5BeatsOthersOnType1Streams) {
+  // On a type-1 stream (only 0 and +-1), Tree 5 must be the shortest.
+  std::mt19937_64 gen(5);
+  std::vector<std::int64_t> vals(5000);
+  std::bernoulli_distribution zero(0.85), sign(0.5);
+  for (auto& v : vals) v = zero(gen) ? 0 : (sign(gen) ? 1 : -1);
+  const std::size_t t5 = ecq_encoded_bits(EcqTree::Tree5, vals, 2);
+  for (EcqTree t : {EcqTree::Tree1, EcqTree::Tree2, EcqTree::Tree3,
+                    EcqTree::Tree4}) {
+    EXPECT_LE(t5, ecq_encoded_bits(t, vals, 2)) << ecq_tree_name(t);
+  }
+}
+
+TEST(EcqTreeShapes, EncodedBitsSumsLengths) {
+  const std::vector<std::int64_t> vals{0, 0, 1, -1, 7, 0, -3};
+  std::size_t expect = 0;
+  for (auto v : vals) expect += ecq_code_length(EcqTree::Tree3, v, 6);
+  EXPECT_EQ(ecq_encoded_bits(EcqTree::Tree3, vals, 6), expect);
+}
+
+}  // namespace
+}  // namespace pastri

@@ -1,0 +1,96 @@
+// Tests for the FPC lossless baseline (paper ref. [9]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compressors/lossless/fpc.h"
+#include "test_util.h"
+
+namespace pastri::baselines {
+namespace {
+
+TEST(Fpc, RoundTripEmpty) {
+  const auto back = fpc_decompress(fpc_compress({}));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Fpc, RoundTripExactBits) {
+  // FPC is lossless: bit-exact round trip including signed zeros, denormals
+  // and non-finite values.
+  std::vector<double> data{0.0,
+                           -0.0,
+                           1.0,
+                           -1.0,
+                           3.141592653589793,
+                           1e-310,  // denormal
+                           -1e308,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  const auto back = fpc_decompress(fpc_compress(data));
+  ASSERT_EQ(back.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]),
+              std::bit_cast<std::uint64_t>(data[i]))
+        << i;
+  }
+}
+
+TEST(Fpc, RoundTripRandom) {
+  const auto data = pastri::testutil::random_doubles(50000, -1.0, 1.0, 5);
+  const auto back = fpc_decompress(fpc_compress(data));
+  EXPECT_EQ(back, data);
+}
+
+TEST(Fpc, RoundTripEriData) {
+  const auto& ds = pastri::testutil::small_eri_dataset();
+  const auto back = fpc_decompress(fpc_compress(ds.values));
+  EXPECT_EQ(back, ds.values);
+}
+
+TEST(Fpc, RepetitiveDataCompressesWell) {
+  std::vector<double> data(100000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i % 17);  // strongly predictable
+  }
+  const auto stream = fpc_compress(data);
+  EXPECT_LT(stream.size(), data.size() * 8 / 4);
+  EXPECT_EQ(fpc_decompress(stream), data);
+}
+
+TEST(Fpc, EriRatioInLosslessBand) {
+  // The paper's related-work claim: lossless compressors reach only
+  // ~1.1-2x on (nonzero) scientific floating-point data.  Zero blocks
+  // inflate this somewhat; require the ratio stays well below lossy.
+  const auto& ds = pastri::testutil::small_eri_dataset();
+  const auto stream = fpc_compress(ds.values);
+  const double ratio = static_cast<double>(ds.size_bytes()) /
+                       static_cast<double>(stream.size());
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Fpc, TableSizeTradesRatio) {
+  const auto data = pastri::testutil::random_doubles(20000, 0.0, 1.0, 9);
+  FpcParams small{6}, large{20};
+  const auto s_small = fpc_compress(data, small);
+  const auto s_large = fpc_compress(data, large);
+  EXPECT_EQ(fpc_decompress(s_small), data);
+  EXPECT_EQ(fpc_decompress(s_large), data);
+}
+
+TEST(Fpc, RejectsBadParams) {
+  FpcParams p;
+  p.table_log2 = 2;
+  EXPECT_THROW(fpc_compress({}, p), std::invalid_argument);
+  p.table_log2 = 30;
+  EXPECT_THROW(fpc_compress({}, p), std::invalid_argument);
+}
+
+TEST(Fpc, CorruptMagicThrows) {
+  auto stream = fpc_compress(std::vector<double>(8, 1.0));
+  stream[0] ^= 0xFF;
+  EXPECT_THROW(fpc_decompress(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pastri::baselines

@@ -1,0 +1,117 @@
+// Failure-injection tests: every decompressor must reject corrupt or
+// truncated streams with an exception (never crash, hang, or read out of
+// bounds).  Random bit flips and truncations are applied to valid
+// streams of every codec.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compressors/lossless/fpc.h"
+#include "compressors/lossless/lzss.h"
+#include "compressors/rpp/rpp.h"
+#include "compressors/sz/sz.h"
+#include "compressors/zfp/zfp.h"
+#include "core/pastri.h"
+#include "test_util.h"
+
+namespace pastri {
+namespace {
+
+/// Run `decode` over mutated copies of `stream`; success or a thrown
+/// std::exception are both acceptable, anything else aborts the test
+/// process (caught by the harness as a crash).
+template <typename Decode>
+void fuzz_stream(const std::vector<std::uint8_t>& stream, Decode&& decode,
+                 int trials, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> mutated = stream;
+    const int kind = static_cast<int>(gen() % 3);
+    if (kind == 0 && !mutated.empty()) {
+      // Flip 1-8 random bits.
+      const int flips = 1 + static_cast<int>(gen() % 8);
+      for (int f = 0; f < flips; ++f) {
+        mutated[gen() % mutated.size()] ^=
+            static_cast<std::uint8_t>(1u << (gen() % 8));
+      }
+    } else if (kind == 1 && mutated.size() > 4) {
+      mutated.resize(4 + gen() % (mutated.size() - 4));  // truncate
+    } else {
+      // Append garbage.
+      for (int k = 0; k < 16; ++k) {
+        mutated.push_back(static_cast<std::uint8_t>(gen()));
+      }
+    }
+    try {
+      (void)decode(mutated);
+    } catch (const std::exception&) {
+      // rejected cleanly
+    }
+  }
+}
+
+std::vector<double> fuzz_payload() {
+  const BlockSpec spec{12, 12};
+  std::vector<double> data;
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    auto block = testutil::noisy_pattern_block(spec, 1e-6, b);
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  return data;
+}
+
+TEST(Fuzz, PastriDecompressorNeverCrashes) {
+  const auto data = fuzz_payload();
+  Params p;
+  const auto stream = compress(data, BlockSpec{12, 12}, p);
+  fuzz_stream(
+      stream, [](const auto& s) { return decompress(s); }, 300, 1);
+}
+
+TEST(Fuzz, SzDecompressorNeverCrashes) {
+  const auto data = fuzz_payload();
+  baselines::SzParams p;
+  const auto stream = baselines::sz_compress(data, p);
+  fuzz_stream(
+      stream, [](const auto& s) { return baselines::sz_decompress(s); },
+      200, 2);
+}
+
+TEST(Fuzz, ZfpDecompressorNeverCrashes) {
+  const auto data = fuzz_payload();
+  baselines::ZfpParams p;
+  const auto stream = baselines::zfp_compress(data, p);
+  fuzz_stream(
+      stream, [](const auto& s) { return baselines::zfp_decompress(s); },
+      200, 3);
+}
+
+TEST(Fuzz, LzssDecompressorNeverCrashes) {
+  const auto data = fuzz_payload();
+  std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(data.data()),
+      data.size() * sizeof(double));
+  const auto stream = baselines::lzss_compress(bytes);
+  fuzz_stream(
+      stream, [](const auto& s) { return baselines::lzss_decompress(s); },
+      200, 4);
+}
+
+TEST(Fuzz, FpcDecompressorNeverCrashes) {
+  const auto data = fuzz_payload();
+  const auto stream = baselines::fpc_compress(data);
+  fuzz_stream(
+      stream, [](const auto& s) { return baselines::fpc_decompress(s); },
+      200, 5);
+}
+
+TEST(Fuzz, RppDecompressorNeverCrashes) {
+  const auto data = fuzz_payload();
+  const auto stream = baselines::rpp_compress(data, 1e-10);
+  fuzz_stream(
+      stream, [](const auto& s) { return baselines::rpp_decompress(s); },
+      200, 6);
+}
+
+}  // namespace
+}  // namespace pastri

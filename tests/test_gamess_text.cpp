@@ -1,0 +1,99 @@
+// Tests for the text-format dataset adapter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "qc/gamess_text.h"
+#include "test_util.h"
+
+namespace pastri::qc {
+namespace {
+
+TEST(GamessText, RoundTripBitExact) {
+  const EriDataset& ds = testutil::small_eri_dataset();
+  std::stringstream ss;
+  write_gamess_text(ds, ss);
+  const EriDataset back = read_gamess_text(ss);
+  EXPECT_EQ(back.label, ds.label);
+  EXPECT_EQ(back.shape, ds.shape);
+  EXPECT_EQ(back.num_blocks, ds.num_blocks);
+  ASSERT_EQ(back.values.size(), ds.values.size());
+  for (std::size_t i = 0; i < ds.values.size(); ++i) {
+    // max_digits10 printing must reproduce the exact double.
+    ASSERT_EQ(back.values[i], ds.values[i]) << i;
+  }
+}
+
+TEST(GamessText, FileRoundTrip) {
+  const EriDataset& ds = testutil::hybrid_eri_dataset();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pastri_gtext.txt")
+          .string();
+  save_gamess_text(ds, path);
+  const EriDataset back = load_gamess_text(path);
+  EXPECT_EQ(back.values, ds.values);
+  EXPECT_EQ(back.shape, ds.shape);
+  std::remove(path.c_str());
+}
+
+TEST(GamessText, EmptyDataset) {
+  EriDataset empty;
+  empty.label = "empty (ss|ss)";
+  empty.shape.n = {1, 1, 1, 1};
+  std::stringstream ss;
+  write_gamess_text(empty, ss);
+  const EriDataset back = read_gamess_text(ss);
+  EXPECT_EQ(back.num_blocks, 0u);
+  EXPECT_EQ(back.label, "empty (ss|ss)");
+}
+
+TEST(GamessText, RejectsMalformedInputs) {
+  {
+    std::stringstream ss("not a dataset at all");
+    EXPECT_THROW(read_gamess_text(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("$ERIDATA x\n$SHAPE 0 1 1 1\n$END\n");
+    EXPECT_THROW(read_gamess_text(ss), std::runtime_error);
+  }
+  {
+    // Truncated block values.
+    std::stringstream ss(
+        "$ERIDATA x\n$SHAPE 1 1 1 2\n$BLOCK 0\n0.5\n$END\n");
+    EXPECT_THROW(read_gamess_text(ss), std::runtime_error);
+  }
+  {
+    // Out-of-order blocks.
+    std::stringstream ss(
+        "$ERIDATA x\n$SHAPE 1 1 1 1\n$BLOCK 1\n0.5\n$END\n");
+    EXPECT_THROW(read_gamess_text(ss), std::runtime_error);
+  }
+  {
+    // Missing $END.
+    std::stringstream ss(
+        "$ERIDATA x\n$SHAPE 1 1 1 1\n$BLOCK 0\n0.5\n");
+    EXPECT_THROW(read_gamess_text(ss), std::runtime_error);
+  }
+  EXPECT_THROW(load_gamess_text("/nonexistent/file.txt"),
+               std::runtime_error);
+}
+
+TEST(GamessText, SpecialValuesSurvive) {
+  EriDataset ds;
+  ds.label = "special (ss|ss)";
+  ds.shape.n = {1, 1, 2, 2};
+  ds.num_blocks = 1;
+  ds.values = {0.0, -0.0, 1e-300, -9.87654321098765432e10};
+  std::stringstream ss;
+  write_gamess_text(ds, ss);
+  const EriDataset back = read_gamess_text(ss);
+  ASSERT_EQ(back.values.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.values[i], ds.values[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pastri::qc

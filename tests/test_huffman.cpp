@@ -1,0 +1,140 @@
+// Tests for the canonical Huffman codec used by the SZ-style baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "compressors/huffman.h"
+
+namespace pastri::baselines {
+namespace {
+
+std::vector<std::uint32_t> sample_symbols(
+    const std::vector<std::uint64_t>& freq, std::size_t n,
+    std::uint64_t seed) {
+  std::vector<double> weights(freq.begin(), freq.end());
+  std::discrete_distribution<std::uint32_t> dist(weights.begin(),
+                                                 weights.end());
+  std::mt19937_64 gen(seed);
+  std::vector<std::uint32_t> out(n);
+  for (auto& s : out) s = dist(gen);
+  return out;
+}
+
+TEST(Huffman, RoundTripUniform) {
+  std::vector<std::uint64_t> freq(16, 10);
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  const auto symbols = sample_symbols(freq, 1000, 1);
+  bitio::BitWriter w;
+  for (auto s : symbols) codec.encode(w, s);
+  const auto bytes = w.take();
+  bitio::BitReader r(bytes);
+  for (auto s : symbols) ASSERT_EQ(codec.decode(r), s);
+}
+
+TEST(Huffman, RoundTripSkewed) {
+  std::vector<std::uint64_t> freq{100000, 5000, 5000, 100, 100, 7, 3, 1};
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  const auto symbols = sample_symbols(freq, 5000, 2);
+  bitio::BitWriter w;
+  for (auto s : symbols) codec.encode(w, s);
+  const auto bytes = w.take();
+  bitio::BitReader r(bytes);
+  for (auto s : symbols) ASSERT_EQ(codec.decode(r), s);
+}
+
+TEST(Huffman, SkewedCodesAreShorterForFrequentSymbols) {
+  std::vector<std::uint64_t> freq{1000000, 1000, 1000, 10, 10, 1, 1, 1};
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  EXPECT_LT(codec.code_length(0), codec.code_length(5));
+  EXPECT_LE(codec.code_length(1), codec.code_length(3));
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freq(64, 0);
+  freq[42] = 999;
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  EXPECT_EQ(codec.code_length(42), 1u);
+  bitio::BitWriter w;
+  for (int i = 0; i < 10; ++i) codec.encode(w, 42);
+  const auto bytes = w.take();
+  bitio::BitReader r(bytes);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(codec.decode(r), 42u);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint64_t> freq{3, 0, 0, 7};
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  EXPECT_EQ(codec.code_length(0), 1u);
+  EXPECT_EQ(codec.code_length(3), 1u);
+  EXPECT_EQ(codec.code_length(1), 0u);  // no code
+}
+
+TEST(Huffman, SerializationRoundTrip) {
+  std::vector<std::uint64_t> freq(256, 0);
+  freq[0] = 10000;
+  freq[10] = 500;
+  freq[200] = 500;
+  freq[255] = 3;
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  bitio::BitWriter w;
+  codec.serialize(w);
+  const auto symbols = sample_symbols(freq, 2000, 3);
+  for (auto s : symbols) codec.encode(w, s);
+  const auto bytes = w.take();
+
+  bitio::BitReader r(bytes);
+  const auto rebuilt = HuffmanCodec::from_stream(r);
+  EXPECT_EQ(rebuilt.alphabet_size(), codec.alphabet_size());
+  for (auto s : symbols) ASSERT_EQ(rebuilt.decode(r), s);
+}
+
+TEST(Huffman, CompressionNearEntropy) {
+  // For a heavily skewed distribution the average code length must land
+  // near the Shannon entropy (within half a bit, Huffman's bound).
+  std::vector<std::uint64_t> freq{900, 50, 25, 12, 6, 3, 2, 2};
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  double total = 0, entropy = 0, avg_len = 0;
+  for (auto f : freq) total += static_cast<double>(f);
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] == 0) continue;
+    const double p = static_cast<double>(freq[s]) / total;
+    entropy -= p * std::log2(p);
+    avg_len += p * codec.code_length(static_cast<std::uint32_t>(s));
+  }
+  EXPECT_GE(avg_len, entropy - 1e-9);
+  EXPECT_LE(avg_len, entropy + 1.0);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  std::mt19937_64 gen(9);
+  std::vector<std::uint64_t> freq(512);
+  for (auto& f : freq) f = gen() % 1000;
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  double kraft = 0;
+  for (std::uint32_t s = 0; s < freq.size(); ++s) {
+    if (codec.code_length(s) > 0) {
+      kraft += std::ldexp(1.0, -static_cast<int>(codec.code_length(s)));
+    }
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(Huffman, DictionaryBitsPositive) {
+  std::vector<std::uint64_t> freq(65536, 0);
+  freq[32768] = 100;
+  freq[32769] = 50;
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  // Sparse 2^16 alphabet must serialize compactly (zero-run RLE).
+  EXPECT_GT(codec.dictionary_bits(), 0u);
+  EXPECT_LT(codec.dictionary_bits(), 1000u);
+}
+
+TEST(Huffman, EmptyFrequencies) {
+  std::vector<std::uint64_t> freq(8, 0);
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  for (std::uint32_t s = 0; s < 8; ++s) EXPECT_EQ(codec.code_length(s), 0u);
+}
+
+}  // namespace
+}  // namespace pastri::baselines

@@ -1,0 +1,199 @@
+// Cross-module integration tests: the full paper pipeline on real ERI
+// data -- generate, compress with all three codecs, verify error bounds,
+// the Fig. 3 pattern property, and the paper's qualitative orderings.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "compressors/compressor_iface.h"
+#include "core/pastri.h"
+#include "qc/eri_engine.h"
+#include "test_util.h"
+#include "zchecker/metrics.h"
+
+namespace pastri {
+namespace {
+
+using testutil::max_abs_diff;
+
+struct CodecCase {
+  const char* name;
+  bool is_pastri;
+};
+
+class AllCodecsOnEri : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<baselines::LossyCompressor> make(
+      const qc::EriDataset& ds) const {
+    const std::string which = GetParam();
+    const BlockSpec spec{ds.shape.num_sub_blocks(),
+                         ds.shape.sub_block_size()};
+    if (which == "PaSTRI") return baselines::make_pastri_compressor(spec);
+    if (which == "SZ") return baselines::make_sz_compressor();
+    return baselines::make_zfp_compressor();
+  }
+};
+
+TEST_P(AllCodecsOnEri, ErrorBoundAndCompression) {
+  const auto& ds = testutil::small_eri_dataset();
+  const auto codec = make(ds);
+  for (double eb : {1e-9, 1e-10, 1e-11}) {
+    const auto stream = codec->compress(ds.values, eb);
+    const auto back = codec->decompress(stream);
+    ASSERT_EQ(back.size(), ds.values.size());
+    EXPECT_LE(max_abs_diff(ds.values, back), eb * (1 + 1e-12))
+        << codec->name() << " eb=" << eb;
+    EXPECT_LT(stream.size(), ds.size_bytes()) << codec->name();
+  }
+}
+
+TEST_P(AllCodecsOnEri, CoarserBoundNeverBigger) {
+  const auto& ds = testutil::small_eri_dataset();
+  const auto codec = make(ds);
+  const auto fine = codec->compress(ds.values, 1e-11);
+  const auto coarse = codec->compress(ds.values, 1e-9);
+  EXPECT_LE(coarse.size(), fine.size()) << codec->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, AllCodecsOnEri,
+                         ::testing::Values("PaSTRI", "SZ", "ZFP"));
+
+TEST(Integration, PastriBeatsBaselinesOnEriData) {
+  // The headline of Fig. 9(a): PaSTRI's ratio exceeds both SZ's and
+  // ZFP's on every ERI dataset.
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  const double eb = 1e-10;
+  const auto pastri_size =
+      baselines::make_pastri_compressor(spec)->compress(ds.values, eb)
+          .size();
+  const auto sz_size =
+      baselines::make_sz_compressor()->compress(ds.values, eb).size();
+  const auto zfp_size =
+      baselines::make_zfp_compressor()->compress(ds.values, eb).size();
+  EXPECT_LT(pastri_size, sz_size);
+  EXPECT_LT(pastri_size, zfp_size);
+}
+
+TEST(Integration, Fig3PatternProperty) {
+  // Sub-blocks of one ERI block correlate strongly once rescaled -- the
+  // observation of Fig. 3(b,c).
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  std::size_t checked = 0;
+  for (std::size_t b = 0; b < ds.num_blocks && checked < 10; ++b) {
+    const auto block = ds.block(b);
+    double mx = 0;
+    for (double v : block) mx = std::max(mx, std::abs(v));
+    if (mx < 1e-7) continue;
+    ++checked;
+    const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+    const auto pattern = block.subspan(
+        sel.pattern_sub_block * spec.sub_block_size, spec.sub_block_size);
+    for (std::size_t j = 0; j < spec.num_sub_blocks; ++j) {
+      if (std::abs(sel.scales[j]) < 0.01) continue;  // near-null sub-block
+      const double corr = zchecker::pearson_correlation(
+          block.subspan(j * spec.sub_block_size, spec.sub_block_size),
+          pattern);
+      EXPECT_GT(std::abs(corr), 0.9) << "block " << b << " sub " << j;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Integration, BlockTypeCensusHasZeroHeavyTail) {
+  // On a spatially extended molecule most sampled quartets are far-field:
+  // types 0/1 dominate (Fig. 6's "70-80%" census).
+  qc::DatasetOptions o;
+  o.config = {2, 2, 2, 2};
+  o.max_blocks = 600;
+  o.seed = 31;
+  const auto ds = qc::generate_eri_dataset(qc::make_trialanine(), o);
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  Params p;
+  Stats st;
+  compress(ds.values, spec, p, &st);
+  const double frac01 =
+      static_cast<double>(st.blocks_by_type[0] + st.blocks_by_type[1]) /
+      static_cast<double>(st.num_blocks);
+  EXPECT_GT(frac01, 0.5);
+}
+
+TEST(Integration, StorageBreakdownMatchesPaper) {
+  // Section V-B: ECQ dominates the output (~70-80%), PQ+SQ ~20-30%.
+  // The proportions drift with dataset mix; assert the ordering and
+  // sane bounds rather than exact percentages.
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  Params p;
+  Stats st;
+  compress(ds.values, spec, p, &st);
+  const double total = static_cast<double>(st.pattern_bits +
+                                           st.scale_bits + st.ecq_bits);
+  EXPECT_GT(st.ecq_bits / total, 0.4);
+  EXPECT_GT((st.pattern_bits + st.scale_bits) / total, 0.05);
+}
+
+TEST(Integration, RateDistortionMonotone) {
+  // Fig. 9(b): finer bounds give higher PSNR and higher bitrate.
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  const auto codec = baselines::make_pastri_compressor(spec);
+  double prev_psnr = -1, prev_rate = -1;
+  for (double eb : {1e-8, 1e-9, 1e-10, 1e-11}) {
+    const auto stream = codec->compress(ds.values, eb);
+    const auto back = codec->decompress(stream);
+    const auto stats = zchecker::compare(ds.values, back);
+    const double rate =
+        zchecker::bitrate_bits_per_value(ds.size_bytes(), stream.size());
+    EXPECT_GT(stats.psnr_db, prev_psnr) << "eb=" << eb;
+    EXPECT_GT(rate, prev_rate) << "eb=" << eb;
+    prev_psnr = stats.psnr_db;
+    prev_rate = rate;
+  }
+}
+
+TEST(Integration, HybridConfigCompresses) {
+  const auto& ds = testutil::hybrid_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  const auto codec = baselines::make_pastri_compressor(spec);
+  const auto stream = codec->compress(ds.values, 1e-10);
+  const auto back = codec->decompress(stream);
+  EXPECT_LE(max_abs_diff(ds.values, back), 1e-10 * (1 + 1e-12));
+}
+
+TEST(Integration, DecompressionFasterThanRecomputation) {
+  // Fig. 11's premise: decompressing a dataset is faster than
+  // regenerating it with the integral engine.
+  qc::DatasetOptions o;
+  o.config = {2, 2, 2, 2};
+  o.max_blocks = 150;
+  const auto t_gen0 = std::chrono::steady_clock::now();
+  const auto ds = qc::generate_eri_dataset(qc::make_benzene(), o);
+  const auto t_gen1 = std::chrono::steady_clock::now();
+
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  Params p;
+  const auto stream = compress(ds.values, spec, p);
+  const auto t_dec0 = std::chrono::steady_clock::now();
+  const auto back = decompress(stream);
+  const auto t_dec1 = std::chrono::steady_clock::now();
+
+  const double gen_secs =
+      std::chrono::duration<double>(t_gen1 - t_gen0).count();
+  const double dec_secs =
+      std::chrono::duration<double>(t_dec1 - t_dec0).count();
+  EXPECT_LT(dec_secs, gen_secs);
+  (void)back;
+}
+
+}  // namespace
+}  // namespace pastri

@@ -1,0 +1,129 @@
+// Tests for the PFS performance model and file-per-process I/O helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/file_per_process.h"
+#include "io/pfs_model.h"
+
+namespace pastri::io {
+namespace {
+
+TEST(PfsModel, BandwidthMonotoneInCores) {
+  const PfsModel m;
+  double prev = 0.0;
+  for (int cores : {1, 16, 64, 256, 1024, 4096}) {
+    const double bw = m.aggregate_bandwidth(cores);
+    EXPECT_GE(bw, prev) << cores;
+    prev = bw;
+  }
+}
+
+TEST(PfsModel, BandwidthSaturatesBelowPeak) {
+  const PfsModel m;
+  EXPECT_LT(m.aggregate_bandwidth(1 << 20), m.peak_bandwidth_mbps);
+  EXPECT_GT(m.aggregate_bandwidth(1 << 20), 0.99 * m.peak_bandwidth_mbps);
+}
+
+TEST(PfsModel, SmallCoreCountTakesBindingMinimum) {
+  const PfsModel m;
+  const double expect =
+      std::min(m.per_core_bandwidth_mbps,
+               m.peak_bandwidth_mbps / (1.0 + m.half_saturation_cores));
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth(1), expect);
+  EXPECT_LE(m.aggregate_bandwidth(1), m.per_core_bandwidth_mbps);
+}
+
+TEST(PfsModel, RejectsZeroCores) {
+  const PfsModel m;
+  EXPECT_THROW(m.aggregate_bandwidth(0), std::invalid_argument);
+}
+
+TEST(PfsModel, HigherRatioDumpsFaster) {
+  const PfsModel m;
+  CodecProfile slow{"low", 5.0, 500.0, 800.0};
+  CodecProfile fast{"high", 17.0, 500.0, 800.0};
+  const double t_slow = dump_time(m, slow, 2000.0, 512).total_seconds();
+  const double t_fast = dump_time(m, fast, 2000.0, 512).total_seconds();
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(PfsModel, LoadMirrorsDump) {
+  const PfsModel m;
+  CodecProfile c{"x", 10.0, 400.0, 400.0};
+  const IoTimes d = dump_time(m, c, 1000.0, 256);
+  const IoTimes l = load_time(m, c, 1000.0, 256);
+  EXPECT_DOUBLE_EQ(d.io_seconds, l.io_seconds);  // symmetric BW model
+  EXPECT_DOUBLE_EQ(d.compute_seconds, l.compute_seconds);
+}
+
+TEST(PfsModel, MoreCoresNeverSlower) {
+  const PfsModel m;
+  CodecProfile c{"x", 16.8, 660.0, 1110.0};
+  double prev = 1e300;
+  for (int cores : {256, 512, 1024, 2048}) {
+    const double t = dump_time(m, c, 2000.0, cores).total_seconds();
+    EXPECT_LE(t, prev) << cores;
+    prev = t;
+  }
+}
+
+TEST(PfsModel, RawIoDominatesCompressed) {
+  // The paper: writing the original data takes "extremely long" compared
+  // with compressed dumps.
+  const PfsModel m;
+  CodecProfile c{"PaSTRI", 16.8, 660.0, 1110.0};
+  const double raw = raw_io_time(m, 2000.0, 1024);
+  const double dumped = dump_time(m, c, 2000.0, 1024).total_seconds();
+  EXPECT_GT(raw, 2.0 * dumped);
+}
+
+class FppTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "pastri_fpp_test")
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(FppTest, WriteReadRoundTrip) {
+  const std::vector<std::uint8_t> data{10, 20, 30, 40, 50};
+  write_rank_file(dir_, "chunk", 3, data);
+  EXPECT_EQ(read_rank_file(dir_, "chunk", 3), data);
+  EXPECT_TRUE(remove_rank_file(dir_, "chunk", 3));
+  EXPECT_FALSE(remove_rank_file(dir_, "chunk", 3));
+}
+
+TEST_F(FppTest, ReadMissingThrows) {
+  EXPECT_THROW(read_rank_file(dir_, "nope", 0), std::runtime_error);
+}
+
+TEST_F(FppTest, TimedDumpLoadPreservesData) {
+  std::vector<std::uint8_t> data(1 << 18);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+  const double dump_secs = timed_dump(dir_, "blob", 7, data);
+  EXPECT_GE(dump_secs, 0.0);
+  double load_secs = -1.0;
+  const auto back = timed_load(dir_, "blob", 7, &load_secs);
+  EXPECT_EQ(back, data);
+  EXPECT_GE(load_secs, 0.0);
+  for (int r = 0; r < 7; ++r) remove_rank_file(dir_, "blob", r);
+}
+
+TEST_F(FppTest, MoreRanksThanBytes) {
+  const std::vector<std::uint8_t> data{1, 2};
+  timed_dump(dir_, "tiny", 5, data);
+  const auto back = timed_load(dir_, "tiny", 5, nullptr);
+  EXPECT_EQ(back, data);
+}
+
+}  // namespace
+}  // namespace pastri::io

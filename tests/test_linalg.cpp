@@ -1,0 +1,117 @@
+// Tests for the small dense linear algebra used by the SCF substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "qc/linalg.h"
+
+namespace pastri::qc {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      m(i, j) = m(j, i) = dist(gen);
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a = random_symmetric(5, 1);
+  const Matrix i = Matrix::identity(5);
+  EXPECT_LT((a * i).max_abs_diff(a), 1e-15);
+  EXPECT_LT((i * a).max_abs_diff(a), 1e-15);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a = random_symmetric(6, 2);
+  EXPECT_LT(a.transpose().transpose().max_abs_diff(a), 1e-15);
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  const Matrix a = random_symmetric(4, 3);
+  const Matrix b = random_symmetric(4, 4);
+  EXPECT_LT(((a + b) - b).max_abs_diff(a), 1e-14);
+}
+
+TEST(Jacobi, DiagonalMatrix) {
+  Matrix d(3);
+  d(0, 0) = 3.0;
+  d(1, 1) = -1.0;
+  d(2, 2) = 2.0;
+  const EigenResult r = jacobi_eigensolver(d);
+  EXPECT_NEAR(r.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 1 and 3.
+  Matrix a(2);
+  a(0, 0) = a(1, 1) = 2.0;
+  a(0, 1) = a(1, 0) = 1.0;
+  const EigenResult r = jacobi_eigensolver(a);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const Matrix a = random_symmetric(8, seed);
+    const EigenResult r = jacobi_eigensolver(a);
+    // A = V diag(w) V^T
+    Matrix recon(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          sum += r.eigenvectors(i, k) * r.eigenvalues[k] *
+                 r.eigenvectors(j, k);
+        }
+        recon(i, j) = sum;
+      }
+    }
+    EXPECT_LT(recon.max_abs_diff(a), 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  const Matrix a = random_symmetric(7, 9);
+  const EigenResult r = jacobi_eigensolver(a);
+  const Matrix vtv = r.eigenvectors.transpose() * r.eigenvectors;
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(7)), 1e-10);
+}
+
+TEST(Jacobi, EigenvaluesAscending) {
+  const EigenResult r = jacobi_eigensolver(random_symmetric(10, 11));
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_LE(r.eigenvalues[i - 1], r.eigenvalues[i]);
+  }
+}
+
+TEST(Orthogonalizer, XtSXIsIdentity) {
+  // Build an SPD "overlap-like" matrix: S = I + small symmetric.
+  Matrix s = Matrix::identity(6);
+  const Matrix noise = random_symmetric(6, 13);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      s(i, j) += 0.1 * noise(i, j);
+    }
+  }
+  const Matrix x = symmetric_orthogonalizer(s);
+  const Matrix xtsx = x.transpose() * s * x;
+  EXPECT_LT(xtsx.max_abs_diff(Matrix::identity(6)), 1e-9);
+}
+
+TEST(Orthogonalizer, SingularThrows) {
+  Matrix s(3);  // all zero: singular
+  EXPECT_THROW(symmetric_orthogonalizer(s), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pastri::qc

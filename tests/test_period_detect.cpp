@@ -1,0 +1,117 @@
+// Tests for automatic sub-block period detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/period_detect.h"
+#include "core/pastri.h"
+#include "test_util.h"
+
+namespace pastri {
+namespace {
+
+TEST(PeriodDetect, ExactPatternScoresPerfectly) {
+  const BlockSpec spec{12, 30};
+  const auto block = testutil::exact_pattern_block(spec, 4);
+  EXPECT_NEAR(score_period(block, 30), 1.0, 1e-9);
+}
+
+TEST(PeriodDetect, WrongPeriodScoresLower) {
+  const BlockSpec spec{12, 30};
+  const auto block = testutil::exact_pattern_block(spec, 4);
+  // 30 divides 360; competing divisors that are NOT multiples of the true
+  // period must score clearly worse.
+  const double right = score_period(block, 30);
+  for (std::size_t wrong : {4u, 9u, 20u, 45u, 72u}) {
+    EXPECT_LT(score_period(block, wrong) + 0.15, right) << wrong;
+  }
+}
+
+TEST(PeriodDetect, MultiplesOfTruePeriodScoreLow) {
+  // A double-length slice contains two *differently scaled* copies of
+  // the pattern, so it is not a scalar multiple of another double-length
+  // slice: the explained-variance score punishes period multiples and
+  // the suggester lands on the base period.
+  const BlockSpec spec{12, 30};
+  const auto block = testutil::exact_pattern_block(spec, 4);
+  EXPECT_LT(score_period(block, 60), 0.9);
+  const BlockSpec suggested = suggest_block_spec(block, 180);
+  EXPECT_EQ(suggested.sub_block_size, 30u);
+  EXPECT_EQ(suggested.num_sub_blocks, 12u);
+}
+
+TEST(PeriodDetect, NoisyPatternStillDetected) {
+  const BlockSpec spec{16, 25};
+  auto block = testutil::noisy_pattern_block(spec, 0.02, 8);
+  const BlockSpec suggested = suggest_block_spec(block, 200);
+  EXPECT_EQ(suggested.sub_block_size, 25u);
+}
+
+TEST(PeriodDetect, RandomDataFallsBackToTrivial) {
+  const auto data = testutil::random_doubles(360, -1.0, 1.0, 17);
+  const BlockSpec suggested = suggest_block_spec(data, 180);
+  EXPECT_EQ(suggested.num_sub_blocks, 1u);
+  EXPECT_EQ(suggested.sub_block_size, 360u);
+}
+
+TEST(PeriodDetect, RealEriBlockRecoversKetPairSize) {
+  // For a (dd|dd) block the paper's geometry is 36 sub-blocks of 36.
+  const auto& ds = testutil::small_eri_dataset();
+  std::size_t hits = 0, checked = 0;
+  for (std::size_t b = 0; b < ds.num_blocks && checked < 12; ++b) {
+    const auto block = ds.block(b);
+    double mx = 0;
+    for (double v : block) mx = std::max(mx, std::abs(v));
+    if (mx < 1e-8) continue;
+    ++checked;
+    const BlockSpec s = suggest_block_spec(block, 200, 0.7);
+    if (s.sub_block_size == 36) ++hits;
+  }
+  ASSERT_GT(checked, 0u);
+  // Physics deviations blur some near-field blocks; most must resolve.
+  EXPECT_GE(2 * hits, checked);
+}
+
+TEST(PeriodDetect, RankedCandidatesSorted) {
+  const BlockSpec spec{10, 24};
+  const auto block = testutil::exact_pattern_block(spec, 2);
+  const auto ranked = rank_periods(block, 2, 120);
+  ASSERT_FALSE(ranked.empty());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+  EXPECT_EQ(ranked.front().period, 24u);  // the true period wins outright
+}
+
+TEST(PeriodDetect, DetectedSpecCompressesAsWellAsTrueSpec) {
+  // End-to-end: compressing with the auto-detected geometry must land
+  // within a few percent of the known-geometry ratio.
+  const BlockSpec truth{36, 36};
+  std::vector<double> data;
+  for (std::uint64_t b = 0; b < 24; ++b) {
+    auto block = testutil::noisy_pattern_block(truth, 1e-9, b);
+    for (double& v : block) v *= 1e-6;
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  const BlockSpec detected = suggest_block_spec(
+      std::span<const double>(data).first(truth.block_size()), 200);
+  EXPECT_EQ(detected.sub_block_size, truth.sub_block_size);
+
+  Params p;
+  Stats st_true, st_detected;
+  compress(data, truth, p, &st_true);
+  compress(data, BlockSpec{truth.num_sub_blocks, detected.sub_block_size},
+           p, &st_detected);
+  EXPECT_GT(st_detected.ratio(), 0.9 * st_true.ratio());
+}
+
+TEST(PeriodDetect, DegenerateInputs) {
+  EXPECT_EQ(score_period({}, 4), 0.0);
+  const std::vector<double> zeros(64, 0.0);
+  EXPECT_EQ(score_period(zeros, 8), 0.0);
+  const BlockSpec s = suggest_block_spec(zeros, 32);
+  EXPECT_EQ(s.num_sub_blocks, 1u);
+}
+
+}  // namespace
+}  // namespace pastri

@@ -1,0 +1,172 @@
+// Tests for the quantization calculus of Section IV-B.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quantize.h"
+#include "test_util.h"
+
+namespace pastri {
+namespace {
+
+TEST(QuantSpec, PaperWorkedExample) {
+  // Section IV-B: EB = 1e-10, typical P range [-1e-7, 1e-7] -> P_b = 10.
+  const QuantSpec q = make_quant_spec(1e-7, 1e-10);
+  EXPECT_EQ(q.pattern_bits, 10u);
+  EXPECT_EQ(q.scale_bits, 10u);  // practical approach: S_b = P_b
+  EXPECT_DOUBLE_EQ(q.pattern_binsize, 2e-10);
+  EXPECT_DOUBLE_EQ(q.ec_binsize, 2e-10);
+  EXPECT_DOUBLE_EQ(q.scale_binsize, std::ldexp(1.0, -9));
+}
+
+TEST(QuantSpec, BitsGrowWithDynamicRange) {
+  const double eb = 1e-10;
+  unsigned prev = 0;
+  for (double ext : {1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 10.0}) {
+    const QuantSpec q = make_quant_spec(ext, eb);
+    EXPECT_GT(q.pattern_bits, prev) << "ext=" << ext;
+    prev = q.pattern_bits;
+  }
+}
+
+TEST(QuantSpec, TinyPatternGetsMinimalBits) {
+  const QuantSpec q = make_quant_spec(1e-12, 1e-10);
+  EXPECT_EQ(q.pattern_bits, 2u);  // PQ_ext = 0 -> 1 magnitude bit + sign
+}
+
+TEST(QuantSpec, CappedAt54Bits) {
+  const QuantSpec q = make_quant_spec(1e10, 1e-12);
+  EXPECT_LE(q.pattern_bits, 54u);
+}
+
+TEST(EcqBin, PaperBinBoundaries) {
+  // Fig. 6: 0 -> 1 bit, +-1 -> 2, +-[2,3] -> 3, +-[4,7] -> 4, ...
+  EXPECT_EQ(ecq_bin(0), 1u);
+  EXPECT_EQ(ecq_bin(1), 2u);
+  EXPECT_EQ(ecq_bin(-1), 2u);
+  EXPECT_EQ(ecq_bin(2), 3u);
+  EXPECT_EQ(ecq_bin(3), 3u);
+  EXPECT_EQ(ecq_bin(-3), 3u);
+  EXPECT_EQ(ecq_bin(4), 4u);
+  EXPECT_EQ(ecq_bin(7), 4u);
+  EXPECT_EQ(ecq_bin(8), 5u);
+  EXPECT_EQ(ecq_bin(-1024), 12u);
+  EXPECT_EQ(ecq_bin(INT64_MIN), 65u);
+}
+
+TEST(EcqBin, SignedRangeFitsInBinBits) {
+  // Every value of bin i must be representable in i bits two's complement.
+  for (std::int64_t v = -40; v <= 40; ++v) {
+    const unsigned b = ecq_bin(v);
+    EXPECT_GE(v, -(std::int64_t{1} << (b - 1))) << v;
+    EXPECT_LE(v, (std::int64_t{1} << (b - 1)) - 1) << v;
+  }
+}
+
+TEST(BlockType, PaperClassification) {
+  EXPECT_EQ(block_type(1), 0);
+  EXPECT_EQ(block_type(2), 1);
+  EXPECT_EQ(block_type(3), 2);
+  EXPECT_EQ(block_type(6), 2);
+  EXPECT_EQ(block_type(7), 3);
+  EXPECT_EQ(block_type(22), 3);  // the paper's typical EC_b,max ceiling
+}
+
+class QuantizeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(QuantizeRoundTrip, ErrorBoundHolds) {
+  const auto [eb, noise] = GetParam();
+  const BlockSpec spec{9, 14};
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto block = testutil::noisy_pattern_block(spec, noise, seed);
+    const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+    const QuantizedBlock qb = quantize_block(block, spec, sel, eb);
+    std::vector<double> out(block.size());
+    dequantize_block(qb, spec, out);
+    EXPECT_LE(testutil::max_abs_diff(block, out), eb * (1 + 1e-12))
+        << "eb=" << eb << " noise=" << noise << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EbNoiseGrid, QuantizeRoundTrip,
+    ::testing::Combine(::testing::Values(1e-6, 1e-9, 1e-10, 1e-11),
+                       ::testing::Values(0.0, 1e-8, 1e-4, 1e-1)));
+
+TEST(Quantize, ExactPatternNeedsNoOutliers) {
+  // An exact pattern block quantizes with ECQ in {0, +-1}: only the
+  // quantization error of P and S remains (Eq. 23: at most 2 extra bins).
+  const BlockSpec spec{10, 20};
+  const auto block = testutil::exact_pattern_block(spec, 21);
+  const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+  const QuantizedBlock qb = quantize_block(block, spec, sel, 1e-10);
+  EXPECT_LE(qb.ecb_max, 3u);
+}
+
+TEST(Quantize, OutlierCountMatchesNonzeroEcq) {
+  const BlockSpec spec{5, 8};
+  const auto block = testutil::noisy_pattern_block(spec, 1e-3, 2);
+  const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+  const QuantizedBlock qb = quantize_block(block, spec, sel, 1e-9);
+  std::size_t nz = 0;
+  for (auto v : qb.ecq) nz += (v != 0);
+  EXPECT_EQ(qb.num_outliers, nz);
+}
+
+TEST(Quantize, EcbMaxConsistentWithCodes) {
+  const BlockSpec spec{5, 8};
+  const auto block = testutil::noisy_pattern_block(spec, 1e-2, 3);
+  const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+  const QuantizedBlock qb = quantize_block(block, spec, sel, 1e-10);
+  unsigned mx = 1;
+  for (auto v : qb.ecq) mx = std::max(mx, ecq_bin(v));
+  EXPECT_EQ(qb.ecb_max, mx);
+}
+
+TEST(Quantize, AllZeroBlock) {
+  const BlockSpec spec{4, 4};
+  const std::vector<double> block(16, 0.0);
+  const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+  const QuantizedBlock qb = quantize_block(block, spec, sel, 1e-10);
+  EXPECT_EQ(qb.num_outliers, 0u);
+  EXPECT_EQ(qb.ecb_max, 1u);
+  std::vector<double> out(16, 1.0);
+  dequantize_block(qb, spec, out);
+  for (double v : out) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Quantize, ErrorBoundOnRealEriBlocks) {
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  const double eb = 1e-10;
+  for (std::size_t b = 0; b < std::min<std::size_t>(ds.num_blocks, 40);
+       ++b) {
+    const auto block = ds.block(b);
+    const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+    const QuantizedBlock qb = quantize_block(block, spec, sel, eb);
+    std::vector<double> out(block.size());
+    dequantize_block(qb, spec, out);
+    EXPECT_LE(testutil::max_abs_diff(block, out), eb * (1 + 1e-12))
+        << "block " << b;
+  }
+}
+
+TEST(Quantize, ScaleQuantizationSymmetric) {
+  // SQ must reconstruct S = -1 exactly and S = +1 within one bin.
+  const QuantSpec q = make_quant_spec(1e-7, 1e-10);
+  const double sbin = q.scale_binsize;
+  const auto reconstruct = [&](double s) {
+    const auto v = std::llround(s / sbin);
+    const std::int64_t hi = (std::int64_t{1} << (q.scale_bits - 1)) - 1;
+    const std::int64_t lo = -(std::int64_t{1} << (q.scale_bits - 1));
+    return static_cast<double>(std::clamp<std::int64_t>(v, lo, hi)) * sbin;
+  };
+  EXPECT_DOUBLE_EQ(reconstruct(-1.0), -1.0);
+  EXPECT_NEAR(reconstruct(1.0), 1.0, sbin);
+  EXPECT_NEAR(reconstruct(0.37), 0.37, sbin / 2 * (1 + 1e-12));
+}
+
+}  // namespace
+}  // namespace pastri

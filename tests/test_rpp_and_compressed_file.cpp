@@ -1,0 +1,129 @@
+// Tests for the reduced-precision-pack baseline (paper ref. [19]) and
+// the sharded compressed-dataset container.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "compressors/rpp/rpp.h"
+#include "io/compressed_file.h"
+#include "test_util.h"
+
+namespace pastri {
+namespace {
+
+using testutil::max_abs_diff;
+
+TEST(Rpp, RoundTripWithinBound) {
+  const auto data = testutil::random_doubles(10000, -1.0, 1.0, 3);
+  for (double eb : {1e-6, 1e-10, 1e-13}) {
+    const auto back =
+        baselines::rpp_decompress(baselines::rpp_compress(data, eb));
+    ASSERT_EQ(back.size(), data.size());
+    EXPECT_LE(max_abs_diff(data, back), eb) << eb;
+  }
+}
+
+TEST(Rpp, EriDataWithinBound) {
+  const auto& ds = testutil::small_eri_dataset();
+  const auto back = baselines::rpp_decompress(
+      baselines::rpp_compress(ds.values, 1e-10));
+  EXPECT_LE(max_abs_diff(ds.values, back), 1e-10);
+}
+
+TEST(Rpp, RatioInPaperBand) {
+  // Section II: a customized real-number format reaches only ~1.5-2.5x
+  // on data whose magnitudes sit well above the bound.  Uniform values
+  // in [0.5, 1] at EB=1e-10 need sign+exp+~33 mantissa bits ~= 45 bits.
+  const auto data = testutil::random_doubles(20000, 0.5, 1.0, 7);
+  const auto stream = baselines::rpp_compress(data, 1e-10);
+  const double ratio =
+      static_cast<double>(data.size() * 8) / stream.size();
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(Rpp, TinyValuesCollapse) {
+  const std::vector<double> data(5000, 1e-14);
+  const auto stream = baselines::rpp_compress(data, 1e-10);
+  EXPECT_LT(stream.size(), 700u + 32);  // ~1 bit per value
+  for (double v : baselines::rpp_decompress(stream)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Rpp, Rejections) {
+  EXPECT_THROW(baselines::rpp_compress({}, 0.0), std::invalid_argument);
+  auto stream = baselines::rpp_compress(std::vector<double>(4, 1.0), 1e-9);
+  stream[0] ^= 0x7;
+  EXPECT_THROW(baselines::rpp_decompress(stream), std::runtime_error);
+}
+
+class CompressedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "pastri_cfile_test")
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(CompressedFileTest, RoundTripSingleShard) {
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  const std::size_t bytes =
+      io::write_compressed_dataset(ds, p, 1, dir_, "ds");
+  EXPECT_LT(bytes, ds.size_bytes());
+  const auto back = io::read_compressed_dataset(dir_, "ds");
+  EXPECT_EQ(back.label, ds.label);
+  EXPECT_EQ(back.shape, ds.shape);
+  EXPECT_EQ(back.num_blocks, ds.num_blocks);
+  EXPECT_LE(max_abs_diff(ds.values, back.values),
+            p.error_bound * (1 + 1e-12));
+}
+
+TEST_F(CompressedFileTest, RoundTripManyShards) {
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  io::write_compressed_dataset(ds, p, 7, dir_, "sharded");
+  const auto info = io::read_manifest(dir_, "sharded");
+  EXPECT_EQ(info.layout.num_shards, 7u);
+  std::size_t total = 0;
+  for (auto n : info.layout.blocks_per_shard) total += n;
+  EXPECT_EQ(total, ds.num_blocks);
+  const auto back = io::read_compressed_dataset(dir_, "sharded");
+  EXPECT_LE(max_abs_diff(ds.values, back.values),
+            p.error_bound * (1 + 1e-12));
+}
+
+TEST_F(CompressedFileTest, MoreShardsThanBlocks) {
+  qc::EriDataset tiny;
+  tiny.label = "tiny";
+  tiny.shape.n = {1, 1, 2, 2};
+  tiny.num_blocks = 3;
+  tiny.values = {1e-3, 2e-3, 3e-3, 4e-3, 0, 0, 0, 0, -1e-5, 0, 1e-5, 2e-5};
+  Params p;
+  io::write_compressed_dataset(tiny, p, 8, dir_, "tiny");
+  const auto back = io::read_compressed_dataset(dir_, "tiny");
+  EXPECT_EQ(back.num_blocks, 3u);
+  EXPECT_LE(max_abs_diff(tiny.values, back.values),
+            p.error_bound * (1 + 1e-12));
+}
+
+TEST_F(CompressedFileTest, MissingManifestThrows) {
+  EXPECT_THROW(io::read_compressed_dataset(dir_, "nothing"),
+               std::runtime_error);
+}
+
+TEST_F(CompressedFileTest, RejectsBadShardCount) {
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  EXPECT_THROW(io::write_compressed_dataset(ds, p, 0, dir_, "x"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pastri

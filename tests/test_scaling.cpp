@@ -1,0 +1,184 @@
+// Tests for pattern-scaling metric selection (Section IV-A, Fig. 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scaling.h"
+#include "test_util.h"
+
+namespace pastri {
+namespace {
+
+using testutil::exact_pattern_block;
+
+const ScalingMetric kAllMetrics[] = {ScalingMetric::FR, ScalingMetric::ER,
+                                     ScalingMetric::AR, ScalingMetric::AAR,
+                                     ScalingMetric::IS};
+
+class ScalingMetricTest : public ::testing::TestWithParam<ScalingMetric> {};
+
+TEST_P(ScalingMetricTest, ScalesAlwaysInUnitInterval) {
+  const BlockSpec spec{12, 25};
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto block = testutil::random_doubles(spec.block_size(), -5.0,
+                                                5.0, seed);
+    const auto sel = select_pattern(block, spec, GetParam());
+    ASSERT_EQ(sel.scales.size(), spec.num_sub_blocks);
+    for (double s : sel.scales) {
+      EXPECT_GE(s, -1.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_P(ScalingMetricTest, ExactPatternRecovered) {
+  // When sub-blocks truly are scalar multiples, every metric must find
+  // scales that reconstruct the block exactly (up to fp roundoff).
+  const BlockSpec spec{8, 30};
+  const auto block = exact_pattern_block(spec, 3);
+  const auto sel = select_pattern(block, spec, GetParam());
+  const auto pattern = std::span<const double>(block).subspan(
+      sel.pattern_sub_block * spec.sub_block_size, spec.sub_block_size);
+  for (std::size_t j = 0; j < spec.num_sub_blocks; ++j) {
+    for (std::size_t i = 0; i < spec.sub_block_size; ++i) {
+      EXPECT_NEAR(block[j * spec.sub_block_size + i],
+                  sel.scales[j] * pattern[i], 1e-12)
+          << scaling_metric_name(GetParam()) << " j=" << j << " i=" << i;
+    }
+  }
+}
+
+TEST_P(ScalingMetricTest, AllZeroBlock) {
+  const BlockSpec spec{4, 9};
+  const std::vector<double> block(spec.block_size(), 0.0);
+  const auto sel = select_pattern(block, spec, GetParam());
+  for (double s : sel.scales) EXPECT_EQ(s, 0.0);
+}
+
+TEST_P(ScalingMetricTest, PatternScaleIsUnity) {
+  // The pattern sub-block must scale to itself with coefficient ~1
+  // (sign-corrected metrics may give exactly 1 as well).
+  const BlockSpec spec{6, 20};
+  const auto block = testutil::noisy_pattern_block(spec, 1e-3, 11);
+  const auto sel = select_pattern(block, spec, GetParam());
+  EXPECT_NEAR(std::abs(sel.scales[sel.pattern_sub_block]), 1.0, 1e-12);
+}
+
+TEST_P(ScalingMetricTest, SingleSubBlockDegenerate) {
+  const BlockSpec spec{1, 16};
+  const auto block = testutil::random_doubles(16, -2.0, 2.0, 5);
+  const auto sel = select_pattern(block, spec, GetParam());
+  EXPECT_EQ(sel.pattern_sub_block, 0u);
+  EXPECT_NEAR(std::abs(sel.scales[0]), 1.0, 1e-12);
+}
+
+TEST_P(ScalingMetricTest, SubBlockSizeOneDegenerate) {
+  const BlockSpec spec{10, 1};
+  const auto block = testutil::random_doubles(10, -2.0, 2.0, 6);
+  const auto sel = select_pattern(block, spec, GetParam());
+  for (double s : sel.scales) {
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, ScalingMetricTest,
+                         ::testing::ValuesIn(kAllMetrics),
+                         [](const auto& info) {
+                           return scaling_metric_name(info.param);
+                         });
+
+TEST(ScalingER, PicksSubBlockWithGlobalExtremum) {
+  const BlockSpec spec{4, 5};
+  std::vector<double> block(20, 0.1);
+  block[2 * 5 + 3] = -7.5;  // extremum in sub-block 2
+  const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+  EXPECT_EQ(sel.pattern_sub_block, 2u);
+  EXPECT_EQ(sel.scales[2], 1.0);  // the pattern itself
+  // Other sub-blocks scale by value-at-extremum-index ratio.
+  EXPECT_NEAR(sel.scales[0], 0.1 / -7.5, 1e-15);
+}
+
+TEST(ScalingFR, PicksLargestFirstPoint) {
+  const BlockSpec spec{3, 4};
+  std::vector<double> block{0.5, 9, 9, 9,   //
+                            -2.0, 1, 1, 1,  //
+                            1.0, 3, 3, 3};
+  const auto sel = select_pattern(block, spec, ScalingMetric::FR);
+  EXPECT_EQ(sel.pattern_sub_block, 1u);  // |-2.0| largest first point
+  EXPECT_NEAR(sel.scales[0], 0.5 / -2.0, 1e-15);
+  EXPECT_NEAR(sel.scales[2], 1.0 / -2.0, 1e-15);
+}
+
+TEST(ScalingAR, UsesSignedAverages) {
+  const BlockSpec spec{2, 4};
+  std::vector<double> block{1, 1, 1, 1, -2, -2, -2, -2};
+  const auto sel = select_pattern(block, spec, ScalingMetric::AR);
+  EXPECT_EQ(sel.pattern_sub_block, 1u);  // |avg| = 2 wins
+  EXPECT_NEAR(sel.scales[0], -0.5, 1e-15);
+  EXPECT_NEAR(sel.scales[1], 1.0, 1e-15);
+}
+
+TEST(ScalingAAR, SignCorrectionRecoverNegatedSubBlock) {
+  const BlockSpec spec{2, 6};
+  std::vector<double> block(12);
+  for (int i = 0; i < 6; ++i) {
+    block[i] = 0.5 * (i + 1);
+    block[6 + i] = -1.0 * (i + 1);  // exactly -2x the first sub-block
+  }
+  const auto sel = select_pattern(block, spec, ScalingMetric::AAR);
+  EXPECT_EQ(sel.pattern_sub_block, 1u);
+  EXPECT_NEAR(sel.scales[0], -0.5, 1e-12);  // sign-corrected
+}
+
+TEST(ScalingIS, LargestRangeWinsWithSignCorrection) {
+  const BlockSpec spec{2, 4};
+  std::vector<double> block{1, -1, 2, 0, -3, 3, -6, 0};
+  const auto sel = select_pattern(block, spec, ScalingMetric::IS);
+  EXPECT_EQ(sel.pattern_sub_block, 1u);  // range 9 beats 3
+  // Sub-block 0 is -1/3 of the pattern: range ratio 3/9, negative corr.
+  EXPECT_NEAR(sel.scales[0], -1.0 / 3.0, 1e-12);
+}
+
+TEST(ScalingER, RealEriBlocksWellMatched) {
+  // On real ERI data the ER scaled pattern must explain the bulk of every
+  // sub-block (correlation of |values|), the property Fig. 3 shows.
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  std::size_t checked = 0, well_matched = 0;
+  for (std::size_t b = 0; b < ds.num_blocks && checked < 20; ++b) {
+    const auto block = ds.block(b);
+    double mx = 0;
+    for (double v : block) mx = std::max(mx, std::abs(v));
+    if (mx < 1e-8) continue;  // skip screened/far blocks
+    ++checked;
+    const auto sel = select_pattern(block, spec, ScalingMetric::ER);
+    const auto pattern = block.subspan(
+        sel.pattern_sub_block * spec.sub_block_size, spec.sub_block_size);
+    double dev = 0;
+    for (std::size_t j = 0; j < spec.num_sub_blocks; ++j) {
+      for (std::size_t i = 0; i < spec.sub_block_size; ++i) {
+        dev = std::max(dev, std::abs(block[j * spec.sub_block_size + i] -
+                                     sel.scales[j] * pattern[i]));
+      }
+    }
+    // Near-field blocks carry genuine multipole deviations (the paper's
+    // Fig. 3(d) shows deviations up to a few percent of the amplitude);
+    // the scaled pattern must still explain the bulk of the block.
+    EXPECT_LT(dev, 0.6 * mx) << "block " << b;
+    if (dev < 0.1 * mx) ++well_matched;
+  }
+  EXPECT_GT(checked, 0u);
+  // The majority of blocks must be matched to better than 10 %.
+  EXPECT_GE(2 * well_matched, checked);
+}
+
+TEST(ScalingNames, AllDistinct) {
+  std::set<std::string> names;
+  for (auto m : kAllMetrics) names.insert(scaling_metric_name(m));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pastri

@@ -1,0 +1,138 @@
+// Tests for the streaming (block-at-a-time) API and its interoperability
+// with the one-shot compress/decompress functions.
+#include <gtest/gtest.h>
+
+#include "core/stream.h"
+#include "test_util.h"
+
+namespace pastri {
+namespace {
+
+using testutil::max_abs_diff;
+
+TEST(Stream, InteropStreamingCompressOneShotDecompress) {
+  const BlockSpec spec{9, 11};
+  Params p;
+  StreamCompressor sc(spec, p);
+  std::vector<double> all;
+  for (std::uint64_t b = 0; b < 20; ++b) {
+    const auto block = testutil::noisy_pattern_block(spec, 1e-6, b);
+    sc.append_block(block);
+    all.insert(all.end(), block.begin(), block.end());
+  }
+  EXPECT_EQ(sc.blocks_appended(), 20u);
+  const auto stream = sc.finish();
+  const auto back = decompress(stream);
+  EXPECT_LE(max_abs_diff(all, back), p.error_bound * (1 + 1e-12));
+}
+
+TEST(Stream, InteropOneShotCompressStreamingDecompress) {
+  const BlockSpec spec{6, 16};
+  Params p;
+  std::vector<double> all;
+  for (std::uint64_t b = 0; b < 15; ++b) {
+    const auto block = testutil::noisy_pattern_block(spec, 1e-5, b + 100);
+    all.insert(all.end(), block.begin(), block.end());
+  }
+  const auto stream = compress(all, spec, p);
+
+  StreamDecompressor sd(stream);
+  EXPECT_EQ(sd.info().num_blocks, 15u);
+  EXPECT_EQ(sd.info().spec, spec);
+  std::vector<double> block(spec.block_size());
+  std::size_t b = 0;
+  while (sd.next_block(block)) {
+    EXPECT_LE(max_abs_diff(
+                  std::span<const double>(all).subspan(
+                      b * spec.block_size(), spec.block_size()),
+                  block),
+              p.error_bound * (1 + 1e-12))
+        << "block " << b;
+    ++b;
+  }
+  EXPECT_EQ(b, 15u);
+  EXPECT_EQ(sd.blocks_remaining(), 0u);
+  EXPECT_FALSE(sd.next_block(block));
+}
+
+TEST(Stream, IdenticalBytesToOneShot) {
+  const BlockSpec spec{8, 8};
+  Params p;
+  std::vector<double> all;
+  StreamCompressor sc(spec, p);
+  for (std::uint64_t b = 0; b < 10; ++b) {
+    const auto block = testutil::noisy_pattern_block(spec, 1e-7, b + 7);
+    sc.append_block(block);
+    all.insert(all.end(), block.begin(), block.end());
+  }
+  EXPECT_EQ(sc.finish(), compress(all, spec, p));
+}
+
+TEST(Stream, EmptyStream) {
+  const BlockSpec spec{4, 4};
+  Params p;
+  StreamCompressor sc(spec, p);
+  const auto stream = sc.finish();
+  StreamDecompressor sd(stream);
+  EXPECT_EQ(sd.info().num_blocks, 0u);
+  std::vector<double> block(16);
+  EXPECT_FALSE(sd.next_block(block));
+}
+
+TEST(Stream, RejectsWrongBlockSize) {
+  const BlockSpec spec{4, 4};
+  Params p;
+  StreamCompressor sc(spec, p);
+  std::vector<double> wrong(15, 1.0);
+  EXPECT_THROW(sc.append_block(wrong), std::invalid_argument);
+
+  std::vector<double> data(32, 1.0);
+  const auto stream = compress(data, spec, p);
+  StreamDecompressor sd(stream);
+  std::vector<double> small(8);
+  EXPECT_THROW(sd.next_block(small), std::invalid_argument);
+}
+
+TEST(Stream, CompressorReusableAfterFinish) {
+  const BlockSpec spec{4, 4};
+  Params p;
+  StreamCompressor sc(spec, p);
+  const auto b1 = testutil::noisy_pattern_block(spec, 1e-6, 1);
+  sc.append_block(b1);
+  const auto s1 = sc.finish();
+  sc.append_block(b1);
+  const auto s2 = sc.finish();
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Stream, TruncatedPayloadThrows) {
+  const BlockSpec spec{8, 8};
+  Params p;
+  std::vector<double> data(64 * 3, 0.5);
+  auto stream = compress(data, spec, p);
+  stream.resize(stream.size() - 2);
+  StreamDecompressor sd(stream);
+  std::vector<double> block(64);
+  EXPECT_THROW(
+      {
+        while (sd.next_block(block)) {
+        }
+      },
+      std::exception);
+}
+
+TEST(Stream, StatsAccumulate) {
+  const BlockSpec spec{6, 6};
+  Params p;
+  StreamCompressor sc(spec, p);
+  for (std::uint64_t b = 0; b < 5; ++b) {
+    sc.append_block(testutil::noisy_pattern_block(spec, 1e-6, b));
+  }
+  const auto stream = sc.finish();
+  EXPECT_EQ(sc.stats().num_blocks, 5u);
+  EXPECT_EQ(sc.stats().input_bytes, 5u * 36 * 8);
+  EXPECT_EQ(sc.stats().output_bytes, stream.size());
+}
+
+}  // namespace
+}  // namespace pastri

@@ -1,0 +1,142 @@
+// Tests for the SZ-style baseline compressor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "compressors/sz/sz.h"
+#include "test_util.h"
+
+namespace pastri::baselines {
+namespace {
+
+using pastri::testutil::max_abs_diff;
+
+class SzEbSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SzEbSweep, SmoothSignalWithinBound) {
+  const double eb = GetParam();
+  std::vector<double> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double t = static_cast<double>(i) * 0.001;
+    data[i] = std::sin(2 * std::numbers::pi * t) * std::exp(-t * 0.1);
+  }
+  SzParams p;
+  p.error_bound = eb;
+  const auto stream = sz_compress(data, p);
+  const auto back = sz_decompress(stream);
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_LE(max_abs_diff(data, back), eb * (1 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(EbRange, SzEbSweep,
+                         ::testing::Values(1e-4, 1e-8, 1e-10, 1e-12));
+
+TEST(Sz, RandomDataWithinBound) {
+  const auto data = pastri::testutil::random_doubles(5000, -1.0, 1.0, 3);
+  SzParams p;
+  p.error_bound = 1e-9;
+  const auto back = sz_decompress(sz_compress(data, p));
+  EXPECT_LE(max_abs_diff(data, back), p.error_bound * (1 + 1e-12));
+}
+
+TEST(Sz, RealEriDataWithinBound) {
+  const auto& ds = pastri::testutil::small_eri_dataset();
+  SzParams p;
+  p.error_bound = 1e-10;
+  const auto back = sz_decompress(sz_compress(ds.values, p));
+  EXPECT_LE(max_abs_diff(ds.values, back), p.error_bound * (1 + 1e-12));
+}
+
+TEST(Sz, SmoothDataCompressesWell) {
+  std::vector<double> data(50000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1e-6 * std::sin(i * 0.01);
+  }
+  SzParams p;
+  p.error_bound = 1e-10;
+  SzStats st;
+  const auto stream = sz_compress(data, p, &st);
+  EXPECT_GT(static_cast<double>(data.size() * 8) / stream.size(), 8.0);
+  EXPECT_GT(st.quantized_points, st.unpredictable_points);
+}
+
+TEST(Sz, WildDataStillBounded) {
+  // Huge dynamic range and sign flips force the unpredictable path.
+  std::vector<double> data;
+  for (int e = -300; e <= 300; e += 7) {
+    data.push_back(std::ldexp(1.0, e));
+    data.push_back(-std::ldexp(1.0, e));
+  }
+  data.push_back(0.0);
+  SzParams p;
+  p.error_bound = 1e-10;
+  SzStats st;
+  const auto back = sz_decompress(sz_compress(data, p, &st));
+  EXPECT_LE(max_abs_diff(data, back), p.error_bound * (1 + 1e-12));
+  EXPECT_GT(st.unpredictable_points, 0u);
+}
+
+TEST(Sz, ZerosCompressTight) {
+  const std::vector<double> data(100000, 0.0);
+  SzParams p;
+  const auto stream = sz_compress(data, p);
+  // Huffman floors at 1 bit per point -> the ratio ceiling is ~64x.
+  EXPECT_GT(static_cast<double>(data.size() * 8) / stream.size(), 40.0);
+  const auto back = sz_decompress(stream);
+  for (double v : back) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Sz, EmptyInput) {
+  SzParams p;
+  const auto back = sz_decompress(sz_compress({}, p));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Sz, SingleValue) {
+  const std::vector<double> data{0.123456789};
+  SzParams p;
+  p.error_bound = 1e-12;
+  const auto back = sz_decompress(sz_compress(data, p));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_NEAR(back[0], data[0], 1e-12);
+}
+
+TEST(Sz, RejectsBadParams) {
+  SzParams p;
+  p.error_bound = 0.0;
+  EXPECT_THROW(sz_compress({}, p), std::invalid_argument);
+  p.error_bound = 1e-10;
+  p.intervals = 1000;  // not a power of two
+  EXPECT_THROW(sz_compress({}, p), std::invalid_argument);
+  p.intervals = 2;
+  EXPECT_THROW(sz_compress({}, p), std::invalid_argument);
+}
+
+TEST(Sz, CorruptMagicThrows) {
+  SzParams p;
+  auto stream = sz_compress(std::vector<double>(64, 1.0), p);
+  stream[1] ^= 0x55;
+  EXPECT_THROW(sz_decompress(stream), std::runtime_error);
+}
+
+TEST(Sz, StatsAddUp) {
+  const auto data = pastri::testutil::random_doubles(4096, -1e-6, 1e-6, 8);
+  SzParams p;
+  p.error_bound = 1e-10;
+  SzStats st;
+  sz_compress(data, p, &st);
+  EXPECT_EQ(st.quantized_points + st.unpredictable_points, data.size());
+}
+
+TEST(Sz, SmallerIntervalsStillBounded) {
+  const auto data = pastri::testutil::random_doubles(2000, -1e-7, 1e-7, 4);
+  SzParams p;
+  p.error_bound = 1e-10;
+  p.intervals = 256;
+  const auto back = sz_decompress(sz_compress(data, p));
+  EXPECT_LE(max_abs_diff(data, back), p.error_bound * (1 + 1e-12));
+}
+
+}  // namespace
+}  // namespace pastri::baselines

@@ -1,0 +1,112 @@
+// Tests for unrestricted Hartree-Fock (open-shell support, the paper's
+// "unrestricted Hartree-Fock" beneficiary).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pastri.h"
+#include "qc/scf.h"
+#include "qc/sto3g.h"
+
+namespace pastri::qc {
+namespace {
+
+Molecule h_atom() {
+  Molecule m;
+  m.name = "H";
+  m.atoms = {{"H", 1, {0, 0, 0}}};
+  return m;
+}
+
+Molecule h2_molecule(double r = 1.4) {
+  Molecule m;
+  m.name = "H2";
+  m.atoms = {{"H", 1, {0, 0, 0}}, {"H", 1, {r, 0, 0}}};
+  return m;
+}
+
+Molecule he_molecule() {
+  Molecule m;
+  m.name = "He";
+  m.atoms = {{"He", 2, {0, 0, 0}}};
+  return m;
+}
+
+TEST(Uhf, HydrogenAtomReference) {
+  // One electron: UHF is exact within the basis.  E(H, STO-3G) =
+  // -0.466582 Hartree (the STO-3G expansion of the 1s orbital).
+  const Molecule mol = h_atom();
+  const BasisSet basis = make_sto3g_basis(mol);
+  const UhfResult res =
+      run_uhf(mol, basis, compute_eri_tensor(basis), 1, 0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.total_energy, -0.466582, 1e-5);
+  // Doublet: <S^2> = 0.75 exactly for a single unpaired electron.
+  EXPECT_NEAR(res.s_squared, 0.75, 1e-10);
+}
+
+TEST(Uhf, ClosedShellMatchesRhf) {
+  for (const Molecule& mol : {h2_molecule(), he_molecule()}) {
+    const BasisSet basis = make_sto3g_basis(mol);
+    const EriTensor eri = compute_eri_tensor(basis);
+    const ScfResult rhf = run_rhf(mol, basis, eri);
+    const UhfResult uhf = run_uhf(
+        mol, basis, eri, static_cast<std::size_t>(electron_count(mol) / 2),
+        static_cast<std::size_t>(electron_count(mol) / 2));
+    ASSERT_TRUE(uhf.converged) << mol.name;
+    EXPECT_NEAR(uhf.total_energy, rhf.total_energy, 1e-8) << mol.name;
+    EXPECT_NEAR(uhf.s_squared, 0.0, 1e-8) << mol.name;
+  }
+}
+
+TEST(Uhf, TripletH2AboveSinglet) {
+  // At equilibrium the (sigma_g)^2 singlet lies well below the
+  // sigma_g sigma_u triplet.
+  const Molecule mol = h2_molecule();
+  const BasisSet basis = make_sto3g_basis(mol);
+  const EriTensor eri = compute_eri_tensor(basis);
+  const UhfResult singlet = run_uhf(mol, basis, eri, 1, 1);
+  const UhfResult triplet = run_uhf(mol, basis, eri, 2, 0);
+  ASSERT_TRUE(singlet.converged);
+  ASSERT_TRUE(triplet.converged);
+  EXPECT_GT(triplet.total_energy, singlet.total_energy + 0.1);
+  // Pure triplet with no beta electrons: <S^2> = 2 exactly.
+  EXPECT_NEAR(triplet.s_squared, 2.0, 1e-10);
+}
+
+TEST(Uhf, SpinLabelSymmetry) {
+  // Swapping alpha <-> beta occupations cannot change the energy.
+  const Molecule mol = h_atom();
+  const BasisSet basis = make_sto3g_basis(mol);
+  const EriTensor eri = compute_eri_tensor(basis);
+  const UhfResult up = run_uhf(mol, basis, eri, 1, 0);
+  const UhfResult dn = run_uhf(mol, basis, eri, 0, 1);
+  EXPECT_NEAR(up.total_energy, dn.total_energy, 1e-10);
+}
+
+TEST(Uhf, RejectsBadOccupations) {
+  const Molecule mol = h2_molecule();
+  const BasisSet basis = make_sto3g_basis(mol);
+  const EriTensor eri = compute_eri_tensor(basis);
+  EXPECT_THROW(run_uhf(mol, basis, eri, 2, 1), std::invalid_argument);
+  EXPECT_THROW(run_uhf(mol, basis, eri, 3, 0), std::invalid_argument);
+}
+
+TEST(Uhf, CompressedEriPreservesTripletGap) {
+  // The singlet-triplet gap survives lossy ERI storage at EB = 1e-10.
+  const Molecule mol = h2_molecule();
+  const BasisSet basis = make_sto3g_basis(mol);
+  const EriTensor eri = compute_eri_tensor(basis);
+  pastri::Params p;
+  const auto stream = pastri::compress(eri, pastri::BlockSpec{4, 4}, p);
+  const EriTensor restored = pastri::decompress(stream);
+  const double gap_exact = run_uhf(mol, basis, eri, 2, 0).total_energy -
+                           run_uhf(mol, basis, eri, 1, 1).total_energy;
+  const double gap_lossy =
+      run_uhf(mol, basis, restored, 2, 0).total_energy -
+      run_uhf(mol, basis, restored, 1, 1).total_energy;
+  EXPECT_NEAR(gap_exact, gap_lossy, 1e-7);
+}
+
+}  // namespace
+}  // namespace pastri::qc

@@ -1,0 +1,93 @@
+// test_util.h - Shared fixtures and data factories for the test suite.
+#pragma once
+
+#include <cmath>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/block_spec.h"
+#include "qc/eri_engine.h"
+
+namespace pastri::testutil {
+
+/// Deterministic RNG for reproducible tests.
+inline std::mt19937_64 rng(std::uint64_t seed = 0xC0FFEE) {
+  return std::mt19937_64(seed);
+}
+
+/// Uniform random doubles in [lo, hi].
+inline std::vector<double> random_doubles(std::size_t n, double lo,
+                                          double hi,
+                                          std::uint64_t seed = 0xC0FFEE) {
+  auto gen = rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(gen);
+  return v;
+}
+
+/// A block that is an *exact* pattern: sub-block j = scale_j * base.
+/// PaSTRI should compress this to pattern+scales with (almost) no ECQ.
+inline std::vector<double> exact_pattern_block(const pastri::BlockSpec& spec,
+                                               std::uint64_t seed = 7) {
+  auto gen = rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> base(spec.sub_block_size);
+  for (auto& x : base) x = dist(gen);
+  std::vector<double> block(spec.block_size());
+  for (std::size_t j = 0; j < spec.num_sub_blocks; ++j) {
+    // Guarantee at least one scale of magnitude 1 (the pattern itself).
+    const double s = (j == 0) ? 1.0 : dist(gen);
+    for (std::size_t i = 0; i < spec.sub_block_size; ++i) {
+      block[j * spec.sub_block_size + i] = s * base[i];
+    }
+  }
+  return block;
+}
+
+/// Pattern block with bounded additive noise (models real ERI deviation).
+inline std::vector<double> noisy_pattern_block(const pastri::BlockSpec& spec,
+                                               double noise,
+                                               std::uint64_t seed = 7) {
+  auto block = exact_pattern_block(spec, seed);
+  auto gen = rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  std::uniform_real_distribution<double> dist(-noise, noise);
+  for (auto& x : block) x += dist(gen);
+  return block;
+}
+
+/// Small cached ERI dataset for integration-style tests (computed once).
+inline const pastri::qc::EriDataset& small_eri_dataset() {
+  static const pastri::qc::EriDataset ds = [] {
+    pastri::qc::DatasetOptions o;
+    o.config = {2, 2, 2, 2};
+    o.max_blocks = 200;
+    o.seed = 99;
+    return pastri::qc::generate_eri_dataset(pastri::qc::make_benzene(), o);
+  }();
+  return ds;
+}
+
+/// Small (pd|dp)-style hybrid dataset exercising non-uniform shapes.
+inline const pastri::qc::EriDataset& hybrid_eri_dataset() {
+  static const pastri::qc::EriDataset ds = [] {
+    pastri::qc::DatasetOptions o;
+    o.config = {1, 2, 2, 1};
+    o.max_blocks = 150;
+    o.seed = 17;
+    return pastri::qc::generate_eri_dataset(pastri::qc::make_glutamine(), o);
+  }();
+  return ds;
+}
+
+inline double max_abs_diff(std::span<const double> a,
+                           std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace pastri::testutil

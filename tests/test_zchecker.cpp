@@ -1,0 +1,141 @@
+// Tests for the Z-Checker-style metrics library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pastri.h"
+#include "test_util.h"
+#include "zchecker/dataset_stats.h"
+#include "zchecker/metrics.h"
+
+namespace pastri::zchecker {
+namespace {
+
+TEST(Compare, IdenticalDataIsPerfect) {
+  const std::vector<double> a{1.0, -2.0, 3.5, 0.0};
+  const ErrorStats s = compare(a, a);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_EQ(s.max_abs_error, 0.0);
+  EXPECT_EQ(s.mse, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnr_db));
+}
+
+TEST(Compare, KnownErrors) {
+  const std::vector<double> a{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> b{0.1, 1.0, 1.9, 3.0};
+  const ErrorStats s = compare(a, b);
+  EXPECT_NEAR(s.max_abs_error, 0.1, 1e-15);
+  EXPECT_NEAR(s.mse, (0.01 + 0.01) / 4.0, 1e-15);
+  EXPECT_NEAR(s.mean_abs_error, 0.05, 1e-15);
+  EXPECT_NEAR(s.value_range, 3.0, 1e-15);
+  // PSNR = 20 log10(range / rmse)
+  EXPECT_NEAR(s.psnr_db, 20.0 * std::log10(3.0 / std::sqrt(0.005)), 1e-9);
+}
+
+TEST(Compare, EmptyInput) {
+  const ErrorStats s = compare({}, {});
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Ratio, Definitions) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 100), 10.0);
+  EXPECT_DOUBLE_EQ(bitrate_bits_per_value(1000, 100), 6.4);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 0), 0.0);
+}
+
+TEST(Ratio, PaperHeadline) {
+  // 16.8x ratio corresponds to ~3.8 bits per double.
+  EXPECT_NEAR(bitrate_bits_per_value(168, 10), 3.81, 0.01);
+}
+
+TEST(Histogram, CountsLandInBins) {
+  const std::vector<double> data{0.05, 0.15, 0.15, 0.95, -1.0, 2.0};
+  const auto h = histogram(data, 0.0, 1.0, 10);
+  ASSERT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[9], 1u);
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 4u);  // out-of-range values dropped
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  for (auto& v : b) v = -v;
+  EXPECT_NEAR(pearson_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedNearZero) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{1, -1, 1, -1};
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.5);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{5, 5, 5};
+  EXPECT_EQ(pearson_correlation(a, b), 0.0);
+}
+
+TEST(DatasetStats, RealEriDataset) {
+  const auto& ds = pastri::testutil::small_eri_dataset();
+  const DatasetStats st = analyze_dataset(ds);
+  EXPECT_EQ(st.num_blocks, ds.num_blocks);
+  EXPECT_LE(st.zero_blocks, st.num_blocks);
+  EXPECT_GT(st.max_extremum, 0.0);
+  EXPECT_LE(st.min_nonzero_extremum, st.max_extremum);
+  // ER pattern explains the bulk of every block (Fig. 3 property).
+  EXPECT_LT(st.mean_relative_deviation, 0.2);
+  EXPECT_LT(st.worst_relative_deviation, 0.7);
+  std::size_t decades = 0;
+  for (auto c : st.extremum_decades) decades += c;
+  EXPECT_LE(decades, st.num_blocks);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> x(400);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * M_PI * i / 8.0);
+  }
+  EXPECT_GT(autocorrelation(x, 8), 0.9);   // full period
+  EXPECT_LT(autocorrelation(x, 4), -0.9);  // half period: anti-phase
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  EXPECT_EQ(autocorrelation(std::vector<double>{1.0}, 1), 0.0);
+  const std::vector<double> constant(10, 3.0);
+  EXPECT_EQ(autocorrelation(constant, 2), 0.0);
+  const std::vector<double> x{1, 2, 3};
+  EXPECT_EQ(autocorrelation(x, 5), 0.0);  // lag beyond length
+}
+
+TEST(Autocorrelation, CompressionErrorNearWhite) {
+  // PaSTRI's quantization error should be close to white noise: no
+  // large structured autocorrelation at small lags.
+  const auto& ds = pastri::testutil::small_eri_dataset();
+  pastri::Params p;
+  const pastri::BlockSpec spec{ds.shape.num_sub_blocks(),
+                               ds.shape.sub_block_size()};
+  const auto back = pastri::decompress(pastri::compress(ds.values, spec, p));
+  const auto ac = error_autocorrelation(ds.values, back, 5);
+  ASSERT_EQ(ac.size(), 5u);
+  for (double a : ac) EXPECT_LT(std::abs(a), 0.5);
+}
+
+TEST(DatasetStats, AllZeroDataset) {
+  qc::EriDataset zero;
+  zero.label = "zeros";
+  zero.shape.n = {2, 2, 2, 2};
+  zero.num_blocks = 3;
+  zero.values.assign(3 * 16, 0.0);
+  const DatasetStats st = analyze_dataset(zero);
+  EXPECT_EQ(st.zero_blocks, 3u);
+  EXPECT_EQ(st.min_nonzero_extremum, 0.0);
+  EXPECT_EQ(st.max_extremum, 0.0);
+}
+
+}  // namespace
+}  // namespace pastri::zchecker

@@ -1,0 +1,190 @@
+// Tests for the ZFP-style baseline: transform invertibility, negabinary
+// mapping, and end-to-end accuracy-mode guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "compressors/zfp/zfp.h"
+#include "test_util.h"
+
+namespace pastri::baselines {
+namespace {
+
+using pastri::testutil::max_abs_diff;
+using namespace zfp_detail;
+
+TEST(ZfpLift, NearInverseOfForward) {
+  // ZFP's lifting steps round away low-order bits (the >>1 stages), so
+  // inv(fwd(x)) is not bit-exact; the round-trip error is bounded by a
+  // few units in the last place of the fixed-point representation --
+  // that is what the transform's 2 guard bits absorb.
+  std::mt19937_64 gen(11);
+  std::int64_t max_err = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::int64_t p[4], q[4];
+    for (int i = 0; i < 4; ++i) {
+      // Stay within the fixed-point range ZFP uses (2 guard bits).
+      p[i] = static_cast<std::int64_t>(gen() >> 3);
+      if (gen() & 1) p[i] = -p[i];
+      q[i] = p[i];
+    }
+    fwd_lift(q);
+    inv_lift(q);
+    for (int i = 0; i < 4; ++i) {
+      max_err = std::max(max_err, std::abs(q[i] - p[i]));
+    }
+  }
+  EXPECT_LE(max_err, 8);
+}
+
+TEST(ZfpLift, SmallValuesRoundTripTightly) {
+  std::mt19937_64 gen(12);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::int64_t p[4], q[4];
+    for (int i = 0; i < 4; ++i) {
+      p[i] = static_cast<std::int64_t>(gen() % (1 << 20)) - (1 << 19);
+      q[i] = p[i];
+    }
+    fwd_lift(q);
+    inv_lift(q);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_LE(std::abs(q[i] - p[i]), 8) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ZfpLift, DecorrelatesConstantBlock) {
+  // A constant block must transform to a single DC coefficient.
+  std::int64_t q[4] = {1 << 20, 1 << 20, 1 << 20, 1 << 20};
+  fwd_lift(q);
+  EXPECT_EQ(q[0], 1 << 20);
+  EXPECT_EQ(q[1], 0);
+  EXPECT_EQ(q[2], 0);
+  EXPECT_EQ(q[3], 0);
+}
+
+TEST(ZfpNegabinary, RoundTrip) {
+  std::mt19937_64 gen(13);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto v = static_cast<std::int64_t>(gen());
+    EXPECT_EQ(negabinary_to_int(int_to_negabinary(v)), v);
+  }
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1},
+                         std::int64_t{-1}, INT64_MAX / 4, -(INT64_MAX / 4)}) {
+    EXPECT_EQ(negabinary_to_int(int_to_negabinary(v)), v);
+  }
+}
+
+TEST(ZfpNegabinary, SmallMagnitudesHaveFewHighBits) {
+  // Negabinary keeps small signed values in the low-order bits, the
+  // property the bit-plane coder relies on.
+  EXPECT_EQ(int_to_negabinary(0), 0u);
+  EXPECT_LT(int_to_negabinary(1), 16u);
+  EXPECT_LT(int_to_negabinary(-1), 16u);
+  EXPECT_LT(int_to_negabinary(5), 64u);
+}
+
+class ZfpEbSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZfpEbSweep, SmoothSignalWithinTolerance) {
+  const double tol = GetParam();
+  std::vector<double> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::cos(i * 0.002) * 1e-3;
+  }
+  ZfpParams p;
+  p.tolerance = tol;
+  const auto back = zfp_decompress(zfp_compress(data, p));
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_LE(max_abs_diff(data, back), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(TolRange, ZfpEbSweep,
+                         ::testing::Values(1e-4, 1e-8, 1e-10, 1e-12));
+
+TEST(Zfp, RandomDataWithinTolerance) {
+  const auto data = pastri::testutil::random_doubles(10000, -2.0, 2.0, 5);
+  ZfpParams p;
+  p.tolerance = 1e-9;
+  const auto back = zfp_decompress(zfp_compress(data, p));
+  EXPECT_LE(max_abs_diff(data, back), p.tolerance);
+}
+
+TEST(Zfp, RealEriDataWithinTolerance) {
+  const auto& ds = pastri::testutil::small_eri_dataset();
+  ZfpParams p;
+  p.tolerance = 1e-10;
+  const auto back = zfp_decompress(zfp_compress(ds.values, p));
+  EXPECT_LE(max_abs_diff(ds.values, back), p.tolerance);
+}
+
+TEST(Zfp, MixedMagnitudeBlocksWithinTolerance) {
+  // Exercises per-block exponents across a huge dynamic range.
+  std::vector<double> data;
+  std::mt19937_64 gen(17);
+  std::uniform_real_distribution<double> mant(-1.0, 1.0);
+  for (int e = -40; e <= 0; ++e) {
+    for (int i = 0; i < 8; ++i) {
+      data.push_back(mant(gen) * std::ldexp(1.0, e));
+    }
+  }
+  ZfpParams p;
+  p.tolerance = 1e-10;
+  const auto back = zfp_decompress(zfp_compress(data, p));
+  EXPECT_LE(max_abs_diff(data, back), p.tolerance);
+}
+
+TEST(Zfp, TinyBlocksVanish) {
+  // Blocks entirely below tolerance should cost ~1 bit and decode to 0.
+  const std::vector<double> data(4096, 1e-14);
+  ZfpParams p;
+  p.tolerance = 1e-10;
+  const auto stream = zfp_compress(data, p);
+  EXPECT_LT(stream.size(), 200u);
+  const auto back = zfp_decompress(stream);
+  for (double v : back) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Zfp, PartialTailBlock) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 6u, 7u}) {
+    const auto data = pastri::testutil::random_doubles(n, -1.0, 1.0, n);
+    ZfpParams p;
+    p.tolerance = 1e-11;
+    const auto back = zfp_decompress(zfp_compress(data, p));
+    ASSERT_EQ(back.size(), n);
+    EXPECT_LE(max_abs_diff(data, back), p.tolerance) << "n=" << n;
+  }
+}
+
+TEST(Zfp, EmptyInput) {
+  ZfpParams p;
+  const auto back = zfp_decompress(zfp_compress({}, p));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Zfp, RejectsBadTolerance) {
+  ZfpParams p;
+  p.tolerance = 0.0;
+  EXPECT_THROW(zfp_compress({}, p), std::invalid_argument);
+}
+
+TEST(Zfp, CorruptMagicThrows) {
+  ZfpParams p;
+  auto stream = zfp_compress(std::vector<double>(8, 1.0), p);
+  stream[0] ^= 0x1;
+  EXPECT_THROW(zfp_decompress(stream), std::runtime_error);
+}
+
+TEST(Zfp, CoarserToleranceCompressesBetter) {
+  const auto& ds = pastri::testutil::small_eri_dataset();
+  ZfpParams fine, coarse;
+  fine.tolerance = 1e-12;
+  coarse.tolerance = 1e-8;
+  EXPECT_LT(zfp_compress(ds.values, coarse).size(),
+            zfp_compress(ds.values, fine).size());
+}
+
+}  // namespace
+}  // namespace pastri::baselines
