@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_huffman_ecq.dir/bench_ablation_huffman_ecq.cpp.o"
+  "CMakeFiles/bench_ablation_huffman_ecq.dir/bench_ablation_huffman_ecq.cpp.o.d"
+  "bench_ablation_huffman_ecq"
+  "bench_ablation_huffman_ecq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_huffman_ecq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

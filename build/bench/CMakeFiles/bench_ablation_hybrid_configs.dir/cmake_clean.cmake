@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hybrid_configs.dir/bench_ablation_hybrid_configs.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid_configs.dir/bench_ablation_hybrid_configs.cpp.o.d"
+  "bench_ablation_hybrid_configs"
+  "bench_ablation_hybrid_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lossless.dir/bench_ablation_lossless.cpp.o"
+  "CMakeFiles/bench_ablation_lossless.dir/bench_ablation_lossless.cpp.o.d"
+  "bench_ablation_lossless"
+  "bench_ablation_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sparse_and_relative.dir/bench_ablation_sparse_and_relative.cpp.o"
+  "CMakeFiles/bench_ablation_sparse_and_relative.dir/bench_ablation_sparse_and_relative.cpp.o.d"
+  "bench_ablation_sparse_and_relative"
+  "bench_ablation_sparse_and_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sparse_and_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

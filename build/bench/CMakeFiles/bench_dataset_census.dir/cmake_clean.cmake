@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_census.dir/bench_dataset_census.cpp.o"
+  "CMakeFiles/bench_dataset_census.dir/bench_dataset_census.cpp.o.d"
+  "bench_dataset_census"
+  "bench_dataset_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_parallel_io.dir/bench_fig10_parallel_io.cpp.o"
+  "CMakeFiles/bench_fig10_parallel_io.dir/bench_fig10_parallel_io.cpp.o.d"
+  "bench_fig10_parallel_io"
+  "bench_fig10_parallel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_parallel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_recompute_vs_decompress.dir/bench_fig11_recompute_vs_decompress.cpp.o"
+  "CMakeFiles/bench_fig11_recompute_vs_decompress.dir/bench_fig11_recompute_vs_decompress.cpp.o.d"
+  "bench_fig11_recompute_vs_decompress"
+  "bench_fig11_recompute_vs_decompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_recompute_vs_decompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

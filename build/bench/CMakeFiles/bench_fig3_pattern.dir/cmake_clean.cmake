@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pattern.dir/bench_fig3_pattern.cpp.o"
+  "CMakeFiles/bench_fig3_pattern.dir/bench_fig3_pattern.cpp.o.d"
+  "bench_fig3_pattern"
+  "bench_fig3_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

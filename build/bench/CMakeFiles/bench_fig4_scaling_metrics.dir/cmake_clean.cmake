@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scaling_metrics.dir/bench_fig4_scaling_metrics.cpp.o"
+  "CMakeFiles/bench_fig4_scaling_metrics.dir/bench_fig4_scaling_metrics.cpp.o.d"
+  "bench_fig4_scaling_metrics"
+  "bench_fig4_scaling_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scaling_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

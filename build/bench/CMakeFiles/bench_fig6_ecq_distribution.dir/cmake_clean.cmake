@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ecq_distribution.dir/bench_fig6_ecq_distribution.cpp.o"
+  "CMakeFiles/bench_fig6_ecq_distribution.dir/bench_fig6_ecq_distribution.cpp.o.d"
+  "bench_fig6_ecq_distribution"
+  "bench_fig6_ecq_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ecq_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

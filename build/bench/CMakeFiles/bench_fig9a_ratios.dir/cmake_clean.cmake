@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_ratios.dir/bench_fig9a_ratios.cpp.o"
+  "CMakeFiles/bench_fig9a_ratios.dir/bench_fig9a_ratios.cpp.o.d"
+  "bench_fig9a_ratios"
+  "bench_fig9a_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_rate_distortion.dir/bench_fig9b_rate_distortion.cpp.o"
+  "CMakeFiles/bench_fig9b_rate_distortion.dir/bench_fig9b_rate_distortion.cpp.o.d"
+  "bench_fig9b_rate_distortion"
+  "bench_fig9b_rate_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_rate_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9b_rate_distortion.
+# This may be replaced when dependencies are built.

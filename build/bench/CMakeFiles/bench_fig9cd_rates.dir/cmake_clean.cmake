@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9cd_rates.dir/bench_fig9cd_rates.cpp.o"
+  "CMakeFiles/bench_fig9cd_rates.dir/bench_fig9cd_rates.cpp.o.d"
+  "bench_fig9cd_rates"
+  "bench_fig9cd_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9cd_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

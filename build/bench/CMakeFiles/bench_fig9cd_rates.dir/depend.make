@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9cd_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_breakdown.dir/bench_storage_breakdown.cpp.o"
+  "CMakeFiles/bench_storage_breakdown.dir/bench_storage_breakdown.cpp.o.d"
+  "bench_storage_breakdown"
+  "bench_storage_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

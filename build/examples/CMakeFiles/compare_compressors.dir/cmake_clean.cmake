@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_compressors.dir/compare_compressors.cpp.o"
+  "CMakeFiles/compare_compressors.dir/compare_compressors.cpp.o.d"
+  "compare_compressors"
+  "compare_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

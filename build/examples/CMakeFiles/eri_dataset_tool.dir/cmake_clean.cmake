@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eri_dataset_tool.dir/eri_dataset_tool.cpp.o"
+  "CMakeFiles/eri_dataset_tool.dir/eri_dataset_tool.cpp.o.d"
+  "eri_dataset_tool"
+  "eri_dataset_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eri_dataset_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

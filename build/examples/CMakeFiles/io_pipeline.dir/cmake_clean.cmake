@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_pipeline.dir/io_pipeline.cpp.o"
+  "CMakeFiles/io_pipeline.dir/io_pipeline.cpp.o.d"
+  "io_pipeline"
+  "io_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

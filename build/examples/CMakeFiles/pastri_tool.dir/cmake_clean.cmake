@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastri_tool.dir/pastri_tool.cpp.o"
+  "CMakeFiles/pastri_tool.dir/pastri_tool.cpp.o.d"
+  "pastri_tool"
+  "pastri_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastri_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

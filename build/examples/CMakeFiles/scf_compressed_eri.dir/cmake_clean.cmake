@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_compressed_eri.dir/scf_compressed_eri.cpp.o"
+  "CMakeFiles/scf_compressed_eri.dir/scf_compressed_eri.cpp.o.d"
+  "scf_compressed_eri"
+  "scf_compressed_eri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_compressed_eri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

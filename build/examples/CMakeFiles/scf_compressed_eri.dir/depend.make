@@ -1,0 +1,2 @@
+# Empty dependencies file for scf_compressed_eri.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcheck.dir/zcheck.cpp.o"
+  "CMakeFiles/zcheck.dir/zcheck.cpp.o.d"
+  "zcheck"
+  "zcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

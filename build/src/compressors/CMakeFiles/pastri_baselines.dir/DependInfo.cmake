@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compressors/compressor_iface.cpp" "src/compressors/CMakeFiles/pastri_baselines.dir/compressor_iface.cpp.o" "gcc" "src/compressors/CMakeFiles/pastri_baselines.dir/compressor_iface.cpp.o.d"
+  "/root/repo/src/compressors/huffman.cpp" "src/compressors/CMakeFiles/pastri_baselines.dir/huffman.cpp.o" "gcc" "src/compressors/CMakeFiles/pastri_baselines.dir/huffman.cpp.o.d"
+  "/root/repo/src/compressors/lossless/fpc.cpp" "src/compressors/CMakeFiles/pastri_baselines.dir/lossless/fpc.cpp.o" "gcc" "src/compressors/CMakeFiles/pastri_baselines.dir/lossless/fpc.cpp.o.d"
+  "/root/repo/src/compressors/lossless/lzss.cpp" "src/compressors/CMakeFiles/pastri_baselines.dir/lossless/lzss.cpp.o" "gcc" "src/compressors/CMakeFiles/pastri_baselines.dir/lossless/lzss.cpp.o.d"
+  "/root/repo/src/compressors/rpp/rpp.cpp" "src/compressors/CMakeFiles/pastri_baselines.dir/rpp/rpp.cpp.o" "gcc" "src/compressors/CMakeFiles/pastri_baselines.dir/rpp/rpp.cpp.o.d"
+  "/root/repo/src/compressors/sz/sz.cpp" "src/compressors/CMakeFiles/pastri_baselines.dir/sz/sz.cpp.o" "gcc" "src/compressors/CMakeFiles/pastri_baselines.dir/sz/sz.cpp.o.d"
+  "/root/repo/src/compressors/zfp/zfp.cpp" "src/compressors/CMakeFiles/pastri_baselines.dir/zfp/zfp.cpp.o" "gcc" "src/compressors/CMakeFiles/pastri_baselines.dir/zfp/zfp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pastri_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

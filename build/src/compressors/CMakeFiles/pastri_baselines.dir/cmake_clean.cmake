@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastri_baselines.dir/compressor_iface.cpp.o"
+  "CMakeFiles/pastri_baselines.dir/compressor_iface.cpp.o.d"
+  "CMakeFiles/pastri_baselines.dir/huffman.cpp.o"
+  "CMakeFiles/pastri_baselines.dir/huffman.cpp.o.d"
+  "CMakeFiles/pastri_baselines.dir/lossless/fpc.cpp.o"
+  "CMakeFiles/pastri_baselines.dir/lossless/fpc.cpp.o.d"
+  "CMakeFiles/pastri_baselines.dir/lossless/lzss.cpp.o"
+  "CMakeFiles/pastri_baselines.dir/lossless/lzss.cpp.o.d"
+  "CMakeFiles/pastri_baselines.dir/rpp/rpp.cpp.o"
+  "CMakeFiles/pastri_baselines.dir/rpp/rpp.cpp.o.d"
+  "CMakeFiles/pastri_baselines.dir/sz/sz.cpp.o"
+  "CMakeFiles/pastri_baselines.dir/sz/sz.cpp.o.d"
+  "CMakeFiles/pastri_baselines.dir/zfp/zfp.cpp.o"
+  "CMakeFiles/pastri_baselines.dir/zfp/zfp.cpp.o.d"
+  "libpastri_baselines.a"
+  "libpastri_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastri_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

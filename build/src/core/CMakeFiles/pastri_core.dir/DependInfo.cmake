@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compressor.cpp" "src/core/CMakeFiles/pastri_core.dir/compressor.cpp.o" "gcc" "src/core/CMakeFiles/pastri_core.dir/compressor.cpp.o.d"
+  "/root/repo/src/core/ecq_tree.cpp" "src/core/CMakeFiles/pastri_core.dir/ecq_tree.cpp.o" "gcc" "src/core/CMakeFiles/pastri_core.dir/ecq_tree.cpp.o.d"
+  "/root/repo/src/core/pastri_capi.cpp" "src/core/CMakeFiles/pastri_core.dir/pastri_capi.cpp.o" "gcc" "src/core/CMakeFiles/pastri_core.dir/pastri_capi.cpp.o.d"
+  "/root/repo/src/core/period_detect.cpp" "src/core/CMakeFiles/pastri_core.dir/period_detect.cpp.o" "gcc" "src/core/CMakeFiles/pastri_core.dir/period_detect.cpp.o.d"
+  "/root/repo/src/core/quantize.cpp" "src/core/CMakeFiles/pastri_core.dir/quantize.cpp.o" "gcc" "src/core/CMakeFiles/pastri_core.dir/quantize.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/core/CMakeFiles/pastri_core.dir/scaling.cpp.o" "gcc" "src/core/CMakeFiles/pastri_core.dir/scaling.cpp.o.d"
+  "/root/repo/src/core/stream.cpp" "src/core/CMakeFiles/pastri_core.dir/stream.cpp.o" "gcc" "src/core/CMakeFiles/pastri_core.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastri_core.dir/compressor.cpp.o"
+  "CMakeFiles/pastri_core.dir/compressor.cpp.o.d"
+  "CMakeFiles/pastri_core.dir/ecq_tree.cpp.o"
+  "CMakeFiles/pastri_core.dir/ecq_tree.cpp.o.d"
+  "CMakeFiles/pastri_core.dir/pastri_capi.cpp.o"
+  "CMakeFiles/pastri_core.dir/pastri_capi.cpp.o.d"
+  "CMakeFiles/pastri_core.dir/period_detect.cpp.o"
+  "CMakeFiles/pastri_core.dir/period_detect.cpp.o.d"
+  "CMakeFiles/pastri_core.dir/quantize.cpp.o"
+  "CMakeFiles/pastri_core.dir/quantize.cpp.o.d"
+  "CMakeFiles/pastri_core.dir/scaling.cpp.o"
+  "CMakeFiles/pastri_core.dir/scaling.cpp.o.d"
+  "CMakeFiles/pastri_core.dir/stream.cpp.o"
+  "CMakeFiles/pastri_core.dir/stream.cpp.o.d"
+  "libpastri_core.a"
+  "libpastri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpastri_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/compressed_file.cpp" "src/io/CMakeFiles/pastri_io.dir/compressed_file.cpp.o" "gcc" "src/io/CMakeFiles/pastri_io.dir/compressed_file.cpp.o.d"
+  "/root/repo/src/io/file_per_process.cpp" "src/io/CMakeFiles/pastri_io.dir/file_per_process.cpp.o" "gcc" "src/io/CMakeFiles/pastri_io.dir/file_per_process.cpp.o.d"
+  "/root/repo/src/io/pfs_model.cpp" "src/io/CMakeFiles/pastri_io.dir/pfs_model.cpp.o" "gcc" "src/io/CMakeFiles/pastri_io.dir/pfs_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pastri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/pastri_qc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

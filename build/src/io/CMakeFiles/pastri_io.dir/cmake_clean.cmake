@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastri_io.dir/compressed_file.cpp.o"
+  "CMakeFiles/pastri_io.dir/compressed_file.cpp.o.d"
+  "CMakeFiles/pastri_io.dir/file_per_process.cpp.o"
+  "CMakeFiles/pastri_io.dir/file_per_process.cpp.o.d"
+  "CMakeFiles/pastri_io.dir/pfs_model.cpp.o"
+  "CMakeFiles/pastri_io.dir/pfs_model.cpp.o.d"
+  "libpastri_io.a"
+  "libpastri_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastri_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qc/basis.cpp" "src/qc/CMakeFiles/pastri_qc.dir/basis.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/basis.cpp.o.d"
+  "/root/repo/src/qc/boys.cpp" "src/qc/CMakeFiles/pastri_qc.dir/boys.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/boys.cpp.o.d"
+  "/root/repo/src/qc/cartesian.cpp" "src/qc/CMakeFiles/pastri_qc.dir/cartesian.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/cartesian.cpp.o.d"
+  "/root/repo/src/qc/compressed_eri_store.cpp" "src/qc/CMakeFiles/pastri_qc.dir/compressed_eri_store.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/compressed_eri_store.cpp.o.d"
+  "/root/repo/src/qc/dataset.cpp" "src/qc/CMakeFiles/pastri_qc.dir/dataset.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/dataset.cpp.o.d"
+  "/root/repo/src/qc/direct_scf.cpp" "src/qc/CMakeFiles/pastri_qc.dir/direct_scf.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/direct_scf.cpp.o.d"
+  "/root/repo/src/qc/eri_engine.cpp" "src/qc/CMakeFiles/pastri_qc.dir/eri_engine.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/eri_engine.cpp.o.d"
+  "/root/repo/src/qc/gamess_text.cpp" "src/qc/CMakeFiles/pastri_qc.dir/gamess_text.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/gamess_text.cpp.o.d"
+  "/root/repo/src/qc/linalg.cpp" "src/qc/CMakeFiles/pastri_qc.dir/linalg.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/linalg.cpp.o.d"
+  "/root/repo/src/qc/md_eri.cpp" "src/qc/CMakeFiles/pastri_qc.dir/md_eri.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/md_eri.cpp.o.d"
+  "/root/repo/src/qc/molecule.cpp" "src/qc/CMakeFiles/pastri_qc.dir/molecule.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/molecule.cpp.o.d"
+  "/root/repo/src/qc/mp2.cpp" "src/qc/CMakeFiles/pastri_qc.dir/mp2.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/mp2.cpp.o.d"
+  "/root/repo/src/qc/one_electron.cpp" "src/qc/CMakeFiles/pastri_qc.dir/one_electron.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/one_electron.cpp.o.d"
+  "/root/repo/src/qc/scf.cpp" "src/qc/CMakeFiles/pastri_qc.dir/scf.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/scf.cpp.o.d"
+  "/root/repo/src/qc/sto3g.cpp" "src/qc/CMakeFiles/pastri_qc.dir/sto3g.cpp.o" "gcc" "src/qc/CMakeFiles/pastri_qc.dir/sto3g.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pastri_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastri_qc.dir/basis.cpp.o"
+  "CMakeFiles/pastri_qc.dir/basis.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/boys.cpp.o"
+  "CMakeFiles/pastri_qc.dir/boys.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/cartesian.cpp.o"
+  "CMakeFiles/pastri_qc.dir/cartesian.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/compressed_eri_store.cpp.o"
+  "CMakeFiles/pastri_qc.dir/compressed_eri_store.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/dataset.cpp.o"
+  "CMakeFiles/pastri_qc.dir/dataset.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/direct_scf.cpp.o"
+  "CMakeFiles/pastri_qc.dir/direct_scf.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/eri_engine.cpp.o"
+  "CMakeFiles/pastri_qc.dir/eri_engine.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/gamess_text.cpp.o"
+  "CMakeFiles/pastri_qc.dir/gamess_text.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/linalg.cpp.o"
+  "CMakeFiles/pastri_qc.dir/linalg.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/md_eri.cpp.o"
+  "CMakeFiles/pastri_qc.dir/md_eri.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/molecule.cpp.o"
+  "CMakeFiles/pastri_qc.dir/molecule.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/mp2.cpp.o"
+  "CMakeFiles/pastri_qc.dir/mp2.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/one_electron.cpp.o"
+  "CMakeFiles/pastri_qc.dir/one_electron.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/scf.cpp.o"
+  "CMakeFiles/pastri_qc.dir/scf.cpp.o.d"
+  "CMakeFiles/pastri_qc.dir/sto3g.cpp.o"
+  "CMakeFiles/pastri_qc.dir/sto3g.cpp.o.d"
+  "libpastri_qc.a"
+  "libpastri_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastri_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

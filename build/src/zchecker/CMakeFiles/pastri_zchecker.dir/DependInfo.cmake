@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zchecker/dataset_stats.cpp" "src/zchecker/CMakeFiles/pastri_zchecker.dir/dataset_stats.cpp.o" "gcc" "src/zchecker/CMakeFiles/pastri_zchecker.dir/dataset_stats.cpp.o.d"
+  "/root/repo/src/zchecker/metrics.cpp" "src/zchecker/CMakeFiles/pastri_zchecker.dir/metrics.cpp.o" "gcc" "src/zchecker/CMakeFiles/pastri_zchecker.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qc/CMakeFiles/pastri_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pastri_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

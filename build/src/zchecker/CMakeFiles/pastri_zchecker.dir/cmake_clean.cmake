@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastri_zchecker.dir/dataset_stats.cpp.o"
+  "CMakeFiles/pastri_zchecker.dir/dataset_stats.cpp.o.d"
+  "CMakeFiles/pastri_zchecker.dir/metrics.cpp.o"
+  "CMakeFiles/pastri_zchecker.dir/metrics.cpp.o.d"
+  "libpastri_zchecker.a"
+  "libpastri_zchecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastri_zchecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

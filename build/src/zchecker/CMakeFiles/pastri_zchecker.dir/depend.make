@@ -1,0 +1,2 @@
+# Empty dependencies file for pastri_zchecker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitio.dir/test_bitio.cpp.o"
+  "CMakeFiles/test_bitio.dir/test_bitio.cpp.o.d"
+  "test_bitio"
+  "test_bitio.pdb"
+  "test_bitio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_bitio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cartesian.dir/test_cartesian.cpp.o"
+  "CMakeFiles/test_cartesian.dir/test_cartesian.cpp.o.d"
+  "test_cartesian"
+  "test_cartesian.pdb"
+  "test_cartesian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cartesian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

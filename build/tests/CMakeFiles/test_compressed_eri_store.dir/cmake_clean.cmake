@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressed_eri_store.dir/test_compressed_eri_store.cpp.o"
+  "CMakeFiles/test_compressed_eri_store.dir/test_compressed_eri_store.cpp.o.d"
+  "test_compressed_eri_store"
+  "test_compressed_eri_store.pdb"
+  "test_compressed_eri_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressed_eri_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

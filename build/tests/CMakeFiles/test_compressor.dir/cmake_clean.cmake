@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressor.dir/test_compressor.cpp.o"
+  "CMakeFiles/test_compressor.dir/test_compressor.cpp.o.d"
+  "test_compressor"
+  "test_compressor.pdb"
+  "test_compressor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

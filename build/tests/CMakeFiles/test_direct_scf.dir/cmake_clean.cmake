@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct_scf.dir/test_direct_scf.cpp.o"
+  "CMakeFiles/test_direct_scf.dir/test_direct_scf.cpp.o.d"
+  "test_direct_scf"
+  "test_direct_scf.pdb"
+  "test_direct_scf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

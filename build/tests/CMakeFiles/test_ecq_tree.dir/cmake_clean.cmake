@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecq_tree.dir/test_ecq_tree.cpp.o"
+  "CMakeFiles/test_ecq_tree.dir/test_ecq_tree.cpp.o.d"
+  "test_ecq_tree"
+  "test_ecq_tree.pdb"
+  "test_ecq_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecq_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

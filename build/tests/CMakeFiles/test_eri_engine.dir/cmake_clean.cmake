@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eri_engine.dir/test_eri_engine.cpp.o"
+  "CMakeFiles/test_eri_engine.dir/test_eri_engine.cpp.o.d"
+  "test_eri_engine"
+  "test_eri_engine.pdb"
+  "test_eri_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eri_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

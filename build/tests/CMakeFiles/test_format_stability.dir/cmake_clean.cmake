@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format_stability.dir/test_format_stability.cpp.o"
+  "CMakeFiles/test_format_stability.dir/test_format_stability.cpp.o.d"
+  "test_format_stability"
+  "test_format_stability.pdb"
+  "test_format_stability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpc.dir/test_fpc.cpp.o"
+  "CMakeFiles/test_fpc.dir/test_fpc.cpp.o.d"
+  "test_fpc"
+  "test_fpc.pdb"
+  "test_fpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_robustness.dir/test_fuzz_robustness.cpp.o"
+  "CMakeFiles/test_fuzz_robustness.dir/test_fuzz_robustness.cpp.o.d"
+  "test_fuzz_robustness"
+  "test_fuzz_robustness.pdb"
+  "test_fuzz_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

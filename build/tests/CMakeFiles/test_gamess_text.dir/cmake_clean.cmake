@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gamess_text.dir/test_gamess_text.cpp.o"
+  "CMakeFiles/test_gamess_text.dir/test_gamess_text.cpp.o.d"
+  "test_gamess_text"
+  "test_gamess_text.pdb"
+  "test_gamess_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gamess_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

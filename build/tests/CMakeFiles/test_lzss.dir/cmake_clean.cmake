@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lzss.dir/test_lzss.cpp.o"
+  "CMakeFiles/test_lzss.dir/test_lzss.cpp.o.d"
+  "test_lzss"
+  "test_lzss.pdb"
+  "test_lzss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lzss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

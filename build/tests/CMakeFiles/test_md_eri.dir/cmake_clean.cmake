@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_eri.dir/test_md_eri.cpp.o"
+  "CMakeFiles/test_md_eri.dir/test_md_eri.cpp.o.d"
+  "test_md_eri"
+  "test_md_eri.pdb"
+  "test_md_eri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_eri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

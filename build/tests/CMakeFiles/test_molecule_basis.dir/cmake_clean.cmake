@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_molecule_basis.dir/test_molecule_basis.cpp.o"
+  "CMakeFiles/test_molecule_basis.dir/test_molecule_basis.cpp.o.d"
+  "test_molecule_basis"
+  "test_molecule_basis.pdb"
+  "test_molecule_basis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_molecule_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

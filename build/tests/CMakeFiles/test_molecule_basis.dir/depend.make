@@ -1,0 +1,2 @@
+# Empty dependencies file for test_molecule_basis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp2.dir/test_mp2.cpp.o"
+  "CMakeFiles/test_mp2.dir/test_mp2.cpp.o.d"
+  "test_mp2"
+  "test_mp2.pdb"
+  "test_mp2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

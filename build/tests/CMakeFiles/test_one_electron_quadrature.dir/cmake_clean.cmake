@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_electron_quadrature.dir/test_one_electron_quadrature.cpp.o"
+  "CMakeFiles/test_one_electron_quadrature.dir/test_one_electron_quadrature.cpp.o.d"
+  "test_one_electron_quadrature"
+  "test_one_electron_quadrature.pdb"
+  "test_one_electron_quadrature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_electron_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_quantize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpp_and_compressed_file.dir/test_rpp_and_compressed_file.cpp.o"
+  "CMakeFiles/test_rpp_and_compressed_file.dir/test_rpp_and_compressed_file.cpp.o.d"
+  "test_rpp_and_compressed_file"
+  "test_rpp_and_compressed_file.pdb"
+  "test_rpp_and_compressed_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpp_and_compressed_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rpp_and_compressed_file.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stream.cpp" "tests/CMakeFiles/test_stream.dir/test_stream.cpp.o" "gcc" "tests/CMakeFiles/test_stream.dir/test_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pastri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compressors/CMakeFiles/pastri_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/pastri_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/zchecker/CMakeFiles/pastri_zchecker.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pastri_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

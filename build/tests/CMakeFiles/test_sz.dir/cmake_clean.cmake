@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sz.dir/test_sz.cpp.o"
+  "CMakeFiles/test_sz.dir/test_sz.cpp.o.d"
+  "test_sz"
+  "test_sz.pdb"
+  "test_sz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

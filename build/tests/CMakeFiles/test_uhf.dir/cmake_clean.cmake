@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uhf.dir/test_uhf.cpp.o"
+  "CMakeFiles/test_uhf.dir/test_uhf.cpp.o.d"
+  "test_uhf"
+  "test_uhf.pdb"
+  "test_uhf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uhf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

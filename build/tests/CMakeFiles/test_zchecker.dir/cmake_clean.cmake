@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zchecker.dir/test_zchecker.cpp.o"
+  "CMakeFiles/test_zchecker.dir/test_zchecker.cpp.o.d"
+  "test_zchecker"
+  "test_zchecker.pdb"
+  "test_zchecker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zchecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
