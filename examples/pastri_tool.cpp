@@ -6,6 +6,7 @@
 //                            [--tree 1..5] [--no-sparse]
 //   $ pastri_tool decompress in.pastri out.eri
 //   $ pastri_tool verify     in.eri in.pastri
+//   $ pastri_tool extract    in.pastri FIRST [COUNT]   # seek, don't scan
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -26,7 +27,8 @@ int usage() {
       "  pastri_tool compress   IN.eri OUT.pastri [--eb E] [--metric M]"
       " [--tree N] [--no-sparse]\n"
       "  pastri_tool decompress IN.pastri OUT.eri\n"
-      "  pastri_tool verify     IN.eri IN.pastri\n");
+      "  pastri_tool verify     IN.eri IN.pastri\n"
+      "  pastri_tool extract    IN.pastri FIRST [COUNT]\n");
   return 2;
 }
 
@@ -153,6 +155,34 @@ int cmd_verify(const char* eri_path, const char* pastri_path) {
   return max_err <= info.error_bound ? 0 : 1;
 }
 
+int cmd_extract(const char* in, const char* first_s, const char* count_s) {
+  // Random access through the block index: only the requested blocks are
+  // decoded, however large the container.
+  const auto bytes = read_file(in);
+  bitio::BitReader r(bytes);
+  if (r.read_bits(32) != 0x50435354) {
+    throw std::runtime_error("not a pastri_tool container");
+  }
+  const auto label_len = static_cast<std::uint32_t>(r.read_bits(32));
+  if (label_len > (1u << 20)) throw std::runtime_error("corrupt label");
+  r.skip_bits(8 * label_len + 4 * 16);
+  r.align_to_byte();
+  const auto stream =
+      std::span<const std::uint8_t>(bytes).subspan(r.bit_position() / 8);
+  const BlockReader reader(stream);
+  const std::size_t first = std::stoull(first_s);
+  const std::size_t count = count_s ? std::stoull(count_s) : 1;
+  const auto values = reader.read_range(first, count);
+  std::printf("# %zu block(s) from %zu of %zu (container v%u, block size "
+              "%zu)\n",
+              count, first, reader.num_blocks(), reader.info().version,
+              reader.info().spec.block_size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::printf("%.17g\n", values[i]);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +193,8 @@ int main(int argc, char** argv) {
     if (cmd == "decompress" && argc >= 4)
       return cmd_decompress(argv[2], argv[3]);
     if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
+    if (cmd == "extract" && argc >= 4)
+      return cmd_extract(argv[2], argv[3], argc >= 5 ? argv[4] : nullptr);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -53,6 +53,17 @@ inline std::int64_t read_svarint(BitReader& r) {
   return zigzag_decode(read_varint(r));
 }
 
+/// Exact number of bytes write_varint emits for `v` (1 byte per started
+/// 7-bit group).  Used for stream-size accounting and offset-table math.
+constexpr unsigned varint_width(std::uint64_t v) {
+  unsigned w = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++w;
+  }
+  return w;
+}
+
 /// Minimum number of bits needed to store values in [0, n-1]; at least 1.
 constexpr unsigned bits_for_count(std::uint64_t n) {
   unsigned b = 1;

@@ -12,27 +12,40 @@
 namespace pastri::baselines {
 namespace zfp_detail {
 
+// Fuzzed payloads can drive the lifting steps through the whole int64
+// range; do the +/- in uint64 (two's-complement wraparound, the ring the
+// reference ZFP transform is defined over) so the arithmetic stays well
+// defined.
+inline std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+
 // ZFP's reversible 1-D lifting transform over a block of 4 integers
 // (a rounded 4-point orthogonal transform akin to a slanted DCT).
 void fwd_lift(std::int64_t* p) {
   std::int64_t x = p[0], y = p[1], z = p[2], w = p[3];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1;
-  y -= w >> 1;
+  x = wrap_add(x, w); x >>= 1; w = wrap_sub(w, x);
+  z = wrap_add(z, y); z >>= 1; y = wrap_sub(y, z);
+  x = wrap_add(x, z); x >>= 1; z = wrap_sub(z, x);
+  w = wrap_add(w, y); w >>= 1; y = wrap_sub(y, w);
+  w = wrap_add(w, y >> 1);
+  y = wrap_sub(y, w >> 1);
   p[0] = x; p[1] = y; p[2] = z; p[3] = w;
 }
 
 void inv_lift(std::int64_t* p) {
   std::int64_t x = p[0], y = p[1], z = p[2], w = p[3];
-  y += w >> 1;
-  w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = wrap_add(y, w >> 1);
+  w = wrap_sub(w, y >> 1);
+  y = wrap_add(y, w); w <<= 1; w = wrap_sub(w, y);
+  z = wrap_add(z, x); x <<= 1; x = wrap_sub(x, z);
+  y = wrap_add(y, z); z <<= 1; z = wrap_sub(z, y);
+  w = wrap_add(w, x); x <<= 1; x = wrap_sub(x, w);
   p[0] = x; p[1] = y; p[2] = z; p[3] = w;
 }
 

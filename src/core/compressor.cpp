@@ -1,11 +1,17 @@
-// compressor.cpp - PaSTRI stream format, block codec, and the
-// OpenMP block-parallel drivers.
+// compressor.cpp - PaSTRI stream format, block codec, the OpenMP
+// block-parallel drivers, and random access via BlockReader.
 //
-// Stream layout (bit-exact):
+// Container layout (bit-exact), version 3:
 //   global header: magic u32, version u8, error_bound f64, mode u8,
 //                  metric u8, tree u8, num_sub_blocks u32,
 //                  sub_block_size u32, num_blocks u64
-//   per block (byte-aligned): varint payload_bytes, then the payload:
+//   per block (byte-aligned): varint payload_bytes, then the payload
+//   offset table: varint payload_bytes per block (the deltas of the
+//                 payload offsets -- see block_index.h)
+//   footer: u64 table offset, u64 num_blocks, u32 "PIDX"
+// Version 2 (still readable) ends after the payloads.
+//
+//   per-block payload:
 //     1 bit  zero-block flag (all |x| <= EB -> nothing else follows)
 //     12 bits biased exponent of the per-block bound (BlockRelative only)
 //     6 bits P_b
@@ -25,6 +31,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "bitio/varint.h"
@@ -296,61 +303,86 @@ std::vector<std::uint8_t> compress(std::span<const double> data,
     }
   }
 
-  bitio::BitWriter w;
-  detail::write_global_header(w, spec, params, num_blocks);
-  local.header_bits += w.bit_count();
-  for (const auto& p : payloads) {
-    bitio::write_varint(w, p.size());
-    local.header_bits += 8 * ((p.size() >= 0x80) ? 2 : 1);
-    w.write_bytes(p);
-  }
-  std::vector<std::uint8_t> out = w.take();
+  std::vector<std::uint8_t> out =
+      detail::assemble_container(spec, params, payloads, &local);
   local.output_bytes = out.size();
   if (stats) *stats = local;
   return out;
 }
 
 std::vector<double> decompress(std::span<const std::uint8_t> stream) {
-  bitio::BitReader header_reader(stream);
-  const StreamInfo info = detail::read_global_header(header_reader);
-  const std::size_t bs = info.spec.block_size();
+  const BlockReader reader(stream);
+  return reader.read_range(0, reader.num_blocks());
+}
 
-  Params params;
-  params.error_bound = info.error_bound;
-  params.bound_mode = info.bound_mode;
-  params.metric = info.metric;
-  params.tree = info.tree;
+StreamInfo peek_info(std::span<const std::uint8_t> stream) {
+  bitio::BitReader r(stream);
+  return detail::read_global_header(r);
+}
 
-  // Index pass: locate each block's byte-aligned payload.
-  std::vector<std::pair<std::size_t, std::size_t>> extents(info.num_blocks);
-  {
-    bitio::BitReader r = header_reader;
-    for (std::size_t b = 0; b < info.num_blocks; ++b) {
-      const std::uint64_t len = bitio::read_varint(r);
-      assert(r.bit_position() % 8 == 0);
-      const std::size_t off = r.bit_position() / 8;
-      if (off + len > stream.size()) {
-        throw std::runtime_error("PaSTRI: truncated stream");
-      }
-      extents[b] = {off, static_cast<std::size_t>(len)};
-      r.skip_bits(8 * len);
+// ---- BlockReader -------------------------------------------------------
+
+BlockReader::BlockReader(std::span<const std::uint8_t> stream)
+    : stream_(stream) {
+  bitio::BitReader r(stream_);
+  info_ = detail::read_global_header(r);
+  params_ = info_.to_params();
+  const std::size_t payload_base = r.bit_position() / 8;
+  if (info_.version >= kStreamVersionIndexed) {
+    const detail::IndexFooter footer = detail::read_index_footer(stream_);
+    if (footer.num_blocks != info_.num_blocks) {
+      throw std::runtime_error(
+          "PaSTRI: index footer block count disagrees with header");
     }
+    const std::size_t table_end =
+        stream_.size() - detail::kIndexFooterBytes;
+    index_ = BlockIndex::parse(
+        stream_.subspan(footer.index_offset,
+                        table_end - footer.index_offset),
+        payload_base, footer.index_offset, info_.num_blocks);
+  } else {
+    // Unindexed v2 stream: rebuild the index with the sequential scan
+    // the old decompressor used (one varint walk, no payload decode).
+    index_ = BlockIndex::scan(stream_, payload_base, info_.num_blocks);
   }
+}
 
-  std::vector<double> out(info.num_blocks * bs);
+void BlockReader::read_block(std::size_t block,
+                             std::span<double> out) const {
+  if (out.size() != info_.spec.block_size()) {
+    throw std::invalid_argument("BlockReader: output size mismatch");
+  }
+  const BlockExtent& e = index_.extent(block);
+  bitio::BitReader r(stream_.subspan(e.offset, e.length));
+  decompress_block(r, info_.spec, params_, out);
+}
+
+std::vector<double> BlockReader::read_block(std::size_t block) const {
+  std::vector<double> out(info_.spec.block_size());
+  read_block(block, out);
+  return out;
+}
+
+std::vector<double> BlockReader::read_range(std::size_t first,
+                                            std::size_t count) const {
+  if (first + count < first || first + count > index_.num_blocks()) {
+    throw std::out_of_range("BlockReader: block range out of bounds");
+  }
+  const std::size_t bs = info_.spec.block_size();
+  if (bs != 0 && count > std::numeric_limits<std::size_t>::max() / bs) {
+    throw std::runtime_error("PaSTRI: block range too large");
+  }
+  std::vector<double> out(count * bs);
   // Exceptions cannot propagate out of an OpenMP region; capture the
   // first one (corrupt block payloads must surface as throws, not
   // std::terminate) and rethrow after the join.
   std::exception_ptr error;
-#pragma omp parallel for schedule(dynamic, 16) shared(error)
-  for (std::ptrdiff_t b = 0;
-       b < static_cast<std::ptrdiff_t>(info.num_blocks); ++b) {
+#pragma omp parallel for schedule(dynamic, 16) shared(error) if (count > 1)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(count); ++b) {
     try {
-      const auto [off, len] = extents[static_cast<std::size_t>(b)];
-      bitio::BitReader r(stream.subspan(off, len));
-      decompress_block(r, info.spec, params,
-                       std::span<double>(out).subspan(
-                           static_cast<std::size_t>(b) * bs, bs));
+      read_block(first + static_cast<std::size_t>(b),
+                 std::span<double>(out).subspan(
+                     static_cast<std::size_t>(b) * bs, bs));
     } catch (...) {
 #pragma omp critical(pastri_decompress_error)
       if (!error) error = std::current_exception();
@@ -360,9 +392,19 @@ std::vector<double> decompress(std::span<const std::uint8_t> stream) {
   return out;
 }
 
-StreamInfo peek_info(std::span<const std::uint8_t> stream) {
-  bitio::BitReader r(stream);
-  return detail::read_global_header(r);
+std::vector<double> decompress_block_at(
+    std::span<const std::uint8_t> stream, std::size_t block) {
+  return BlockReader(stream).read_block(block);
+}
+
+std::vector<double> decompress_range(std::span<const std::uint8_t> stream,
+                                     std::size_t first,
+                                     std::size_t count) {
+  return BlockReader(stream).read_range(first, count);
+}
+
+BlockIndex read_block_index(std::span<const std::uint8_t> stream) {
+  return BlockReader(stream).index();
 }
 
 }  // namespace pastri

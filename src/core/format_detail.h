@@ -1,18 +1,28 @@
-// format_detail.h - Internal stream-format constants and global-header
-// (de)serialization shared by the one-shot (compressor.cpp) and
-// streaming (stream.cpp) drivers.  Not part of the public API.
+// format_detail.h - Internal stream-format constants, global-header and
+// index-footer (de)serialization, and container assembly shared by the
+// one-shot (compressor.cpp) and streaming (stream.cpp) drivers.  Not
+// part of the public API.
 #pragma once
 
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "bitio/bit_reader.h"
 #include "bitio/bit_writer.h"
+#include "bitio/varint.h"
+#include "core/block_index.h"
 #include "core/pastri.h"
 
 namespace pastri::detail {
 
 inline constexpr std::uint32_t kMagic = 0x52545350;  // "PSTR"
-inline constexpr std::uint8_t kVersion = 2;
+
+/// Container versions.  v2 is the original layout (header + varint-length
+/// prefixed payloads, nothing else); v3 appends the per-block offset
+/// table plus a footer locating it.  Both decode; v3 is what we write.
+inline constexpr std::uint8_t kVersionUnindexed = kStreamVersionUnindexed;
+inline constexpr std::uint8_t kVersion = kStreamVersionIndexed;
 
 inline void write_global_header(bitio::BitWriter& w, const BlockSpec& spec,
                                 const Params& params,
@@ -32,10 +42,12 @@ inline StreamInfo read_global_header(bitio::BitReader& r) {
   if (r.read_bits(32) != kMagic) {
     throw std::runtime_error("PaSTRI: bad stream magic");
   }
-  if (r.read_bits(8) != kVersion) {
+  const std::uint64_t version = r.read_bits(8);
+  if (version != kVersion && version != kVersionUnindexed) {
     throw std::runtime_error("PaSTRI: unsupported stream version");
   }
   StreamInfo info;
+  info.version = static_cast<unsigned>(version);
   info.error_bound = r.read_raw<double>();
   info.bound_mode = static_cast<BoundMode>(r.read_bits(8));
   info.metric = static_cast<ScalingMetric>(r.read_bits(8));
@@ -54,5 +66,92 @@ inline StreamInfo read_global_header(bitio::BitReader& r) {
 /// block payloads start byte-aligned).
 inline constexpr std::size_t kGlobalHeaderBits =
     32 + 8 + 64 + 8 + 8 + 8 + 32 + 32 + 64;
+inline constexpr std::size_t kGlobalHeaderBytes = kGlobalHeaderBits / 8;
+
+// ---- v3 index footer ----------------------------------------------------
+//
+// Fixed-size trailer at the very end of an indexed container:
+//   u64 index_offset   absolute byte offset of the offset table
+//   u64 num_blocks     must match the global header
+//   u32 kIndexFooterMagic ("PIDX")
+// Reading it needs only the stream length, so a consumer can seek
+// straight to the table without touching any payload bytes.
+
+inline constexpr std::uint32_t kIndexFooterMagic = 0x58444950;  // "PIDX"
+inline constexpr std::size_t kIndexFooterBytes = 8 + 8 + 4;
+
+struct IndexFooter {
+  std::uint64_t index_offset = 0;
+  std::uint64_t num_blocks = 0;
+};
+
+inline void write_index_footer(bitio::BitWriter& w, const IndexFooter& f) {
+  w.write_bits(f.index_offset, 64);
+  w.write_bits(f.num_blocks, 64);
+  w.write_bits(kIndexFooterMagic, 32);
+}
+
+/// Parse a footer from its raw bytes.  `tail` must be exactly the last
+/// kIndexFooterBytes of a stream of `stream_size` bytes (callers with a
+/// whole stream in memory use read_index_footer below; the IO layer
+/// reads just the tail from disk).
+inline IndexFooter parse_index_footer(std::span<const std::uint8_t> tail,
+                                      std::size_t stream_size) {
+  if (tail.size() != kIndexFooterBytes ||
+      stream_size < kGlobalHeaderBytes + kIndexFooterBytes) {
+    throw std::runtime_error("PaSTRI: stream too short for index footer");
+  }
+  bitio::BitReader r(tail);
+  IndexFooter f;
+  f.index_offset = r.read_bits(64);
+  f.num_blocks = r.read_bits(64);
+  if (r.read_bits(32) != kIndexFooterMagic) {
+    throw std::runtime_error("PaSTRI: bad index footer magic");
+  }
+  if (f.index_offset < kGlobalHeaderBytes ||
+      f.index_offset > stream_size - kIndexFooterBytes) {
+    throw std::runtime_error("PaSTRI: index offset out of range");
+  }
+  return f;
+}
+
+inline IndexFooter read_index_footer(std::span<const std::uint8_t> stream) {
+  if (stream.size() < kGlobalHeaderBytes + kIndexFooterBytes) {
+    throw std::runtime_error("PaSTRI: stream too short for index footer");
+  }
+  return parse_index_footer(
+      stream.subspan(stream.size() - kIndexFooterBytes), stream.size());
+}
+
+/// Assemble a complete v3 container from per-block payloads: global
+/// header, varint-length prefixed payloads, offset table, footer.  The
+/// bookkeeping bytes (length varints, table, footer) are accounted into
+/// stats->header_bits when stats is non-null.  Both drivers go through
+/// this, which keeps the streaming and one-shot outputs byte-identical.
+inline std::vector<std::uint8_t> assemble_container(
+    const BlockSpec& spec, const Params& params,
+    const std::vector<std::vector<std::uint8_t>>& payloads, Stats* stats) {
+  bitio::BitWriter w;
+  write_global_header(w, spec, params, payloads.size());
+  if (stats) stats->header_bits += w.bit_count();
+  std::vector<std::size_t> sizes;
+  sizes.reserve(payloads.size());
+  for (const auto& p : payloads) {
+    sizes.push_back(p.size());
+    bitio::write_varint(w, p.size());
+    if (stats) stats->header_bits += 8 * bitio::varint_width(p.size());
+    w.write_bytes(p);
+  }
+  const BlockIndex index =
+      BlockIndex::from_payload_sizes(kGlobalHeaderBytes, sizes);
+  const std::size_t index_offset = w.bit_count() / 8;
+  index.serialize(w);
+  write_index_footer(w, {index_offset, payloads.size()});
+  if (stats) {
+    stats->header_bits +=
+        8 * (index.serialized_bytes() + kIndexFooterBytes);
+  }
+  return w.take();
+}
 
 }  // namespace pastri::detail

@@ -23,12 +23,20 @@
 #include <span>
 #include <vector>
 
+#include "core/block_index.h"
 #include "core/block_spec.h"
 #include "core/ecq_tree.h"
 #include "core/quantize.h"
 #include "core/scaling.h"
 
 namespace pastri {
+
+/// Container version bytes (the 5th stream byte).  v2 is the original
+/// layout: global header + varint-length prefixed payloads.  v3 appends
+/// a per-block offset table and a footer locating it, making every block
+/// seekable in O(1).  The compressor writes v3; both versions decode.
+inline constexpr unsigned kStreamVersionUnindexed = 2;
+inline constexpr unsigned kStreamVersionIndexed = 3;
 
 /// How the error bound is interpreted.
 ///
@@ -95,6 +103,17 @@ struct StreamInfo {
   EcqTree tree = EcqTree::Tree5;
   BlockSpec spec;
   std::size_t num_blocks = 0;
+  unsigned version = 0;  ///< container version byte (see kStreamVersion*)
+
+  /// Decode-side parameters implied by the header.
+  Params to_params() const {
+    Params p;
+    p.error_bound = error_bound;
+    p.bound_mode = bound_mode;
+    p.metric = metric;
+    p.tree = tree;
+    return p;
+  }
 };
 
 /// Compress `data` (a whole number of blocks).  Throws
@@ -110,6 +129,50 @@ std::vector<double> decompress(std::span<const std::uint8_t> stream);
 
 /// Parse the stream header only.
 StreamInfo peek_info(std::span<const std::uint8_t> stream);
+
+// ---- Random access ----------------------------------------------------
+
+/// Seekable view of one compressed stream: parses the header and the
+/// block index once (from the v3 footer, or by a single sequential scan
+/// for unindexed v2 streams), then decodes arbitrary blocks in O(block)
+/// time.  The span must outlive the reader.  All read methods are const
+/// and safe to call concurrently.
+class BlockReader {
+ public:
+  /// Throws std::runtime_error on malformed input (bad header, missing
+  /// or inconsistent index footer, corrupt offset table).
+  explicit BlockReader(std::span<const std::uint8_t> stream);
+
+  const StreamInfo& info() const { return info_; }
+  const BlockIndex& index() const { return index_; }
+  std::size_t num_blocks() const { return index_.num_blocks(); }
+
+  /// Decode block `block` into `out` (size spec.block_size()).
+  void read_block(std::size_t block, std::span<double> out) const;
+  std::vector<double> read_block(std::size_t block) const;
+
+  /// Decode blocks [first, first+count) (block-parallel internally).
+  std::vector<double> read_range(std::size_t first,
+                                 std::size_t count) const;
+
+ private:
+  std::span<const std::uint8_t> stream_;
+  StreamInfo info_;
+  Params params_;
+  BlockIndex index_;
+};
+
+/// One-shot conveniences over BlockReader.  For repeated random access
+/// into the same stream, construct a BlockReader once instead: these
+/// re-parse the index per call.
+std::vector<double> decompress_block_at(
+    std::span<const std::uint8_t> stream, std::size_t block);
+std::vector<double> decompress_range(std::span<const std::uint8_t> stream,
+                                     std::size_t first, std::size_t count);
+
+/// The stream's block index (parsed from the v3 footer, or rebuilt by a
+/// sequential scan for v2 streams).
+BlockIndex read_block_index(std::span<const std::uint8_t> stream);
 
 // ---- Block-level API (building blocks, also used by tests/benches) ----
 

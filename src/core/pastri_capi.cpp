@@ -93,6 +93,60 @@ int pastri_decompress_buffer(const unsigned char* stream,
   }
 }
 
+int pastri_decompress_block(const unsigned char* stream,
+                            size_t stream_size, size_t block_index,
+                            double* out, size_t out_capacity) {
+  if (stream == nullptr || out == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    const pastri::BlockReader reader(
+        std::span<const std::uint8_t>(stream, stream_size));
+    if (block_index >= reader.num_blocks()) {
+      return fail(PASTRI_ERR_INVALID_ARGUMENT, "block index out of range");
+    }
+    const size_t block_size = reader.info().spec.block_size();
+    if (out_capacity < block_size) {
+      return fail(PASTRI_ERR_INVALID_ARGUMENT, "output buffer too small");
+    }
+    reader.read_block(block_index, std::span<double>(out, block_size));
+    return PASTRI_OK;
+  } catch (const std::runtime_error& e) {
+    return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  }
+}
+
+int pastri_decompress_range(const unsigned char* stream,
+                            size_t stream_size, size_t first, size_t count,
+                            double** out, size_t* out_count) {
+  if (stream == nullptr || out == nullptr || out_count == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    const pastri::BlockReader reader(
+        std::span<const std::uint8_t>(stream, stream_size));
+    if (first + count < first || first + count > reader.num_blocks()) {
+      return fail(PASTRI_ERR_INVALID_ARGUMENT, "block range out of range");
+    }
+    const auto values = reader.read_range(first, count);
+    auto* buf = static_cast<double*>(
+        std::malloc(values.size() * sizeof(double)));
+    if (buf == nullptr && !values.empty()) {
+      return fail(PASTRI_ERR_INTERNAL, "out of memory");
+    }
+    std::memcpy(buf, values.data(), values.size() * sizeof(double));
+    *out = buf;
+    *out_count = values.size();
+    return PASTRI_OK;
+  } catch (const std::runtime_error& e) {
+    return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  }
+}
+
 int pastri_peek(const unsigned char* stream, size_t stream_size,
                 double* error_bound, size_t* num_sub_blocks,
                 size_t* sub_block_size, size_t* num_blocks) {

@@ -49,6 +49,20 @@ int pastri_decompress_buffer(const unsigned char* stream,
                              size_t stream_size, double** out,
                              size_t* out_count);
 
+/* Decode only block `block_index` of a stream into `out`, which must
+ * hold at least out_capacity doubles (>= the stream's block size, i.e.
+ * num_sub_blocks * sub_block_size from pastri_peek).  O(1) seek on
+ * indexed (v3) streams; falls back to a scan on legacy streams. */
+int pastri_decompress_block(const unsigned char* stream,
+                            size_t stream_size, size_t block_index,
+                            double* out, size_t out_capacity);
+
+/* Decompress blocks [first, first+count) into a malloc'd array of
+ * *out_count doubles (caller frees with pastri_free). */
+int pastri_decompress_range(const unsigned char* stream,
+                            size_t stream_size, size_t first, size_t count,
+                            double** out, size_t* out_count);
+
 /* Read stream metadata without decompressing; any pointer may be NULL. */
 int pastri_peek(const unsigned char* stream, size_t stream_size,
                 double* error_bound, size_t* num_sub_blocks,

@@ -24,14 +24,9 @@ void StreamCompressor::append_block(std::span<const double> block) {
 }
 
 std::vector<std::uint8_t> StreamCompressor::finish() {
-  bitio::BitWriter w;
-  detail::write_global_header(w, spec_, params_, payloads_.size());
-  for (const auto& p : payloads_) {
-    bitio::write_varint(w, p.size());
-    w.write_bytes(p);
-  }
+  std::vector<std::uint8_t> out =
+      detail::assemble_container(spec_, params_, payloads_, &stats_);
   payloads_.clear();
-  std::vector<std::uint8_t> out = w.take();
   stats_.output_bytes += out.size();
   return out;
 }
@@ -41,10 +36,7 @@ StreamDecompressor::StreamDecompressor(
     : stream_(stream) {
   bitio::BitReader r(stream_);
   info_ = detail::read_global_header(r);
-  params_.error_bound = info_.error_bound;
-  params_.bound_mode = info_.bound_mode;
-  params_.metric = info_.metric;
-  params_.tree = info_.tree;
+  params_ = info_.to_params();
   remaining_ = info_.num_blocks;
   byte_pos_ = r.bit_position() / 8;
 }

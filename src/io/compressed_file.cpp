@@ -1,8 +1,11 @@
 #include "io/compressed_file.h"
 
+#include <algorithm>
+#include <limits>
 #include <fstream>
 #include <stdexcept>
 
+#include "core/format_detail.h"
 #include "io/file_per_process.h"
 
 namespace pastri::io {
@@ -13,6 +16,77 @@ constexpr char kManifestMagic[] = "PaSTRIshards v1";
 std::string manifest_path(const std::string& dir,
                           const std::string& basename) {
   return dir + "/" + basename + ".manifest";
+}
+
+/// Parse a shard's stream header with one small ranged read.
+StreamInfo peek_shard(const std::string& dir, const std::string& basename,
+                      int shard, std::size_t file_size) {
+  const auto head = read_rank_file_slice(
+      dir, basename, shard, 0,
+      std::min(file_size, detail::kGlobalHeaderBytes));
+  return peek_info(head);
+}
+
+/// Decode blocks [local_first, local_first+local_count) of one shard.
+/// Indexed shards: header + footer + offset table + one contiguous
+/// payload span, four ranged reads in total.  Legacy (unindexed) shards:
+/// full read, then the in-memory random-access path.
+std::vector<double> read_shard_blocks(const std::string& dir,
+                                      const std::string& basename,
+                                      int shard, std::size_t local_first,
+                                      std::size_t local_count) {
+  const std::size_t fsize = rank_file_size(dir, basename, shard);
+  const StreamInfo info = peek_shard(dir, basename, shard, fsize);
+  if (local_first + local_count < local_first ||
+      local_first + local_count > info.num_blocks) {
+    throw std::out_of_range("read_shard_blocks: range out of range");
+  }
+  if (info.version < kStreamVersionIndexed) {
+    const auto bytes = read_rank_file(dir, basename, shard);
+    return BlockReader(bytes).read_range(local_first, local_count);
+  }
+  if (fsize < detail::kGlobalHeaderBytes + detail::kIndexFooterBytes) {
+    throw std::runtime_error("shard too short for index footer");
+  }
+  const auto tail =
+      read_rank_file_slice(dir, basename, shard,
+                           fsize - detail::kIndexFooterBytes,
+                           detail::kIndexFooterBytes);
+  const detail::IndexFooter footer =
+      detail::parse_index_footer(tail, fsize);
+  if (footer.num_blocks != info.num_blocks) {
+    throw std::runtime_error(
+        "shard index footer disagrees with its header");
+  }
+  const std::size_t table_end = fsize - detail::kIndexFooterBytes;
+  const auto table =
+      read_rank_file_slice(dir, basename, shard, footer.index_offset,
+                           table_end - footer.index_offset);
+  const BlockIndex index =
+      BlockIndex::parse(table, detail::kGlobalHeaderBytes,
+                        footer.index_offset, info.num_blocks);
+  const std::size_t bs = info.spec.block_size();
+  if (bs != 0 &&
+      local_count > std::numeric_limits<std::size_t>::max() / bs) {
+    throw std::runtime_error("pastri-io: shard block range too large");
+  }
+  std::vector<double> out(local_count * bs);
+  if (local_count == 0) return out;
+  const BlockExtent& lo = index.extent(local_first);
+  const BlockExtent& hi = index.extent(local_first + local_count - 1);
+  const std::size_t span_begin = lo.offset;
+  const std::size_t span_end = hi.offset + hi.length;
+  const auto payload = read_rank_file_slice(
+      dir, basename, shard, span_begin, span_end - span_begin);
+  const Params params = info.to_params();
+  for (std::size_t b = 0; b < local_count; ++b) {
+    const BlockExtent& e = index.extent(local_first + b);
+    bitio::BitReader r(std::span<const std::uint8_t>(payload).subspan(
+        e.offset - span_begin, e.length));
+    decompress_block(r, info.spec, params,
+                     std::span<double>(out).subspan(b * bs, bs));
+  }
+  return out;
 }
 
 }  // namespace
@@ -85,6 +159,52 @@ CompressedDatasetInfo read_manifest(const std::string& dir,
   return info;
 }
 
+std::vector<std::size_t> shard_block_counts(const std::string& dir,
+                                            const std::string& basename) {
+  const CompressedDatasetInfo info = read_manifest(dir, basename);
+  std::vector<std::size_t> counts(info.layout.num_shards);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    const int shard = static_cast<int>(s);
+    const std::size_t fsize = rank_file_size(dir, basename, shard);
+    counts[s] = peek_shard(dir, basename, shard, fsize).num_blocks;
+    total += counts[s];
+  }
+  if (total != info.num_blocks) {
+    throw std::runtime_error(
+        "shard headers disagree with manifest block count");
+  }
+  return counts;
+}
+
+std::vector<double> read_blocks(const std::string& dir,
+                                const std::string& basename,
+                                std::size_t first, std::size_t count) {
+  const std::vector<std::size_t> counts = shard_block_counts(dir, basename);
+  std::size_t total = 0;
+  for (std::size_t n : counts) total += n;
+  if (first + count < first || first + count > total) {
+    throw std::out_of_range("read_blocks: range exceeds dataset");
+  }
+  std::vector<double> out;
+  std::size_t shard_first = 0;  // dataset index of this shard's block 0
+  for (std::size_t s = 0; s < counts.size() && count > 0; ++s) {
+    const std::size_t shard_end = shard_first + counts[s];
+    if (first < shard_end) {
+      const std::size_t local_first = first - shard_first;
+      const std::size_t take =
+          std::min(count, counts[s] - local_first);
+      const auto values = read_shard_blocks(
+          dir, basename, static_cast<int>(s), local_first, take);
+      out.insert(out.end(), values.begin(), values.end());
+      first += take;
+      count -= take;
+    }
+    shard_first = shard_end;
+  }
+  return out;
+}
+
 qc::EriDataset read_compressed_dataset(const std::string& dir,
                                        const std::string& basename) {
   const CompressedDatasetInfo info = read_manifest(dir, basename);
@@ -94,13 +214,19 @@ qc::EriDataset read_compressed_dataset(const std::string& dir,
   ds.num_blocks = info.num_blocks;
   ds.values.reserve(info.num_blocks * info.shape.block_size());
   for (std::size_t s = 0; s < info.layout.num_shards; ++s) {
+    // Each shard's own header says how many blocks it holds; the
+    // manifest's per-shard layout is advisory only.
     const auto bytes = read_rank_file(dir, basename, static_cast<int>(s));
+    const StreamInfo shard = peek_info(bytes);
     const auto values = decompress(bytes);
-    if (values.size() !=
-        info.layout.blocks_per_shard[s] * info.shape.block_size()) {
+    if (values.size() != shard.num_blocks * info.shape.block_size()) {
       throw std::runtime_error("shard size mismatch");
     }
     ds.values.insert(ds.values.end(), values.begin(), values.end());
+  }
+  if (ds.values.size() != info.num_blocks * info.shape.block_size()) {
+    throw std::runtime_error(
+        "shard headers disagree with manifest block count");
   }
   return ds;
 }

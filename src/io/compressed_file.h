@@ -43,4 +43,20 @@ struct CompressedDatasetInfo {
 CompressedDatasetInfo read_manifest(const std::string& dir,
                                     const std::string& basename);
 
+/// Per-shard block counts read from the shard stream headers themselves
+/// (one small ranged read per shard), NOT from the manifest -- the
+/// shards are the source of truth for their own layout.  Throws
+/// std::runtime_error if the totals disagree with the manifest.
+std::vector<std::size_t> shard_block_counts(const std::string& dir,
+                                            const std::string& basename);
+
+/// Load only dataset blocks [first, first+count), in dataset block
+/// order, without reading whole shards: indexed (v3) shards are touched
+/// with four ranged reads (header, footer, offset table, payload span);
+/// legacy shards fall back to a full read.  Returns count*block_size
+/// doubles.  Throws std::out_of_range if the range exceeds the dataset.
+std::vector<double> read_blocks(const std::string& dir,
+                                const std::string& basename,
+                                std::size_t first, std::size_t count);
+
 }  // namespace pastri::io

@@ -40,6 +40,34 @@ std::vector<std::uint8_t> read_rank_file(const std::string& dir,
   return data;
 }
 
+std::size_t rank_file_size(const std::string& dir,
+                           const std::string& basename, int rank) {
+  const std::string path = rank_path(dir, basename, rank);
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("cannot stat: " + path);
+  return static_cast<std::size_t>(size);
+}
+
+std::vector<std::uint8_t> read_rank_file_slice(const std::string& dir,
+                                               const std::string& basename,
+                                               int rank, std::size_t offset,
+                                               std::size_t count) {
+  const std::string path = rank_path(dir, basename, rank);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  if (offset > size || count > size - offset) {
+    throw std::runtime_error("slice out of range: " + path);
+  }
+  f.seekg(static_cast<std::streamoff>(offset));
+  std::vector<std::uint8_t> data(count);
+  f.read(reinterpret_cast<char*>(data.data()),
+         static_cast<std::streamsize>(count));
+  if (!f) throw std::runtime_error("read failed: " + path);
+  return data;
+}
+
 bool remove_rank_file(const std::string& dir, const std::string& basename,
                       int rank) {
   std::error_code ec;

@@ -22,6 +22,20 @@ std::vector<std::uint8_t> read_rank_file(const std::string& dir,
                                          const std::string& basename,
                                          int rank);
 
+/// Size in bytes of a rank file.  Throws std::runtime_error if missing.
+std::size_t rank_file_size(const std::string& dir,
+                           const std::string& basename, int rank);
+
+/// Read `count` bytes starting at `offset` from a rank file.  The slice
+/// must lie inside the file; throws std::runtime_error otherwise.  This
+/// is the primitive behind partial shard loads: header, index footer,
+/// offset table, and payload ranges are each one small ranged read
+/// instead of pulling the whole shard.
+std::vector<std::uint8_t> read_rank_file_slice(const std::string& dir,
+                                               const std::string& basename,
+                                               int rank, std::size_t offset,
+                                               std::size_t count);
+
 /// Remove a rank file (best-effort; returns false if it did not exist).
 bool remove_rank_file(const std::string& dir, const std::string& basename,
                       int rank);

@@ -50,7 +50,58 @@ CompressedEriStore::CompressedEriStore(const BasisSet& basis,
     const auto& values = raw[cls];
     uncompressed_bytes_ += values.size() * sizeof(double);
     cd.stream = compress(values, cd.spec, params);
+    cd.reader = std::make_unique<BlockReader>(cd.stream);
+    for (std::size_t q = 0; q < cd.quartets.size(); ++q) {
+      block_of_[cd.quartets[q]] = {&cd, q};
+    }
   }
+}
+
+std::shared_ptr<const std::vector<double>> CompressedEriStore::shell_block(
+    std::size_t p, std::size_t q, std::size_t u, std::size_t v) const {
+  const QuartetKey key{p, q, u, v};
+  const auto ref = block_of_.find(key);
+  if (ref == block_of_.end()) {
+    throw std::out_of_range("shell_block: shell quartet out of range");
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (const auto hit = cache_.find(key); hit != cache_.end()) {
+    ++cache_hits_;
+    lru_.splice(lru_.begin(), lru_, hit->second.first);
+    return hit->second.second;
+  }
+  ++cache_misses_;
+  const auto& [cls, ordinal] = ref->second;
+  auto value = std::make_shared<const std::vector<double>>(
+      cls->reader->read_block(ordinal));
+  if (cache_capacity_ > 0) {
+    lru_.push_front(key);
+    cache_[key] = {lru_.begin(), value};
+    while (cache_.size() > cache_capacity_) {
+      cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  return value;
+}
+
+void CompressedEriStore::set_cache_capacity(std::size_t blocks) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_capacity_ = blocks;
+  while (cache_.size() > cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+std::size_t CompressedEriStore::cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_hits_;
+}
+
+std::size_t CompressedEriStore::cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_misses_;
 }
 
 EriTensor CompressedEriStore::materialize() const {

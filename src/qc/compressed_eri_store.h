@@ -6,12 +6,19 @@
 // A general basis mixes shell types, so blocks come in several shapes;
 // PaSTRI streams are per-BF-configuration (the paper's datasets are
 // organized the same way).  The store groups shell quartets by their
-// (lA lB | lC lD) class, keeps one compressed stream per class, and
-// materializes the dense ERI tensor on demand -- e.g. once per SCF
-// iteration in an out-of-core run.
+// (lA lB | lC lD) class and keeps one compressed stream per class.
+// Consumers either materialize the dense tensor once, or -- because the
+// indexed container makes every block seekable -- pull single quartet
+// blocks on demand through `shell_block`, backed by a small LRU cache,
+// so a direct-SCF Fock build can consume compressed integrals
+// quartet-by-quartet without ever holding the full tensor.
 #pragma once
 
+#include <array>
+#include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 
 #include "core/pastri.h"
 #include "qc/scf.h"
@@ -28,6 +35,22 @@ class CompressedEriStore {
   /// Every value is within the error bound of the exact integral.
   EriTensor materialize() const;
 
+  /// Decompress only the (p q | u v) shell-quartet block (shell
+  /// indices, in the basis's shell order).  The returned values are laid
+  /// out exactly like compute_eri_block's output for those shells, each
+  /// within the error bound of the exact integral.  A small LRU cache
+  /// makes repeated quartet access cheap; the shared_ptr stays valid
+  /// after eviction.  Thread-safe.  Throws std::out_of_range for shell
+  /// indices outside the basis.
+  std::shared_ptr<const std::vector<double>> shell_block(
+      std::size_t p, std::size_t q, std::size_t u, std::size_t v) const;
+
+  /// Resize the block cache (in blocks; 0 disables caching).
+  void set_cache_capacity(std::size_t blocks);
+
+  std::size_t cache_hits() const;
+  std::size_t cache_misses() const;
+
   std::size_t compressed_bytes() const;
   std::size_t uncompressed_bytes() const;
   double ratio() const {
@@ -37,19 +60,42 @@ class CompressedEriStore {
                : 0.0;
   }
   std::size_t num_classes() const { return streams_.size(); }
+  std::size_t num_shells() const { return shell_l_.size(); }
 
  private:
   struct ClassData {
     BlockSpec spec;
     std::vector<std::array<std::size_t, 4>> quartets;  ///< shell indices
     std::vector<std::uint8_t> stream;
+    /// Seekable view of `stream` (the map node and the vector's buffer
+    /// are both stable, so the span inside stays valid).
+    std::unique_ptr<BlockReader> reader;
   };
+
+  using QuartetKey = std::array<std::size_t, 4>;
+  struct BlockRef {
+    const ClassData* cls = nullptr;
+    std::size_t ordinal = 0;  ///< block number within the class stream
+  };
+  using CacheValue = std::shared_ptr<const std::vector<double>>;
 
   std::size_t n_ = 0;  ///< number of basis functions
   std::vector<std::size_t> shell_offset_;
   std::vector<int> shell_l_;
   std::map<std::array<int, 4>, ClassData> streams_;
+  std::map<QuartetKey, BlockRef> block_of_;
   std::size_t uncompressed_bytes_ = 0;
+
+  // LRU block cache: most-recent at lru_.front(); cache_ maps a quartet
+  // to its recency position and decoded values.
+  mutable std::mutex cache_mutex_;
+  mutable std::list<QuartetKey> lru_;
+  mutable std::map<QuartetKey,
+                   std::pair<std::list<QuartetKey>::iterator, CacheValue>>
+      cache_;
+  std::size_t cache_capacity_ = 64;
+  mutable std::size_t cache_hits_ = 0;
+  mutable std::size_t cache_misses_ = 0;
 };
 
 }  // namespace pastri::qc

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "qc/compressed_eri_store.h"
 #include "qc/md_eri.h"
 #include "qc/one_electron.h"
 #include "qc/sto3g.h"
@@ -24,6 +25,17 @@ DirectFockBuilder::DirectFockBuilder(const BasisSet& basis,
           schwarz_bound(basis.shells[a], basis.shells[b]);
     }
   }
+}
+
+DirectFockBuilder::DirectFockBuilder(const BasisSet& basis,
+                                     const CompressedEriStore& store,
+                                     double screen_threshold)
+    : DirectFockBuilder(basis, screen_threshold) {
+  if (store.num_shells() != basis.shells.size()) {
+    throw std::invalid_argument(
+        "DirectFockBuilder: store does not match basis");
+  }
+  store_ = &store;
 }
 
 std::size_t DirectFockBuilder::total_quartets() const {
@@ -63,8 +75,16 @@ Matrix DirectFockBuilder::build_g(const Matrix& density) const {
           const std::size_t nb = B.num_components();
           const std::size_t nc = C.num_components();
           const std::size_t nd = D.num_components();
-          block.resize(na * nb * nc * nd);
-          compute_eri_block(A, B, C, D, block);
+          std::shared_ptr<const std::vector<double>> cached;
+          const double* blk;
+          if (store_ != nullptr) {
+            cached = store_->shell_block(sa, sb, sc, sd);
+            blk = cached->data();
+          } else {
+            block.resize(na * nb * nc * nd);
+            compute_eri_block(A, B, C, D, block);
+            blk = block.data();
+          }
           std::size_t idx = 0;
           for (std::size_t i = 0; i < na; ++i) {
             const std::size_t mu = offset_[sa] + i;
@@ -74,7 +94,7 @@ Matrix DirectFockBuilder::build_g(const Matrix& density) const {
                 const std::size_t la = offset_[sc] + k;
                 for (std::size_t l = 0; l < nd; ++l, ++idx) {
                   const std::size_t si = offset_[sd] + l;
-                  const double v = block[idx];
+                  const double v = blk[idx];
                   // Coulomb: (mu nu | la si) D_{si la};
                   // exchange: -1/2 (mu nu | la si) D_{nu la} into
                   // G_{mu si}.
@@ -91,10 +111,13 @@ Matrix DirectFockBuilder::build_g(const Matrix& density) const {
   return g;
 }
 
-ScfResult run_rhf_direct(const Molecule& mol, const BasisSet& basis,
-                         const ScfOptions& opt, double screen_threshold) {
-  // Reuse the dense-tensor driver by materializing G(D) per iteration
-  // through the direct builder: identical SCF logic, direct integrals.
+namespace {
+
+/// The SCF fixed-point loop shared by the recompute and decompress
+/// arms: identical logic, only the G(D) source differs.
+ScfResult run_rhf_with_builder(const Molecule& mol, const BasisSet& basis,
+                               const ScfOptions& opt,
+                               const DirectFockBuilder& builder) {
   const std::size_t n = basis.num_basis_functions();
   const int nelec = electron_count(mol);
   if (nelec % 2 != 0) {
@@ -105,7 +128,6 @@ ScfResult run_rhf_direct(const Molecule& mol, const BasisSet& basis,
   const Matrix S = overlap_matrix(basis);
   const Matrix H = core_hamiltonian(basis, mol);
   const Matrix X = symmetric_orthogonalizer(S);
-  const DirectFockBuilder builder(basis, screen_threshold);
 
   ScfResult res;
   res.nuclear_repulsion = nuclear_repulsion(mol);
@@ -163,6 +185,22 @@ ScfResult run_rhf_direct(const Molecule& mol, const BasisSet& basis,
   }
   res.density = D;
   return res;
+}
+
+}  // namespace
+
+ScfResult run_rhf_direct(const Molecule& mol, const BasisSet& basis,
+                         const ScfOptions& opt, double screen_threshold) {
+  const DirectFockBuilder builder(basis, screen_threshold);
+  return run_rhf_with_builder(mol, basis, opt, builder);
+}
+
+ScfResult run_rhf_from_store(const Molecule& mol, const BasisSet& basis,
+                             const CompressedEriStore& store,
+                             const ScfOptions& opt,
+                             double screen_threshold) {
+  const DirectFockBuilder builder(basis, store, screen_threshold);
+  return run_rhf_with_builder(mol, basis, opt, builder);
 }
 
 }  // namespace pastri::qc

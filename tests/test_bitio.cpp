@@ -214,6 +214,24 @@ TEST(Varint, SingleByteForSmall) {
   EXPECT_EQ(w.bit_count(), 8u);
 }
 
+TEST(Varint, WidthMatchesWrittenBytes) {
+  // varint_width must agree exactly with what write_varint emits,
+  // including multi-byte payload lengths (>= 16 KiB needs 3 bytes).
+  const std::vector<std::uint64_t> vals{
+      0, 1, 127, 128, 300, 16383, 16384, 1u << 20, (1u << 21) - 1,
+      UINT64_MAX};
+  for (auto v : vals) {
+    BitWriter w;
+    write_varint(w, v);
+    EXPECT_EQ(8u * varint_width(v), w.bit_count()) << v;
+  }
+  static_assert(varint_width(0) == 1);
+  static_assert(varint_width(127) == 1);
+  static_assert(varint_width(128) == 2);
+  static_assert(varint_width(16384) == 3);
+  static_assert(varint_width(UINT64_MAX) == 10);
+}
+
 TEST(BitsForCount, Minimums) {
   EXPECT_EQ(bits_for_count(0), 1u);
   EXPECT_EQ(bits_for_count(1), 1u);

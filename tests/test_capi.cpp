@@ -122,6 +122,59 @@ TEST(CApi, CorruptStreamError) {
   pastri_free(stream);
 }
 
+TEST(CApi, RandomAccessMatchesFullDecode) {
+  const auto data = pastri::testutil::random_doubles(16 * 5, -1, 1, 11);
+  pastri_params p;
+  pastri_params_init(&p);
+  unsigned char* stream = nullptr;
+  size_t size = 0;
+  ASSERT_EQ(pastri_compress_buffer(data.data(), data.size(), 4, 4, &p,
+                                   &stream, &size),
+            PASTRI_OK);
+  double* full = nullptr;
+  size_t full_count = 0;
+  ASSERT_EQ(pastri_decompress_buffer(stream, size, &full, &full_count),
+            PASTRI_OK);
+  ASSERT_EQ(full_count, data.size());
+
+  double block[16];
+  for (size_t b = 0; b < 5; ++b) {
+    ASSERT_EQ(pastri_decompress_block(stream, size, b, block, 16),
+              PASTRI_OK);
+    for (size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(block[i], full[b * 16 + i]) << b;
+    }
+  }
+  double* range = nullptr;
+  size_t range_count = 0;
+  ASSERT_EQ(
+      pastri_decompress_range(stream, size, 1, 3, &range, &range_count),
+      PASTRI_OK);
+  ASSERT_EQ(range_count, 3u * 16);
+  for (size_t i = 0; i < range_count; ++i) {
+    EXPECT_EQ(range[i], full[16 + i]);
+  }
+
+  // Bad requests: out-of-range block / too-small buffer are argument
+  // errors, not stream corruption.
+  EXPECT_EQ(pastri_decompress_block(stream, size, 5, block, 16),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_decompress_block(stream, size, 0, block, 15),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  double* out = nullptr;
+  size_t count = 0;
+  EXPECT_EQ(pastri_decompress_range(stream, size, 4, 2, &out, &count),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  // Corrupt tail (the index footer) surfaces as a corrupt stream.
+  stream[size - 1] ^= 0xFF;
+  EXPECT_EQ(pastri_decompress_block(stream, size, 0, block, 16),
+            PASTRI_ERR_CORRUPT_STREAM);
+
+  pastri_free(range);
+  pastri_free(full);
+  pastri_free(stream);
+}
+
 TEST(CApi, EmptyInput) {
   pastri_params p;
   pastri_params_init(&p);

@@ -61,6 +61,61 @@ TEST(CompressedEriStore, ScfFromStoreMatchesExact) {
   EXPECT_NEAR(res.total_energy, ref.total_energy, 1e-7);
 }
 
+TEST(CompressedEriStore, ShellBlockWithinBoundWithoutMaterialize) {
+  const Molecule mol = h2o_molecule();
+  const BasisSet basis = make_sto3g_basis(mol);
+  Params p;
+  p.error_bound = 1e-10;
+  const CompressedEriStore store(basis, p);
+  const std::size_t ns = store.num_shells();
+  ASSERT_EQ(ns, basis.shells.size());
+  std::vector<double> exact;
+  for (std::size_t a = 0; a < ns; ++a) {
+    for (std::size_t b = 0; b < ns; ++b) {
+      for (std::size_t c = 0; c < ns; ++c) {
+        for (std::size_t d = 0; d < ns; ++d) {
+          const auto blk = store.shell_block(a, b, c, d);
+          const std::size_t want =
+              basis.shells[a].num_components() *
+              basis.shells[b].num_components() *
+              basis.shells[c].num_components() *
+              basis.shells[d].num_components();
+          ASSERT_EQ(blk->size(), want);
+          exact.resize(want);
+          compute_eri_block(basis.shells[a], basis.shells[b],
+                            basis.shells[c], basis.shells[d], exact);
+          EXPECT_LE(testutil::max_abs_diff(exact, *blk),
+                    p.error_bound * (1 + 1e-12));
+        }
+      }
+    }
+  }
+}
+
+TEST(CompressedEriStore, BlockCacheHitsAndEviction) {
+  const BasisSet basis = make_sto3g_basis(h2o_molecule());
+  Params p;
+  CompressedEriStore store(basis, p);
+  EXPECT_EQ(store.cache_hits(), 0u);
+  const auto first = store.shell_block(0, 0, 0, 0);
+  EXPECT_EQ(store.cache_misses(), 1u);
+  const auto again = store.shell_block(0, 0, 0, 0);
+  EXPECT_EQ(store.cache_hits(), 1u);
+  EXPECT_EQ(first.get(), again.get());  // served from cache, same object
+
+  // A capacity-1 cache must evict, yet previously returned blocks stay
+  // valid and a re-fetch still decodes the same values.
+  store.set_cache_capacity(1);
+  const auto other = store.shell_block(0, 0, 0, 1);
+  const std::size_t misses = store.cache_misses();
+  const auto refetch = store.shell_block(0, 0, 0, 0);  // was evicted
+  EXPECT_EQ(store.cache_misses(), misses + 1);
+  EXPECT_EQ(*refetch, *first);
+  EXPECT_FALSE(other->empty());
+
+  EXPECT_THROW(store.shell_block(99, 0, 0, 0), std::out_of_range);
+}
+
 TEST(CompressedEriStore, CoarserBoundSmallerStore) {
   const BasisSet basis = make_sto3g_basis(h2o_molecule());
   Params fine, coarse;

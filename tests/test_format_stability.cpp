@@ -40,12 +40,18 @@ TEST(FormatStability, HeaderLayout) {
   Params p;
   const auto stream = compress(golden_input(), spec, p);
   ASSERT_GE(stream.size(), 31u);
-  // magic "PSTR" little-endian, version 2.
+  // magic "PSTR" little-endian, version 3 (indexed container).
   EXPECT_EQ(stream[0], 0x50);  // 'P'
   EXPECT_EQ(stream[1], 0x53);  // 'S'
   EXPECT_EQ(stream[2], 0x54);  // 'T'
   EXPECT_EQ(stream[3], 0x52);  // 'R'
-  EXPECT_EQ(stream[4], 2);     // version
+  EXPECT_EQ(stream[4], 3);     // version
+  // index footer ends with "PIDX" little-endian.
+  ASSERT_GE(stream.size(), 4u);
+  EXPECT_EQ(stream[stream.size() - 4], 0x50);  // 'P'
+  EXPECT_EQ(stream[stream.size() - 3], 0x49);  // 'I'
+  EXPECT_EQ(stream[stream.size() - 2], 0x44);  // 'D'
+  EXPECT_EQ(stream[stream.size() - 1], 0x58);  // 'X'
   // error bound as raw little-endian double at offset 5.
   double eb;
   std::memcpy(&eb, stream.data() + 5, 8);
@@ -61,12 +67,14 @@ TEST(FormatStability, GoldenDigest) {
   const std::uint64_t digest = fnv1a(stream);
   // Self-check first (digest of empty = offset basis).
   EXPECT_EQ(fnv1a({}), 1469598103934665603ull);
-  // Golden value recorded at format version 2.
-  static constexpr std::uint64_t kGolden = 0x1fc58e2bb0ced4fdull;
+  // Golden value recorded at format version 3 (indexed container; the
+  // version-2 payload bytes are unchanged, v3 appends a 4-byte offset
+  // table and a 20-byte footer to this stream).
+  static constexpr std::uint64_t kGolden = 0x4caa9961110d33c5ull;
   EXPECT_EQ(digest, kGolden)
       << "stream format changed -- bump the version byte and update "
          "the golden digest deliberately";
-  EXPECT_EQ(stream.size(), 159u);
+  EXPECT_EQ(stream.size(), 183u);
   // Cross-run determinism of the digest within this process.
   EXPECT_EQ(fnv1a(compress(golden_input(), spec, p)), digest);
 }

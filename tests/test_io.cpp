@@ -102,6 +102,26 @@ TEST_F(FppTest, WriteReadRoundTrip) {
 
 TEST_F(FppTest, ReadMissingThrows) {
   EXPECT_THROW(read_rank_file(dir_, "nope", 0), std::runtime_error);
+  EXPECT_THROW(rank_file_size(dir_, "nope", 0), std::runtime_error);
+  EXPECT_THROW(read_rank_file_slice(dir_, "nope", 0, 0, 1),
+               std::runtime_error);
+}
+
+TEST_F(FppTest, SliceReadsExactRanges) {
+  const std::vector<std::uint8_t> data{10, 20, 30, 40, 50, 60};
+  write_rank_file(dir_, "chunk", 0, data);
+  EXPECT_EQ(rank_file_size(dir_, "chunk", 0), data.size());
+  EXPECT_EQ(read_rank_file_slice(dir_, "chunk", 0, 0, 6), data);
+  EXPECT_EQ(read_rank_file_slice(dir_, "chunk", 0, 2, 3),
+            (std::vector<std::uint8_t>{30, 40, 50}));
+  EXPECT_EQ(read_rank_file_slice(dir_, "chunk", 0, 5, 1),
+            (std::vector<std::uint8_t>{60}));
+  EXPECT_TRUE(read_rank_file_slice(dir_, "chunk", 0, 6, 0).empty());
+  // Past-the-end slices are rejected, not clamped.
+  EXPECT_THROW(read_rank_file_slice(dir_, "chunk", 0, 5, 2),
+               std::runtime_error);
+  EXPECT_THROW(read_rank_file_slice(dir_, "chunk", 0, 7, 0),
+               std::runtime_error);
 }
 
 TEST_F(FppTest, TimedDumpLoadPreservesData) {

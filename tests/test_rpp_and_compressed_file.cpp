@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "compressors/rpp/rpp.h"
 #include "io/compressed_file.h"
@@ -111,6 +113,73 @@ TEST_F(CompressedFileTest, MoreShardsThanBlocks) {
   EXPECT_EQ(back.num_blocks, 3u);
   EXPECT_LE(max_abs_diff(tiny.values, back.values),
             p.error_bound * (1 + 1e-12));
+}
+
+TEST_F(CompressedFileTest, ShardBlockCountsComeFromShardHeaders) {
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  io::write_compressed_dataset(ds, p, 5, dir_, "counts");
+  const auto counts = io::shard_block_counts(dir_, "counts");
+  const auto info = io::read_manifest(dir_, "counts");
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts, info.layout.blocks_per_shard);
+  std::size_t total = 0;
+  for (auto n : counts) total += n;
+  EXPECT_EQ(total, ds.num_blocks);
+}
+
+TEST_F(CompressedFileTest, ReadBlocksPartialRanges) {
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  io::write_compressed_dataset(ds, p, 4, dir_, "part");
+  const std::size_t bs = ds.shape.block_size();
+  const auto full = io::read_compressed_dataset(dir_, "part");
+  // Ranges within one shard, across shard boundaries, and the whole set.
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, 1},
+      {3, 2},
+      {ds.num_blocks / 4 - 1, 3},  // straddles shard 0 -> 1
+      {0, ds.num_blocks}};
+  for (const auto& [first, count] : ranges) {
+    const auto part = io::read_blocks(dir_, "part", first, count);
+    ASSERT_EQ(part.size(), count * bs) << first << "+" << count;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      ASSERT_EQ(part[i], full.values[first * bs + i]) << first;
+    }
+  }
+  EXPECT_THROW(io::read_blocks(dir_, "part", ds.num_blocks, 1),
+               std::out_of_range);
+  EXPECT_THROW(io::read_blocks(dir_, "part", 0, ds.num_blocks + 1),
+               std::out_of_range);
+}
+
+TEST_F(CompressedFileTest, ReaderIgnoresCorruptManifestLayout) {
+  // The manifest's per-shard layout line is advisory: readers derive
+  // block counts from the shard stream headers.  Corrupt the layout
+  // (keeping the total) and the dataset must still load correctly.
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  io::write_compressed_dataset(ds, p, 3, dir_, "lied");
+  const auto info = io::read_manifest(dir_, "lied");
+  std::ostringstream mf;
+  mf << "PaSTRIshards v1\n" << info.label << "\n";
+  mf << info.shape.n[0] << " " << info.shape.n[1] << " " << info.shape.n[2]
+     << " " << info.shape.n[3] << "\n";
+  mf << info.num_blocks << " " << info.layout.num_shards << "\n";
+  // Shuffle all blocks into the "first shard" on paper.
+  mf << info.num_blocks << " 0 0 \n";
+  std::ofstream out(dir_ + "/lied.manifest", std::ios::trunc);
+  out << mf.str();
+  out.close();
+  const auto back = io::read_compressed_dataset(dir_, "lied");
+  EXPECT_EQ(back.num_blocks, ds.num_blocks);
+  EXPECT_LE(max_abs_diff(ds.values, back.values),
+            p.error_bound * (1 + 1e-12));
+  const auto counts = io::shard_block_counts(dir_, "lied");
+  std::size_t total = 0;
+  for (auto n : counts) total += n;
+  EXPECT_EQ(total, ds.num_blocks);
+  EXPECT_NE(counts, io::read_manifest(dir_, "lied").layout.blocks_per_shard);
 }
 
 TEST_F(CompressedFileTest, MissingManifestThrows) {
