@@ -4,31 +4,50 @@
 //   $ pastri_tool compress   in.eri out.pastri [--eb 1e-10]
 //                            [--metric ER|FR|AR|AAR|IS]
 //                            [--tree 1..5] [--no-sparse]
-//   $ pastri_tool decompress in.pastri out.eri
+//                            [--chunk BYTES] [--threads N]
+//   $ pastri_tool decompress in.pastri out.eri [--chunk BYTES]
+//                            [--threads N]
 //   $ pastri_tool verify     in.eri in.pastri
 //   $ pastri_tool extract    in.pastri FIRST [COUNT]   # seek, don't scan
+//
+// compress/decompress stream through fixed-size chunks (default 4 MiB):
+// peak memory is O(chunk), independent of the dataset size, and "-"
+// works as IN or OUT for stdin/stdout pipelines --
+//
+//   $ generator | pastri_tool compress - - > eri.pastri
+//
+// (the .eri header always carries the block count, so compressing to a
+// pipe needs no seeking).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/pastri.h"
+#include "core/stream.h"
 #include "qc/eri_engine.h"
 
 namespace {
 
 using namespace pastri;
 
+constexpr std::size_t kDefaultChunkBytes = std::size_t{4} << 20;
+
 int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
       "  pastri_tool compress   IN.eri OUT.pastri [--eb E] [--metric M]"
-      " [--tree N] [--no-sparse]\n"
-      "  pastri_tool decompress IN.pastri OUT.eri\n"
+      " [--tree N] [--no-sparse] [--chunk BYTES] [--threads N]\n"
+      "  pastri_tool decompress IN.pastri OUT.eri [--chunk BYTES]"
+      " [--threads N]\n"
       "  pastri_tool verify     IN.eri IN.pastri\n"
-      "  pastri_tool extract    IN.pastri FIRST [COUNT]\n");
+      "  pastri_tool extract    IN.pastri FIRST [COUNT]\n"
+      "\n"
+      "compress/decompress stream via fixed-size chunks (peak memory\n"
+      "O(chunk)); \"-\" as IN or OUT means stdin/stdout.\n");
   return 2;
 }
 
@@ -42,15 +61,6 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   return data;
 }
 
-void write_file(const std::string& path,
-                std::span<const std::uint8_t> data) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("cannot open " + path);
-  f.write(reinterpret_cast<const char*>(data.data()),
-          static_cast<std::streamsize>(data.size()));
-  if (!f) throw std::runtime_error("write failed: " + path);
-}
-
 ScalingMetric parse_metric(const std::string& s) {
   for (ScalingMetric m : {ScalingMetric::FR, ScalingMetric::ER,
                           ScalingMetric::AR, ScalingMetric::AAR,
@@ -60,10 +70,61 @@ ScalingMetric parse_metric(const std::string& s) {
   throw std::invalid_argument("unknown metric: " + s);
 }
 
+/// File-or-stdio stream selection ("-" = the standard stream).
+std::istream& open_input(const std::string& path, std::ifstream& file) {
+  if (path == "-") return std::cin;
+  file.open(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  return file;
+}
+
+std::ostream& open_output(const std::string& path, std::ofstream& file) {
+  if (path == "-") return std::cout;
+  file.open(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  return file;
+}
+
+// The pastri_tool container: "TSCP" magic, label, block shape, then one
+// PaSTRI stream.  All fields little-endian, all byte-aligned.
+constexpr std::uint32_t kToolMagic = 0x50435354;  // "TSCP"
+
+void write_tool_header(std::ostream& os, const std::string& label,
+                       const qc::BlockShape& shape) {
+  os.write(reinterpret_cast<const char*>(&kToolMagic), 4);
+  const std::uint32_t label_len = static_cast<std::uint32_t>(label.size());
+  os.write(reinterpret_cast<const char*>(&label_len), 4);
+  os.write(label.data(), label_len);
+  for (auto n : shape.n) {
+    os.write(reinterpret_cast<const char*>(&n), 2);
+  }
+  if (!os) throw std::runtime_error("container header write failed");
+}
+
+void read_tool_header(std::istream& is, std::string& label,
+                      qc::BlockShape& shape) {
+  std::uint32_t magic = 0, label_len = 0;
+  is.read(reinterpret_cast<char*>(&magic), 4);
+  if (!is || magic != kToolMagic) {
+    throw std::runtime_error("not a pastri_tool container");
+  }
+  is.read(reinterpret_cast<char*>(&label_len), 4);
+  if (!is || label_len > (1u << 20)) {
+    throw std::runtime_error("corrupt label");
+  }
+  label.resize(label_len);
+  is.read(label.data(), label_len);
+  for (auto& n : shape.n) {
+    is.read(reinterpret_cast<char*>(&n), 2);
+  }
+  if (!is) throw std::runtime_error("truncated container header");
+}
+
 int cmd_compress(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string in = argv[0], out = argv[1];
   Params p;
+  std::size_t chunk_bytes = kDefaultChunkBytes;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -74,80 +135,145 @@ int cmd_compress(int argc, char** argv) {
     else if (a == "--tree" && next())
       p.tree = static_cast<EcqTree>(std::stoi(argv[i]));
     else if (a == "--no-sparse") p.allow_sparse = false;
+    else if (a == "--chunk" && next())
+      chunk_bytes = std::stoull(argv[i]);
+    else if (a == "--threads" && next()) p.num_threads = std::stoi(argv[i]);
     else return usage();
   }
-  const auto ds = qc::load_dataset(in);
-  const BlockSpec spec{ds.shape.num_sub_blocks(),
-                       ds.shape.sub_block_size()};
-  Stats st;
-  const auto stream = compress(ds.values, spec, p, &st);
 
-  // Container: the compressed stream plus the dataset metadata needed to
-  // rebuild the .eri file on decompression.
-  bitio::BitWriter w;
-  w.write_bits(0x50435354, 32);  // "TSCP"
-  const auto label_len = static_cast<std::uint32_t>(ds.label.size());
-  w.write_bits(label_len, 32);
-  for (char c : ds.label) w.write_bits(static_cast<std::uint8_t>(c), 8);
-  for (auto n : ds.shape.n) w.write_bits(n, 16);
-  w.write_bytes(stream);
-  write_file(out, w.take());
+  std::ifstream fin;
+  std::ofstream fout;
+  std::istream& is = open_input(in, fin);
+  std::ostream& os = open_output(out, fout);
 
-  std::printf("%s: %zu -> %zu bytes, ratio %.2fx (EB=%.0e, %s, %s)\n",
-              ds.label.c_str(), st.input_bytes, st.output_bytes,
-              st.ratio(), p.error_bound, scaling_metric_name(p.metric),
-              ecq_tree_name(p.tree));
-  std::printf("block types: %zu/%zu/%zu/%zu  outliers: %zu  sparse "
-              "blocks: %zu\n",
-              st.blocks_by_type[0], st.blocks_by_type[1],
-              st.blocks_by_type[2], st.blocks_by_type[3], st.num_outliers,
-              st.sparse_blocks);
+  // The .eri header declares the block count, so the stream header can
+  // be written final immediately -- no seeking, stdout works.
+  const qc::EriDatasetHeader hdr = qc::read_dataset_header(is);
+  const BlockSpec spec{hdr.shape.num_sub_blocks(),
+                       hdr.shape.sub_block_size()};
+  OstreamSink sink(os);
+  write_tool_header(os, hdr.label, hdr.shape);
+  StreamWriter writer(sink, spec, p,
+                      StreamWriterOptions{.expected_blocks = hdr.num_blocks});
+
+  std::vector<double> buf(
+      std::max<std::size_t>(1, chunk_bytes / sizeof(double)));
+  std::size_t left = hdr.num_blocks * spec.block_size();
+  while (left > 0) {
+    const std::size_t want = std::min(buf.size(), left);
+    is.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(want * sizeof(double)));
+    const auto got_bytes = static_cast<std::size_t>(is.gcount());
+    if (got_bytes == 0 || got_bytes % sizeof(double) != 0) {
+      throw std::runtime_error("truncated .eri input");
+    }
+    const std::size_t got = got_bytes / sizeof(double);
+    writer.put_values(std::span<const double>(buf.data(), got));
+    left -= got;
+  }
+  writer.finish();
+  os.flush();
+  if (!os) throw std::runtime_error("write failed: " + out);
+
+  // When the container goes to stdout the report must not corrupt it.
+  std::FILE* rpt = out == "-" ? stderr : stdout;
+  const Stats& st = writer.stats();
+  std::fprintf(rpt,
+               "%s: %zu -> %zu bytes, ratio %.2fx (EB=%.0e, %s, %s)\n",
+               hdr.label.c_str(), st.input_bytes, st.output_bytes,
+               st.ratio(), p.error_bound, scaling_metric_name(p.metric),
+               ecq_tree_name(p.tree));
+  std::fprintf(rpt,
+               "block types: %zu/%zu/%zu/%zu  outliers: %zu  sparse "
+               "blocks: %zu\n",
+               st.blocks_by_type[0], st.blocks_by_type[1],
+               st.blocks_by_type[2], st.blocks_by_type[3], st.num_outliers,
+               st.sparse_blocks);
   return 0;
 }
 
-qc::EriDataset decode_container(const std::vector<std::uint8_t>& bytes) {
-  bitio::BitReader r(bytes);
-  if (r.read_bits(32) != 0x50435354) {
-    throw std::runtime_error("not a pastri_tool container");
+int cmd_decompress(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string in = argv[0], out = argv[1];
+  std::size_t chunk_bytes = kDefaultChunkBytes;
+  int num_threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--chunk" && next()) chunk_bytes = std::stoull(argv[i]);
+    else if (a == "--threads" && next()) num_threads = std::stoi(argv[i]);
+    else return usage();
   }
-  qc::EriDataset ds;
-  const auto label_len = static_cast<std::uint32_t>(r.read_bits(32));
-  if (label_len > (1u << 20)) throw std::runtime_error("corrupt label");
-  ds.label.resize(label_len);
-  for (auto& c : ds.label) c = static_cast<char>(r.read_bits(8));
-  for (auto& n : ds.shape.n) {
-    n = static_cast<std::uint16_t>(r.read_bits(16));
-  }
-  r.align_to_byte();
-  const std::size_t off = r.bit_position() / 8;
-  ds.values = decompress(
-      std::span<const std::uint8_t>(bytes).subspan(off));
-  ds.num_blocks = ds.values.size() / ds.shape.block_size();
-  return ds;
-}
 
-int cmd_decompress(const char* in, const char* out) {
-  const auto ds = decode_container(read_file(in));
-  qc::save_dataset(ds, out);
-  std::printf("wrote %s: %zu blocks, %.2f MB (values within the error "
-              "bound of the originals)\n",
-              out, ds.num_blocks, ds.size_bytes() / 1e6);
+  std::ifstream fin;
+  std::ofstream fout;
+  std::istream& is = open_input(in, fin);
+  std::ostream& os = open_output(out, fout);
+
+  std::string label;
+  qc::BlockShape shape;
+  read_tool_header(is, label, shape);
+  IstreamSource source(is);
+  StreamConsumer consumer(
+      source, StreamConsumerOptions{.chunk_bytes = chunk_bytes,
+                                    .num_threads = num_threads});
+  if (consumer.info().spec.num_sub_blocks != shape.num_sub_blocks() ||
+      consumer.info().spec.sub_block_size != shape.sub_block_size()) {
+    throw std::runtime_error("container shape disagrees with stream header");
+  }
+  const std::size_t num_blocks = consumer.blocks_remaining();
+  qc::write_dataset_header(os, {label, shape, num_blocks});
+
+  std::vector<double> buf(
+      std::max<std::size_t>(1, chunk_bytes / sizeof(double)));
+  for (;;) {
+    const std::size_t n = consumer.read_values(buf);
+    if (n == 0) break;
+    os.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(n * sizeof(double)));
+    if (!os) throw std::runtime_error("write failed: " + out);
+  }
+  os.flush();
+  if (!os) throw std::runtime_error("write failed: " + out);
+
+  std::FILE* rpt = out == "-" ? stderr : stdout;
+  std::fprintf(rpt,
+               "wrote %s: %zu blocks, %.2f MB (values within the error "
+               "bound of the originals)\n",
+               out.c_str(), num_blocks,
+               static_cast<double>(num_blocks * shape.block_size() *
+                                   sizeof(double)) /
+                   1e6);
   return 0;
 }
 
 int cmd_verify(const char* eri_path, const char* pastri_path) {
   const auto original = qc::load_dataset(eri_path);
-  const auto restored = decode_container(read_file(pastri_path));
-  const auto info = peek_info(std::span<const std::uint8_t>(
-      read_file(pastri_path)).subspan(4 + 4 + original.label.size() + 8));
-  if (restored.values.size() != original.values.size()) {
+  const auto bytes = read_file(pastri_path);
+
+  // Whole-container path: parse the header in memory, decompress all.
+  bitio::BitReader r(bytes);
+  if (r.read_bits(32) != kToolMagic) {
+    throw std::runtime_error("not a pastri_tool container");
+  }
+  const auto label_len = static_cast<std::uint32_t>(r.read_bits(32));
+  if (label_len > (1u << 20)) throw std::runtime_error("corrupt label");
+  r.skip_bits(8 * label_len + 4 * 16);
+  r.align_to_byte();
+  const auto stream =
+      std::span<const std::uint8_t>(bytes).subspan(r.bit_position() / 8);
+  const auto restored = decompress(stream);
+  const auto info = peek_info(stream);
+  if (restored.size() != original.values.size()) {
     std::printf("FAIL: size mismatch\n");
     return 1;
   }
   double max_err = 0.0;
-  for (std::size_t i = 0; i < restored.values.size(); ++i) {
+  for (std::size_t i = 0; i < restored.size(); ++i) {
     max_err = std::max(max_err,
-                       std::abs(restored.values[i] - original.values[i]));
+                       std::abs(restored[i] - original.values[i]));
   }
   std::printf("max |error| = %.3e, bound = %.0e -> %s\n", max_err,
               info.error_bound,
@@ -160,7 +286,7 @@ int cmd_extract(const char* in, const char* first_s, const char* count_s) {
   // decoded, however large the container.
   const auto bytes = read_file(in);
   bitio::BitReader r(bytes);
-  if (r.read_bits(32) != 0x50435354) {
+  if (r.read_bits(32) != kToolMagic) {
     throw std::runtime_error("not a pastri_tool container");
   }
   const auto label_len = static_cast<std::uint32_t>(r.read_bits(32));
@@ -190,8 +316,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "compress") return cmd_compress(argc - 2, argv + 2);
-    if (cmd == "decompress" && argc >= 4)
-      return cmd_decompress(argv[2], argv[3]);
+    if (cmd == "decompress") return cmd_decompress(argc - 2, argv + 2);
     if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
     if (cmd == "extract" && argc >= 4)
       return cmd_extract(argv[2], argv[3], argc >= 5 ? argv[4] : nullptr);

@@ -60,7 +60,10 @@ int main(int argc, char** argv) {
 
   // PaSTRI-compressed integrals at several bounds, held in the paper's
   // Fig. 11 infrastructure: one stream per shell-quartet configuration
-  // class, decompressed whenever the tensor is needed.
+  // class, decompressed whenever the tensor is needed.  The store
+  // compresses on the fly -- each quartet block goes from the integral
+  // engine straight into the class's StreamWriter, so building it never
+  // allocates a dense per-class tensor.
   std::printf("\n%-10s %10s %16s %12s %12s\n", "EB", "ratio",
               "E_RHF (Ha)", "|dE_RHF|", "|dE_MP2|");
   for (double eb : {1e-6, 1e-8, 1e-10, 1e-12}) {

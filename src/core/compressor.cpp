@@ -37,6 +37,7 @@
 #include "bitio/varint.h"
 #include "core/format_detail.h"
 #include "core/pastri.h"
+#include "core/stream.h"
 
 namespace pastri {
 namespace {
@@ -266,52 +267,23 @@ std::vector<std::uint8_t> compress(std::span<const double> data,
     throw std::invalid_argument(
         "PaSTRI: data size is not a whole number of blocks");
   }
-  const std::size_t num_blocks = data.size() / bs;
-
-  Stats local;
-  local.input_bytes = data.size() * sizeof(double);
-  local.num_blocks = num_blocks;
-
-  // Compress blocks independently (block-level parallelism, Section IV-C).
-  std::vector<std::vector<std::uint8_t>> payloads(num_blocks);
-  std::vector<Stats> thread_stats;
-  const int nthreads =
-      params.num_threads > 0 ? params.num_threads : omp_get_max_threads();
-  thread_stats.resize(static_cast<std::size_t>(nthreads));
-
-#pragma omp parallel num_threads(nthreads)
-  {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-#pragma omp for schedule(dynamic, 16)
-    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(num_blocks);
-         ++b) {
-      bitio::BitWriter w;
-      compress_block(data.subspan(static_cast<std::size_t>(b) * bs, bs),
-                     spec, params, w, &thread_stats[tid]);
-      payloads[static_cast<std::size_t>(b)] = w.take();
-    }
-  }
-  for (const Stats& ts : thread_stats) {
-    local.pattern_bits += ts.pattern_bits;
-    local.scale_bits += ts.scale_bits;
-    local.ecq_bits += ts.ecq_bits;
-    local.header_bits += ts.header_bits;
-    local.sparse_blocks += ts.sparse_blocks;
-    local.num_outliers += ts.num_outliers;
-    for (int t = 0; t < 4; ++t) {
-      local.blocks_by_type[t] += ts.blocks_by_type[t];
-    }
-  }
-
-  std::vector<std::uint8_t> out =
-      detail::assemble_container(spec, params, payloads, &local);
-  local.output_bytes = out.size();
-  if (stats) *stats = local;
-  return out;
+  // Thin wrapper over the streaming writer (block-level parallelism,
+  // Section IV-C, lives in its batch pipeline): declaring the block
+  // count up-front writes the header final immediately, and feeding the
+  // blocks in order yields exactly the bytes this function always
+  // produced -- the two paths cannot drift.
+  VectorSink sink;
+  StreamWriter writer(sink, spec, params,
+                      {.expected_blocks = data.size() / bs});
+  writer.put_values(data);
+  writer.finish();
+  if (stats) *stats = writer.stats();
+  return sink.take();
 }
 
-std::vector<double> decompress(std::span<const std::uint8_t> stream) {
-  const BlockReader reader(stream);
+std::vector<double> decompress(std::span<const std::uint8_t> stream,
+                               int num_threads) {
+  const BlockReader reader(stream, num_threads);
   return reader.read_range(0, reader.num_blocks());
 }
 
@@ -322,11 +294,13 @@ StreamInfo peek_info(std::span<const std::uint8_t> stream) {
 
 // ---- BlockReader -------------------------------------------------------
 
-BlockReader::BlockReader(std::span<const std::uint8_t> stream)
+BlockReader::BlockReader(std::span<const std::uint8_t> stream,
+                         int num_threads)
     : stream_(stream) {
   bitio::BitReader r(stream_);
   info_ = detail::read_global_header(r);
   params_ = info_.to_params();
+  params_.num_threads = num_threads;
   const std::size_t payload_base = r.bit_position() / 8;
   if (info_.version >= kStreamVersionIndexed) {
     const detail::IndexFooter footer = detail::read_index_footer(stream_);
@@ -373,11 +347,13 @@ std::vector<double> BlockReader::read_range(std::size_t first,
     throw std::runtime_error("PaSTRI: block range too large");
   }
   std::vector<double> out(count * bs);
+  const int nthreads = detail::resolve_threads(params_.num_threads);
   // Exceptions cannot propagate out of an OpenMP region; capture the
   // first one (corrupt block payloads must surface as throws, not
   // std::terminate) and rethrow after the join.
   std::exception_ptr error;
-#pragma omp parallel for schedule(dynamic, 16) shared(error) if (count > 1)
+#pragma omp parallel for schedule(dynamic, 16) num_threads(nthreads) \
+    shared(error) if (count > 1)
   for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(count); ++b) {
     try {
       read_block(first + static_cast<std::size_t>(b),

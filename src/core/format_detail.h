@@ -4,6 +4,8 @@
 // part of the public API.
 #pragma once
 
+#include <omp.h>
+
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -68,6 +70,18 @@ inline constexpr std::size_t kGlobalHeaderBits =
     32 + 8 + 64 + 8 + 8 + 8 + 32 + 32 + 64;
 inline constexpr std::size_t kGlobalHeaderBytes = kGlobalHeaderBits / 8;
 
+/// Byte offset of the num_blocks u64 inside the global header -- the one
+/// field a streaming writer may not know until finish(), back-filled via
+/// ByteSink::patch when the count was not declared up-front.
+inline constexpr std::size_t kHeaderNumBlocksOffset =
+    (32 + 8 + 64 + 8 + 8 + 8 + 32 + 32) / 8;
+
+/// Map Params::num_threads (0 = library default) to a concrete OpenMP
+/// thread count, shared by every block-parallel driver.
+inline int resolve_threads(int num_threads) {
+  return num_threads > 0 ? num_threads : omp_get_max_threads();
+}
+
 // ---- v3 index footer ----------------------------------------------------
 //
 // Fixed-size trailer at the very end of an indexed container:
@@ -121,37 +135,6 @@ inline IndexFooter read_index_footer(std::span<const std::uint8_t> stream) {
   }
   return parse_index_footer(
       stream.subspan(stream.size() - kIndexFooterBytes), stream.size());
-}
-
-/// Assemble a complete v3 container from per-block payloads: global
-/// header, varint-length prefixed payloads, offset table, footer.  The
-/// bookkeeping bytes (length varints, table, footer) are accounted into
-/// stats->header_bits when stats is non-null.  Both drivers go through
-/// this, which keeps the streaming and one-shot outputs byte-identical.
-inline std::vector<std::uint8_t> assemble_container(
-    const BlockSpec& spec, const Params& params,
-    const std::vector<std::vector<std::uint8_t>>& payloads, Stats* stats) {
-  bitio::BitWriter w;
-  write_global_header(w, spec, params, payloads.size());
-  if (stats) stats->header_bits += w.bit_count();
-  std::vector<std::size_t> sizes;
-  sizes.reserve(payloads.size());
-  for (const auto& p : payloads) {
-    sizes.push_back(p.size());
-    bitio::write_varint(w, p.size());
-    if (stats) stats->header_bits += 8 * bitio::varint_width(p.size());
-    w.write_bytes(p);
-  }
-  const BlockIndex index =
-      BlockIndex::from_payload_sizes(kGlobalHeaderBytes, sizes);
-  const std::size_t index_offset = w.bit_count() / 8;
-  index.serialize(w);
-  write_index_footer(w, {index_offset, payloads.size()});
-  if (stats) {
-    stats->header_bits +=
-        8 * (index.serialized_bytes() + kIndexFooterBytes);
-  }
-  return w.take();
 }
 
 }  // namespace pastri::detail

@@ -123,9 +123,11 @@ std::vector<std::uint8_t> compress(std::span<const double> data,
                                    const Params& params,
                                    Stats* stats = nullptr);
 
-/// Decompress a full stream produced by `compress`.
+/// Decompress a full stream produced by `compress` (block-parallel;
+/// `num_threads` as in Params::num_threads, 0 = OpenMP default).
 /// Throws std::runtime_error on malformed input.
-std::vector<double> decompress(std::span<const std::uint8_t> stream);
+std::vector<double> decompress(std::span<const std::uint8_t> stream,
+                               int num_threads = 0);
 
 /// Parse the stream header only.
 StreamInfo peek_info(std::span<const std::uint8_t> stream);
@@ -140,8 +142,10 @@ StreamInfo peek_info(std::span<const std::uint8_t> stream);
 class BlockReader {
  public:
   /// Throws std::runtime_error on malformed input (bad header, missing
-  /// or inconsistent index footer, corrupt offset table).
-  explicit BlockReader(std::span<const std::uint8_t> stream);
+  /// or inconsistent index footer, corrupt offset table).  `num_threads`
+  /// bounds read_range's block parallelism (0 = OpenMP default).
+  explicit BlockReader(std::span<const std::uint8_t> stream,
+                       int num_threads = 0);
 
   const StreamInfo& info() const { return info_; }
   const BlockIndex& index() const { return index_; }

@@ -2,9 +2,12 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/pastri.h"
+#include "core/stream.h"
 
 namespace {
 
@@ -27,6 +30,16 @@ pastri::Params to_cpp(const pastri_params& p) {
 }
 
 }  // namespace
+
+/* Opaque streaming-compressor handle (member order matters: writer holds
+ * a reference into sink, which writes to file). */
+struct pastri_stream {
+  std::ofstream file;
+  std::unique_ptr<pastri::OstreamSink> sink;
+  std::unique_ptr<pastri::StreamWriter> writer;
+  size_t block_size = 0;
+  bool finished = false;
+};
 
 extern "C" {
 
@@ -169,6 +182,71 @@ int pastri_peek(const unsigned char* stream, size_t stream_size,
     return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
   }
 }
+
+int pastri_stream_open(const char* path, size_t num_sub_blocks,
+                       size_t sub_block_size, const pastri_params* params,
+                       pastri_stream** out) {
+  if (path == nullptr || params == nullptr || out == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    auto s = std::make_unique<pastri_stream>();
+    s->file.open(path, std::ios::binary | std::ios::trunc);
+    if (!s->file) {
+      return fail(PASTRI_ERR_INVALID_ARGUMENT, "cannot open output file");
+    }
+    const pastri::BlockSpec spec{num_sub_blocks, sub_block_size};
+    s->sink = std::make_unique<pastri::OstreamSink>(s->file);
+    s->writer = std::make_unique<pastri::StreamWriter>(*s->sink, spec,
+                                                       to_cpp(*params));
+    s->block_size = spec.block_size();
+    *out = s.release();
+    return PASTRI_OK;
+  } catch (const std::invalid_argument& e) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  }
+}
+
+int pastri_stream_put_block(pastri_stream* stream, const double* block) {
+  if (stream == nullptr || block == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  if (stream->finished) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "stream already finished");
+  }
+  try {
+    stream->writer->put_block(
+        std::span<const double>(block, stream->block_size));
+    return PASTRI_OK;
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  }
+}
+
+int pastri_stream_finish(pastri_stream* stream, size_t* out_size) {
+  if (stream == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  if (stream->finished) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "stream already finished");
+  }
+  try {
+    const size_t total = stream->writer->finish();
+    stream->file.close();
+    if (!stream->file) {
+      return fail(PASTRI_ERR_INTERNAL, "close failed");
+    }
+    stream->finished = true;
+    if (out_size != nullptr) *out_size = total;
+    return PASTRI_OK;
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  }
+}
+
+void pastri_stream_close(pastri_stream* stream) { delete stream; }
 
 void pastri_free(void* ptr) { std::free(ptr); }
 

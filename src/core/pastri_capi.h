@@ -63,6 +63,41 @@ int pastri_decompress_range(const unsigned char* stream,
                             size_t stream_size, size_t first, size_t count,
                             double** out, size_t* out_count);
 
+/* ---- Streaming compression ------------------------------------------
+ *
+ * Bounded-memory counterpart of pastri_compress_buffer: blocks are
+ * appended one at a time and encoded in batches straight to a file, so
+ * the dense dataset never has to exist in memory.  The bytes written
+ * are identical to pastri_compress_buffer fed the same blocks.
+ *
+ *   pastri_stream* s;
+ *   pastri_stream_open("out.pastri", 36, 36, &params, &s);
+ *   for (...) pastri_stream_put_block(s, block);       // 36*36 doubles
+ *   pastri_stream_finish(s, &total_bytes);
+ *   pastri_stream_close(s);
+ *
+ * Handles are not thread-safe; closing without finish() abandons an
+ * unfinished (unreadable) file. */
+
+typedef struct pastri_stream pastri_stream;
+
+/* Open a streaming compressor writing a fresh container to `path`. */
+int pastri_stream_open(const char* path, size_t num_sub_blocks,
+                       size_t sub_block_size, const pastri_params* params,
+                       pastri_stream** out);
+
+/* Append one block of num_sub_blocks * sub_block_size doubles. */
+int pastri_stream_put_block(pastri_stream* stream, const double* block);
+
+/* Flush pending blocks, emit the offset table and footer, back-fill the
+ * header block count.  *out_size (may be NULL) receives the container
+ * size in bytes.  The handle must still be released with
+ * pastri_stream_close. */
+int pastri_stream_finish(pastri_stream* stream, size_t* out_size);
+
+/* Release the handle (after finish, or to abandon an open stream). */
+void pastri_stream_close(pastri_stream* stream);
+
 /* Read stream metadata without decompressing; any pointer may be NULL. */
 int pastri_peek(const unsigned char* stream, size_t stream_size,
                 double* error_bound, size_t* num_sub_blocks,

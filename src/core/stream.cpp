@@ -1,9 +1,485 @@
+// stream.cpp - Streaming drivers: StreamWriter (batch-parallel encode,
+// in-order serialization, O(batch) memory) and StreamConsumer (chunked
+// pull decode), plus the byte transports and the original buffer-at-once
+// wrappers.  The one-shot compress/decompress in compressor.cpp are thin
+// wrappers over these, which keeps the two paths bit-identical.
 #include "core/stream.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
 
 #include "bitio/varint.h"
 #include "core/format_detail.h"
 
 namespace pastri {
+
+// ---- Byte transport -----------------------------------------------------
+
+void ByteSink::patch(std::size_t, std::span<const std::uint8_t>) {
+  throw std::logic_error("ByteSink: this sink does not support patch()");
+}
+
+void VectorSink::write(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void VectorSink::patch(std::size_t offset,
+                       std::span<const std::uint8_t> bytes) {
+  if (offset + bytes.size() < offset || offset + bytes.size() > buf_.size()) {
+    throw std::logic_error("VectorSink: patch outside written bytes");
+  }
+  std::memcpy(buf_.data() + offset, bytes.data(), bytes.size());
+}
+
+OstreamSink::OstreamSink(std::ostream& os) : os_(os) {
+  const auto pos = os_.tellp();
+  seekable_ = pos != std::ostream::pos_type(-1);
+  base_ = seekable_ ? static_cast<std::size_t>(pos) : 0;
+}
+
+OstreamSink::OstreamSink(std::ostream& os, std::size_t container_base)
+    : os_(os), base_(container_base) {
+  seekable_ = os_.tellp() != std::ostream::pos_type(-1);
+}
+
+void OstreamSink::write(std::span<const std::uint8_t> bytes) {
+  os_.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!os_) throw std::runtime_error("OstreamSink: write failed");
+}
+
+void OstreamSink::patch(std::size_t offset,
+                        std::span<const std::uint8_t> bytes) {
+  if (!seekable_) {
+    throw std::logic_error("OstreamSink: stream is not seekable");
+  }
+  const auto end = os_.tellp();
+  os_.seekp(static_cast<std::streamoff>(base_ + offset));
+  os_.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  os_.seekp(end);
+  if (!os_) throw std::runtime_error("OstreamSink: patch failed");
+}
+
+std::size_t SpanSource::read(std::span<std::uint8_t> out) {
+  const std::size_t n = std::min(out.size(), data_.size() - pos_);
+  if (n > 0) std::memcpy(out.data(), data_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+std::size_t IstreamSource::read(std::span<std::uint8_t> out) {
+  is_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  return static_cast<std::size_t>(is_.gcount());
+}
+
+// ---- StreamWriter -------------------------------------------------------
+
+namespace {
+
+/// Blocks per batch: enough to occupy every worker, capped so the raw
+/// staging buffer stays a few MB however large the blocks are.
+std::size_t auto_batch_blocks(const BlockSpec& spec, int num_threads) {
+  const std::size_t bs = std::max<std::size_t>(1, spec.block_size());
+  const std::size_t want = std::max<std::size_t>(
+      64, 16 * static_cast<std::size_t>(num_threads));
+  const std::size_t mem_cap =
+      std::max<std::size_t>(1, (std::size_t{8} << 20) / (bs * sizeof(double)));
+  return std::min(want, mem_cap);
+}
+
+/// Add the per-block counters produced by compress_block (the size
+/// totals are maintained by the writer itself).
+void merge_block_stats(Stats& into, const Stats& from) {
+  into.pattern_bits += from.pattern_bits;
+  into.scale_bits += from.scale_bits;
+  into.ecq_bits += from.ecq_bits;
+  into.header_bits += from.header_bits;
+  into.sparse_blocks += from.sparse_blocks;
+  into.num_outliers += from.num_outliers;
+  for (int t = 0; t < 4; ++t) into.blocks_by_type[t] += from.blocks_by_type[t];
+}
+
+}  // namespace
+
+StreamWriter::StreamWriter(ByteSink& sink, const BlockSpec& spec,
+                           const Params& params,
+                           const StreamWriterOptions& opt)
+    : sink_(sink),
+      spec_(spec),
+      params_(params),
+      expected_blocks_(opt.expected_blocks) {
+  spec_.validate();
+  params_.validate();
+  patch_header_ = expected_blocks_ == kUnknownBlockCount;
+  if (patch_header_ && !sink_.can_patch()) {
+    throw std::logic_error(
+        "StreamWriter: sink cannot patch the header; declare "
+        "expected_blocks up-front for non-seekable sinks");
+  }
+  const int nthreads = detail::resolve_threads(params_.num_threads);
+  batch_capacity_ =
+      opt.batch_blocks ? opt.batch_blocks : auto_batch_blocks(spec_, nthreads);
+  batch_.resize(batch_capacity_ * spec_.block_size());
+
+  bitio::BitWriter w;
+  detail::write_global_header(w, spec_, params_,
+                              patch_header_ ? 0 : expected_blocks_);
+  const auto header = w.take();
+  sink_.write(header);
+  bytes_emitted_ = header.size();
+  stats_.header_bits = 8 * header.size();
+}
+
+StreamWriter::StreamWriter(ByteSink& sink, const StreamInfo& info,
+                           const Params& params, const BlockIndex& index,
+                           const StreamWriterOptions& opt)
+    : sink_(sink), spec_(info.spec), params_(params) {
+  spec_.validate();
+  params_.validate();
+  if (info.version < kStreamVersionIndexed) {
+    throw std::runtime_error(
+        "StreamWriter: cannot append to an unindexed (v2) container");
+  }
+  if (params_.error_bound != info.error_bound ||
+      params_.bound_mode != info.bound_mode ||
+      params_.metric != info.metric || params_.tree != info.tree) {
+    throw std::invalid_argument(
+        "StreamWriter: append params disagree with the container header");
+  }
+  if (index.num_blocks() != info.num_blocks) {
+    throw std::runtime_error(
+        "StreamWriter: index block count disagrees with the header");
+  }
+  if (!sink_.can_patch()) {
+    throw std::logic_error(
+        "StreamWriter: appending requires a patchable sink (the header "
+        "block count changes at finish)");
+  }
+  expected_blocks_ = kUnknownBlockCount;
+  patch_header_ = true;
+  resumed_blocks_ = index.num_blocks();
+  sizes_.reserve(resumed_blocks_);
+  for (std::size_t b = 0; b < resumed_blocks_; ++b) {
+    sizes_.push_back(index.extent(b).length);
+  }
+  bytes_emitted_ = index.num_blocks() == 0 ? detail::kGlobalHeaderBytes
+                                           : index.payload_end();
+  const int nthreads = detail::resolve_threads(params_.num_threads);
+  batch_capacity_ =
+      opt.batch_blocks ? opt.batch_blocks : auto_batch_blocks(spec_, nthreads);
+  batch_.resize(batch_capacity_ * spec_.block_size());
+  stats_.num_blocks = resumed_blocks_;
+}
+
+StreamWriter::~StreamWriter() = default;
+
+std::size_t StreamWriter::blocks_appended() const {
+  return sizes_.size() + batch_count_;
+}
+
+void StreamWriter::put_block(std::span<const double> block) {
+  if (finished_) {
+    throw std::logic_error("StreamWriter: put after finish()");
+  }
+  const std::size_t bs = spec_.block_size();
+  if (block.size() != bs) {
+    throw std::invalid_argument("StreamWriter: block size mismatch");
+  }
+  std::memcpy(batch_.data() + batch_count_ * bs, block.data(),
+              bs * sizeof(double));
+  ++batch_count_;
+  stats_.input_bytes += bs * sizeof(double);
+  stats_.num_blocks = sizes_.size() + batch_count_;
+  if (batch_count_ == batch_capacity_) flush_batch_();
+}
+
+void StreamWriter::put_values(std::span<const double> values) {
+  const std::size_t bs = spec_.block_size();
+  if (!tail_.empty()) {
+    const std::size_t take = std::min(bs - tail_.size(), values.size());
+    tail_.insert(tail_.end(), values.begin(), values.begin() + take);
+    values = values.subspan(take);
+    if (tail_.size() == bs) {
+      put_block(tail_);
+      tail_.clear();
+    }
+  }
+  while (values.size() >= bs) {
+    put_block(values.first(bs));
+    values = values.subspan(bs);
+  }
+  if (!values.empty()) {
+    if (finished_) throw std::logic_error("StreamWriter: put after finish()");
+    tail_.assign(values.begin(), values.end());
+  }
+}
+
+void StreamWriter::flush_batch_() {
+  const std::size_t n = batch_count_;
+  if (n == 0) return;
+  const std::size_t bs = spec_.block_size();
+  const int nthreads = detail::resolve_threads(params_.num_threads);
+
+  // Workers encode the staged blocks independently; the serializer below
+  // then writes them in append order, so the container bytes cannot
+  // depend on scheduling.
+  std::vector<std::vector<std::uint8_t>> payloads(n);
+  std::vector<Stats> thread_stats(static_cast<std::size_t>(nthreads));
+  std::exception_ptr error;
+#pragma omp parallel num_threads(nthreads)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+#pragma omp for schedule(dynamic, 16)
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(n); ++b) {
+      try {
+        bitio::BitWriter w;
+        compress_block(
+            std::span<const double>(batch_).subspan(
+                static_cast<std::size_t>(b) * bs, bs),
+            spec_, params_, w, &thread_stats[tid]);
+        payloads[static_cast<std::size_t>(b)] = w.take();
+      } catch (...) {
+#pragma omp critical(pastri_stream_writer_error)
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  for (const Stats& ts : thread_stats) merge_block_stats(stats_, ts);
+
+  for (const auto& payload : payloads) {
+    std::uint8_t varint[10];
+    std::size_t width = 0;
+    std::uint64_t v = payload.size();
+    while (v >= 0x80) {
+      varint[width++] = static_cast<std::uint8_t>((v & 0x7F) | 0x80);
+      v >>= 7;
+    }
+    varint[width++] = static_cast<std::uint8_t>(v);
+    sink_.write({varint, width});
+    sink_.write(payload);
+    sizes_.push_back(payload.size());
+    bytes_emitted_ += width + payload.size();
+    stats_.header_bits += 8 * width;
+  }
+  batch_count_ = 0;
+}
+
+std::size_t StreamWriter::finish() {
+  if (finished_) throw std::logic_error("StreamWriter: already finished");
+  if (!tail_.empty()) {
+    throw std::invalid_argument(
+        "PaSTRI: data size is not a whole number of blocks");
+  }
+  flush_batch_();
+  const std::uint64_t num_blocks = sizes_.size();
+  if (expected_blocks_ != kUnknownBlockCount &&
+      num_blocks != expected_blocks_) {
+    throw std::runtime_error(
+        "StreamWriter: appended block count differs from expected_blocks");
+  }
+
+  const BlockIndex index =
+      BlockIndex::from_payload_sizes(detail::kGlobalHeaderBytes, sizes_);
+  const std::size_t index_offset = bytes_emitted_;
+  bitio::BitWriter w;
+  index.serialize(w);
+  detail::write_index_footer(w, {index_offset, num_blocks});
+  const auto tail = w.take();
+  sink_.write(tail);
+  bytes_emitted_ += tail.size();
+  stats_.header_bits += 8 * tail.size();
+
+  // Back-fill the header block count if it was not known up-front (a
+  // fresh count of zero, or an unchanged resumed count, needs no patch).
+  const std::uint64_t header_field =
+      patch_header_ ? resumed_blocks_ : expected_blocks_;
+  if (num_blocks != header_field) {
+    std::uint8_t le[8];
+    std::memcpy(le, &num_blocks, 8);  // little-endian hosts only
+    sink_.patch(detail::kHeaderNumBlocksOffset, le);
+  }
+  finished_ = true;
+  stats_.num_blocks = num_blocks;
+  stats_.output_bytes = bytes_emitted_;
+  return bytes_emitted_;
+}
+
+// ---- StreamConsumer -----------------------------------------------------
+
+StreamConsumer::StreamConsumer(ByteSource& source,
+                               const StreamConsumerOptions& opt)
+    : source_(source) {
+  const std::size_t chunk =
+      opt.chunk_bytes ? opt.chunk_bytes : (std::size_t{1} << 20);
+  buf_.resize(std::max<std::size_t>(chunk, detail::kGlobalHeaderBytes));
+  ensure_(detail::kGlobalHeaderBytes);
+  bitio::BitReader r(
+      std::span<const std::uint8_t>(buf_).subspan(
+          pos_, detail::kGlobalHeaderBytes));
+  info_ = detail::read_global_header(r);
+  pos_ += detail::kGlobalHeaderBytes;
+  params_ = info_.to_params();
+  params_.num_threads = opt.num_threads;
+  remaining_ = info_.num_blocks;
+
+  const int nthreads = detail::resolve_threads(params_.num_threads);
+  batch_blocks_ = opt.batch_blocks
+                      ? opt.batch_blocks
+                      : auto_batch_blocks(info_.spec, nthreads);
+  // Sanity cap on a single payload's declared length: a valid block
+  // never exceeds ~16 bytes per value plus per-sub-block metadata, so a
+  // larger length varint is corruption, not data -- reject before
+  // allocating buffer space for it.
+  const std::size_t bs = info_.spec.block_size();
+  if (bs > (std::numeric_limits<std::size_t>::max() >> 5)) {
+    max_payload_ = std::numeric_limits<std::size_t>::max();
+  } else {
+    max_payload_ = 16 * bs +
+                   7 * (info_.spec.num_sub_blocks +
+                        info_.spec.sub_block_size) +
+                   64;
+  }
+}
+
+void StreamConsumer::refill_() {
+  if (pos_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+    end_ -= pos_;
+    pos_ = 0;
+  }
+  if (end_ == buf_.size()) return;
+  const std::size_t got =
+      source_.read(std::span<std::uint8_t>(buf_).subspan(end_));
+  if (got == 0) {
+    eof_ = true;
+    return;
+  }
+  end_ += got;
+}
+
+void StreamConsumer::ensure_(std::size_t n) {
+  if (n > buf_.size()) {
+    // One payload larger than the read chunk: compact, then grow.
+    if (pos_ > 0) {
+      std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+      end_ -= pos_;
+      pos_ = 0;
+    }
+    buf_.resize(n);
+  }
+  while (end_ - pos_ < n && !eof_) refill_();
+  if (end_ - pos_ < n) {
+    throw std::runtime_error("PaSTRI: truncated stream");
+  }
+}
+
+std::size_t StreamConsumer::decode_batch_(std::span<double> out,
+                                          std::size_t max_blocks) {
+  // Gather whole payloads into the buffer without consuming them, so the
+  // batch can be decoded in parallel straight out of the buffer.  All
+  // offsets are relative to pos_, which refill_/ensure_ preserve.
+  struct Extent {
+    std::size_t off, len;
+  };
+  std::vector<Extent> extents;
+  extents.reserve(max_blocks);
+  std::size_t cur = 0;
+  while (extents.size() < max_blocks) {
+    std::uint64_t len = 0;
+    unsigned shift = 0;
+    std::size_t i = 0;
+    for (;;) {
+      ensure_(cur + i + 1);
+      const std::uint8_t byte = buf_[pos_ + cur + i];
+      ++i;
+      len |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) {
+        throw std::runtime_error("PaSTRI: corrupt block length");
+      }
+    }
+    if (len > max_payload_) {
+      throw std::runtime_error("PaSTRI: corrupt block length");
+    }
+    ensure_(cur + i + static_cast<std::size_t>(len));
+    extents.push_back({cur + i, static_cast<std::size_t>(len)});
+    cur += i + static_cast<std::size_t>(len);
+  }
+
+  const std::size_t bs = info_.spec.block_size();
+  const std::size_t n = extents.size();
+  const int nthreads = detail::resolve_threads(params_.num_threads);
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic, 16) num_threads(nthreads) \
+    shared(error) if (n > 1)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(n); ++b) {
+    try {
+      const Extent& e = extents[static_cast<std::size_t>(b)];
+      bitio::BitReader r(std::span<const std::uint8_t>(buf_).subspan(
+          pos_ + e.off, e.len));
+      decompress_block(r, info_.spec, params_,
+                       out.subspan(static_cast<std::size_t>(b) * bs, bs));
+    } catch (...) {
+#pragma omp critical(pastri_stream_consumer_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  pos_ += cur;
+  remaining_ -= n;
+  return n;
+}
+
+std::size_t StreamConsumer::read_blocks(std::span<double> out) {
+  const std::size_t bs = info_.spec.block_size();
+  const std::size_t want = std::min(out.size() / bs, remaining_);
+  std::size_t done = 0;
+  while (done < want) {
+    done += decode_batch_(out.subspan(done * bs),
+                          std::min(batch_blocks_, want - done));
+  }
+  return done;
+}
+
+std::size_t StreamConsumer::read_values(std::span<double> out) {
+  const std::size_t bs = info_.spec.block_size();
+  std::size_t written = 0;
+  if (carry_pos_ < carry_.size()) {
+    const std::size_t take =
+        std::min(out.size(), carry_.size() - carry_pos_);
+    std::memcpy(out.data(), carry_.data() + carry_pos_,
+                take * sizeof(double));
+    carry_pos_ += take;
+    written += take;
+  }
+  const std::size_t aligned = ((out.size() - written) / bs) * bs;
+  if (aligned > 0 && remaining_ > 0) {
+    written += bs * read_blocks(out.subspan(written, aligned));
+  }
+  if (written < out.size() && remaining_ > 0) {
+    carry_.resize(bs);
+    carry_pos_ = 0;
+    read_blocks(carry_);
+    const std::size_t take = out.size() - written;
+    std::memcpy(out.data() + written, carry_.data(),
+                take * sizeof(double));
+    carry_pos_ = take;
+    written += take;
+  }
+  return written;
+}
+
+// ---- Buffer-at-once wrappers -------------------------------------------
 
 StreamCompressor::StreamCompressor(const BlockSpec& spec,
                                    const Params& params)
@@ -12,51 +488,47 @@ StreamCompressor::StreamCompressor(const BlockSpec& spec,
   params_.validate();
 }
 
+StreamCompressor::~StreamCompressor() = default;
+
+void StreamCompressor::ensure_writer_() {
+  if (writer_) return;
+  sink_ = std::make_unique<VectorSink>();
+  writer_ = std::make_unique<StreamWriter>(*sink_, spec_, params_);
+  stats_ = Stats{};
+}
+
 void StreamCompressor::append_block(std::span<const double> block) {
-  if (block.size() != spec_.block_size()) {
-    throw std::invalid_argument("StreamCompressor: block size mismatch");
-  }
-  bitio::BitWriter w;
-  compress_block(block, spec_, params_, w, &stats_);
-  payloads_.push_back(w.take());
-  stats_.num_blocks = payloads_.size();
-  stats_.input_bytes += block.size() * sizeof(double);
+  ensure_writer_();
+  writer_->put_block(block);
+}
+
+std::size_t StreamCompressor::blocks_appended() const {
+  return writer_ ? writer_->blocks_appended() : 0;
+}
+
+const Stats& StreamCompressor::stats() const {
+  return writer_ ? writer_->stats() : stats_;
 }
 
 std::vector<std::uint8_t> StreamCompressor::finish() {
-  std::vector<std::uint8_t> out =
-      detail::assemble_container(spec_, params_, payloads_, &stats_);
-  payloads_.clear();
-  stats_.output_bytes += out.size();
+  ensure_writer_();
+  writer_->finish();
+  stats_ = writer_->stats();
+  writer_.reset();
+  auto out = sink_->take();
+  sink_.reset();
   return out;
 }
 
-StreamDecompressor::StreamDecompressor(
-    std::span<const std::uint8_t> stream)
-    : stream_(stream) {
-  bitio::BitReader r(stream_);
-  info_ = detail::read_global_header(r);
-  params_ = info_.to_params();
-  remaining_ = info_.num_blocks;
-  byte_pos_ = r.bit_position() / 8;
-}
+StreamDecompressor::StreamDecompressor(std::span<const std::uint8_t> stream)
+    : source_(std::make_unique<SpanSource>(stream)), consumer_(*source_) {}
 
 bool StreamDecompressor::next_block(std::span<double> out) {
-  if (remaining_ == 0) return false;
-  if (out.size() != info_.spec.block_size()) {
+  if (out.size() != consumer_.info().spec.block_size()) {
     throw std::invalid_argument("StreamDecompressor: block size mismatch");
   }
-  bitio::BitReader r(stream_.subspan(byte_pos_));
-  const std::uint64_t len = bitio::read_varint(r);
-  const std::size_t payload_start = byte_pos_ + r.bit_position() / 8;
-  if (payload_start + len > stream_.size()) {
-    throw std::runtime_error("PaSTRI: truncated stream");
-  }
-  bitio::BitReader payload(stream_.subspan(payload_start, len));
-  decompress_block(payload, info_.spec, params_, out);
-  byte_pos_ = payload_start + len;
-  --remaining_;
-  return true;
+  if (consumer_.blocks_remaining() == 0) return false;
+  return consumer_.read_blocks(out) == 1;
 }
 
 }  // namespace pastri

@@ -1,9 +1,11 @@
 #include "io/compressed_file.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <limits>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/format_detail.h"
 #include "io/file_per_process.h"
@@ -89,51 +91,197 @@ std::vector<double> read_shard_blocks(const std::string& dir,
   return out;
 }
 
+void write_manifest(const std::string& dir, const std::string& basename,
+                    const std::string& label, const qc::BlockShape& shape,
+                    std::size_t num_blocks, const ShardLayout& layout) {
+  std::ofstream mf(manifest_path(dir, basename), std::ios::trunc);
+  if (!mf) throw std::runtime_error("cannot write manifest");
+  mf << kManifestMagic << "\n";
+  mf << label << "\n";
+  mf << shape.n[0] << " " << shape.n[1] << " " << shape.n[2] << " "
+     << shape.n[3] << "\n";
+  mf << num_blocks << " " << layout.num_shards << "\n";
+  for (std::size_t n : layout.blocks_per_shard) mf << n << " ";
+  mf << "\n";
+  if (!mf) throw std::runtime_error("manifest write failed");
+}
+
 }  // namespace
+
+// ---- ShardWriter --------------------------------------------------------
+
+ShardWriter::ShardWriter(const std::string& dir, const std::string& basename,
+                         int shard, const BlockSpec& spec,
+                         const Params& params,
+                         std::uint64_t expected_blocks)
+    : path_(rank_file_path(dir, basename, shard)) {
+  file_.open(path_, std::ios::binary | std::ios::out | std::ios::trunc);
+  if (!file_) throw std::runtime_error("cannot open for write: " + path_);
+  sink_ = std::make_unique<OstreamSink>(file_);
+  writer_ = std::make_unique<StreamWriter>(
+      *sink_, spec, params,
+      StreamWriterOptions{.expected_blocks = expected_blocks});
+}
+
+ShardWriter::ShardWriter(const std::string& dir, const std::string& basename,
+                         int shard, const Params& params)
+    : path_(rank_file_path(dir, basename, shard)), appending_(true) {
+  const std::size_t fsize = rank_file_size(dir, basename, shard);
+  const StreamInfo info = peek_shard(dir, basename, shard, fsize);
+  if (info.version < kStreamVersionIndexed) {
+    throw std::runtime_error(
+        "ShardWriter: cannot append to an unindexed (v2) shard");
+  }
+  if (fsize < detail::kGlobalHeaderBytes + detail::kIndexFooterBytes) {
+    throw std::runtime_error("shard too short for index footer");
+  }
+  const auto tail =
+      read_rank_file_slice(dir, basename, shard,
+                           fsize - detail::kIndexFooterBytes,
+                           detail::kIndexFooterBytes);
+  const detail::IndexFooter footer =
+      detail::parse_index_footer(tail, fsize);
+  if (footer.num_blocks != info.num_blocks) {
+    throw std::runtime_error(
+        "shard index footer disagrees with its header");
+  }
+  const std::size_t table_end = fsize - detail::kIndexFooterBytes;
+  const auto table =
+      read_rank_file_slice(dir, basename, shard, footer.index_offset,
+                           table_end - footer.index_offset);
+  const BlockIndex index =
+      BlockIndex::parse(table, detail::kGlobalHeaderBytes,
+                        footer.index_offset, info.num_blocks);
+  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file_) throw std::runtime_error("cannot open for append: " + path_);
+  file_.seekp(static_cast<std::streamoff>(index.payload_end()));
+  sink_ = std::make_unique<OstreamSink>(file_, 0);
+  writer_ = std::make_unique<StreamWriter>(*sink_, info, params, index);
+}
+
+ShardWriter::~ShardWriter() = default;
+
+void ShardWriter::put_block(std::span<const double> block) {
+  writer_->put_block(block);
+}
+
+void ShardWriter::put_values(std::span<const double> values) {
+  writer_->put_values(values);
+}
+
+std::size_t ShardWriter::finish() {
+  const std::size_t total = writer_->finish();
+  file_.flush();
+  if (!file_) throw std::runtime_error("write failed: " + path_);
+  file_.close();
+  if (appending_) {
+    // Re-emitting the table over the old one can only grow the file, but
+    // truncate defensively so a finished shard never carries stale bytes.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec && size != total) {
+      std::filesystem::resize_file(path_, total, ec);
+      if (ec) throw std::runtime_error("truncate failed: " + path_);
+    }
+  }
+  return total;
+}
+
+// ---- ShardedDatasetWriter ----------------------------------------------
+
+ShardedDatasetWriter::ShardedDatasetWriter(
+    const std::string& dir, const std::string& basename, std::string label,
+    const qc::BlockShape& shape, std::size_t num_blocks,
+    const Params& params, int num_shards)
+    : dir_(dir),
+      basename_(basename),
+      label_(std::move(label)),
+      shape_(shape),
+      num_blocks_(num_blocks),
+      params_(params) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("num_shards must be >= 1");
+  }
+  const std::size_t shards = static_cast<std::size_t>(num_shards);
+  layout_.num_shards = shards;
+  const std::size_t base = num_blocks / shards;
+  const std::size_t extra = num_blocks % shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    layout_.blocks_per_shard.push_back(base + (s < extra ? 1 : 0));
+  }
+}
+
+ShardedDatasetWriter::~ShardedDatasetWriter() = default;
+
+void ShardedDatasetWriter::roll_() {
+  const BlockSpec spec{shape_.num_sub_blocks(), shape_.sub_block_size()};
+  while (shard_ < layout_.num_shards) {
+    if (!cur_) {
+      cur_ = std::make_unique<ShardWriter>(
+          dir_, basename_, static_cast<int>(shard_), spec, params_,
+          layout_.blocks_per_shard[shard_]);
+      blocks_in_shard_ = 0;
+    }
+    if (blocks_in_shard_ < layout_.blocks_per_shard[shard_]) return;
+    total_bytes_ += cur_->finish();
+    cur_.reset();
+    ++shard_;
+  }
+}
+
+void ShardedDatasetWriter::put_block(std::span<const double> block) {
+  roll_();
+  if (!cur_) {
+    throw std::runtime_error(
+        "ShardedDatasetWriter: more blocks than declared");
+  }
+  cur_->put_block(block);
+  ++blocks_in_shard_;
+  ++blocks_written_;
+}
+
+void ShardedDatasetWriter::put_values(std::span<const double> values) {
+  const std::size_t bs = shape_.block_size();
+  if (!tail_.empty()) {
+    const std::size_t take = std::min(bs - tail_.size(), values.size());
+    tail_.insert(tail_.end(), values.begin(), values.begin() + take);
+    values = values.subspan(take);
+    if (tail_.size() == bs) {
+      put_block(tail_);
+      tail_.clear();
+    }
+  }
+  while (values.size() >= bs) {
+    put_block(values.first(bs));
+    values = values.subspan(bs);
+  }
+  if (!values.empty()) tail_.assign(values.begin(), values.end());
+}
+
+std::size_t ShardedDatasetWriter::finish() {
+  if (!tail_.empty()) {
+    throw std::runtime_error(
+        "ShardedDatasetWriter: trailing partial block");
+  }
+  roll_();  // finishes the open shard and any remaining zero-block ones
+  if (blocks_written_ != num_blocks_ || shard_ != layout_.num_shards) {
+    throw std::runtime_error(
+        "ShardedDatasetWriter: fewer blocks than declared");
+  }
+  write_manifest(dir_, basename_, label_, shape_, num_blocks_, layout_);
+  return total_bytes_;
+}
 
 std::size_t write_compressed_dataset(const qc::EriDataset& ds,
                                      const Params& params, int num_shards,
                                      const std::string& dir,
                                      const std::string& basename) {
-  if (num_shards < 1) {
-    throw std::invalid_argument("num_shards must be >= 1");
-  }
-  const std::size_t shards = static_cast<std::size_t>(num_shards);
-  const BlockSpec spec{ds.shape.num_sub_blocks(),
-                       ds.shape.sub_block_size()};
-  const std::size_t bs = ds.shape.block_size();
-
-  ShardLayout layout;
-  layout.num_shards = shards;
-  const std::size_t base = ds.num_blocks / shards;
-  const std::size_t extra = ds.num_blocks % shards;
-  for (std::size_t s = 0; s < shards; ++s) {
-    layout.blocks_per_shard.push_back(base + (s < extra ? 1 : 0));
-  }
-
-  std::size_t total = 0;
-  std::size_t block0 = 0;
-  for (std::size_t s = 0; s < shards; ++s) {
-    const std::size_t nblocks = layout.blocks_per_shard[s];
-    const std::span<const double> chunk(
-        ds.values.data() + block0 * bs, nblocks * bs);
-    const auto stream = compress(chunk, spec, params);
-    write_rank_file(dir, basename, static_cast<int>(s), stream);
-    total += stream.size();
-    block0 += nblocks;
-  }
-
-  std::ofstream mf(manifest_path(dir, basename), std::ios::trunc);
-  if (!mf) throw std::runtime_error("cannot write manifest");
-  mf << kManifestMagic << "\n";
-  mf << ds.label << "\n";
-  mf << ds.shape.n[0] << " " << ds.shape.n[1] << " " << ds.shape.n[2]
-     << " " << ds.shape.n[3] << "\n";
-  mf << ds.num_blocks << " " << shards << "\n";
-  for (std::size_t n : layout.blocks_per_shard) mf << n << " ";
-  mf << "\n";
-  if (!mf) throw std::runtime_error("manifest write failed");
-  return total;
+  // Streams through ShardedDatasetWriter -- same shard layout, manifest,
+  // and shard bytes as compressing each shard whole ever produced.
+  ShardedDatasetWriter writer(dir, basename, ds.label, ds.shape,
+                              ds.num_blocks, params, num_shards);
+  writer.put_values(ds.values);
+  return writer.finish();
 }
 
 CompressedDatasetInfo read_manifest(const std::string& dir,

@@ -7,10 +7,13 @@
 // a small manifest records the dataset metadata and shard layout.
 #pragma once
 
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/pastri.h"
+#include "core/stream.h"
 #include "qc/dataset.h"
 
 namespace pastri::io {
@@ -18,6 +21,96 @@ namespace pastri::io {
 struct ShardLayout {
   std::size_t num_shards = 1;
   std::vector<std::size_t> blocks_per_shard;  ///< one entry per shard
+};
+
+/// Streams blocks into one shard file (`<dir>/<basename>.<shard>`) as
+/// they arrive -- the shard is one PaSTRI container written through a
+/// core StreamWriter, so peak memory is O(batch), not O(shard), and the
+/// bytes are identical to compressing the whole shard at once.
+class ShardWriter {
+ public:
+  /// Create/truncate a fresh shard.  Declaring `expected_blocks` writes
+  /// the header final immediately; with kUnknownBlockCount the count is
+  /// back-filled at finish() (shard files are seekable, so both work).
+  ShardWriter(const std::string& dir, const std::string& basename,
+              int shard, const BlockSpec& spec, const Params& params,
+              std::uint64_t expected_blocks = kUnknownBlockCount);
+
+  /// Reopen an existing shard and append blocks after the ones it holds:
+  /// the old offset table and footer are overwritten and re-emitted at
+  /// finish().  Throws std::runtime_error on a legacy (v2, unindexed)
+  /// shard -- it has no table to extend -- and std::invalid_argument if
+  /// `params` disagree with the shard header's bound/metric/tree.
+  ShardWriter(const std::string& dir, const std::string& basename,
+              int shard, const Params& params);
+
+  ~ShardWriter();
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  /// Append one block / an arbitrary slice of values (partial block
+  /// tails carry over between calls, as in StreamWriter::put_values).
+  void put_block(std::span<const double> block);
+  void put_values(std::span<const double> values);
+
+  /// Total blocks the finished shard will hold (pre-existing + appended).
+  std::size_t blocks() const { return writer_->blocks_appended(); }
+
+  /// Emit the offset table and footer; returns the shard size in bytes.
+  std::size_t finish();
+
+  const Stats& stats() const { return writer_->stats(); }
+
+ private:
+  std::string path_;
+  std::fstream file_;
+  std::unique_ptr<OstreamSink> sink_;
+  std::unique_ptr<StreamWriter> writer_;
+  bool appending_ = false;
+};
+
+/// Streams a whole dataset into `num_shards` shard files plus the
+/// manifest, routing blocks to shards in the same contiguous layout
+/// `write_compressed_dataset` uses.  Blocks are compressed and written
+/// as they arrive; nothing dense is ever buffered beyond one encode
+/// batch, so a compute -> compress pipeline needs no ERI tensor.
+class ShardedDatasetWriter {
+ public:
+  /// The dataset metadata (label/shape/total block count) is declared
+  /// up-front -- it fixes the shard layout and the manifest contents.
+  ShardedDatasetWriter(const std::string& dir, const std::string& basename,
+                       std::string label, const qc::BlockShape& shape,
+                       std::size_t num_blocks, const Params& params,
+                       int num_shards);
+  ~ShardedDatasetWriter();
+  ShardedDatasetWriter(const ShardedDatasetWriter&) = delete;
+  ShardedDatasetWriter& operator=(const ShardedDatasetWriter&) = delete;
+
+  void put_block(std::span<const double> block);
+  void put_values(std::span<const double> values);
+
+  std::size_t blocks_written() const { return blocks_written_; }
+
+  /// Finish the open shard, write the manifest.  Throws
+  /// std::runtime_error unless exactly the declared number of blocks
+  /// was appended.  Returns total compressed bytes across shards.
+  std::size_t finish();
+
+ private:
+  void roll_();  ///< close full shards, open the next one
+
+  std::string dir_, basename_, label_;
+  qc::BlockShape shape_;
+  std::size_t num_blocks_ = 0;
+  Params params_;
+  ShardLayout layout_;
+
+  std::unique_ptr<ShardWriter> cur_;
+  std::size_t shard_ = 0;            // index of the open/next shard
+  std::size_t blocks_in_shard_ = 0;  // appended to the open shard
+  std::size_t blocks_written_ = 0;
+  std::size_t total_bytes_ = 0;
+  std::vector<double> tail_;  // partial block from put_values
 };
 
 /// Compress `ds` into `num_shards` independent streams under

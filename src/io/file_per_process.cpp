@@ -11,10 +11,15 @@ namespace {
 
 std::string rank_path(const std::string& dir, const std::string& basename,
                       int rank) {
-  return dir + "/" + basename + "." + std::to_string(rank);
+  return rank_file_path(dir, basename, rank);
 }
 
 }  // namespace
+
+std::string rank_file_path(const std::string& dir,
+                           const std::string& basename, int rank) {
+  return dir + "/" + basename + "." + std::to_string(rank);
+}
 
 void write_rank_file(const std::string& dir, const std::string& basename,
                      int rank, std::span<const std::uint8_t> data) {

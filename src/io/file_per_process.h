@@ -12,6 +12,10 @@
 
 namespace pastri::io {
 
+/// Path of rank `rank`'s file: `<dir>/<basename>.<rank>`.
+std::string rank_file_path(const std::string& dir,
+                           const std::string& basename, int rank);
+
 /// Write `data` as `<dir>/<basename>.<rank>` (created/truncated).
 /// Throws std::runtime_error on failure.
 void write_rank_file(const std::string& dir, const std::string& basename,

@@ -1,5 +1,6 @@
 #include "qc/compressed_eri_store.h"
 
+#include "core/stream.h"
 #include "qc/md_eri.h"
 #include "qc/one_electron.h"
 
@@ -16,9 +17,8 @@ CompressedEriStore::CompressedEriStore(const BasisSet& basis,
     shell_l_[s] = basis.shells[s].l;
   }
 
-  // Group quartets by configuration class and collect raw block values.
-  std::map<std::array<int, 4>, std::vector<double>> raw;
-  std::vector<double> block;
+  // Pass 1: group quartets by configuration class.  No integrals yet --
+  // this only fixes each class's block spec and quartet order.
   const std::size_t ns = basis.shells.size();
   for (std::size_t a = 0; a < ns; ++a) {
     for (std::size_t b = 0; b < ns; ++b) {
@@ -36,20 +36,30 @@ CompressedEriStore::CompressedEriStore(const BasisSet& basis,
                 num_cartesians(cls[3]);
           }
           cd.quartets.push_back({a, b, c, d});
-          block.resize(cd.spec.block_size());
-          compute_eri_block(basis.shells[a], basis.shells[b],
-                            basis.shells[c], basis.shells[d], block);
-          auto& values = raw[cls];
-          values.insert(values.end(), block.begin(), block.end());
         }
       }
     }
   }
 
+  // Pass 2: compute -> compress each class on the fly.  Every quartet
+  // block goes from the integral engine straight into the class's
+  // StreamWriter through one reusable buffer, so the write side never
+  // holds a dense per-class tensor (peak memory O(encode batch)).
+  std::vector<double> block;
   for (auto& [cls, cd] : streams_) {
-    const auto& values = raw[cls];
-    uncompressed_bytes_ += values.size() * sizeof(double);
-    cd.stream = compress(values, cd.spec, params);
+    VectorSink sink;
+    StreamWriter writer(
+        sink, cd.spec, params,
+        StreamWriterOptions{.expected_blocks = cd.quartets.size()});
+    block.resize(cd.spec.block_size());
+    for (const auto& [a, b, c, d] : cd.quartets) {
+      compute_eri_block(basis.shells[a], basis.shells[b], basis.shells[c],
+                        basis.shells[d], block);
+      writer.put_block(block);
+    }
+    writer.finish();
+    uncompressed_bytes_ += writer.stats().input_bytes;
+    cd.stream = sink.take();
     cd.reader = std::make_unique<BlockReader>(cd.stream);
     for (std::size_t q = 0; q < cd.quartets.size(); ++q) {
       block_of_[cd.quartets[q]] = {&cd, q};

@@ -28,7 +28,9 @@ namespace pastri::qc {
 class CompressedEriStore {
  public:
   /// Compute all shell-quartet blocks of `basis` and compress them,
-  /// one PaSTRI stream per quartet class.
+  /// one PaSTRI stream per quartet class.  Blocks are piped from the
+  /// integral engine straight into each class's StreamWriter, so the
+  /// write side never allocates a dense per-class tensor.
   CompressedEriStore(const BasisSet& basis, const Params& params);
 
   /// Decompress everything into the dense (mu nu | la si) tensor.

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
 
 #include "qc/cartesian.h"
 
@@ -31,18 +32,49 @@ std::string BlockShape::config_name() const {
   return s;
 }
 
+void write_dataset_header(std::ostream& os,
+                          const EriDatasetHeader& header) {
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint32_t label_len =
+      static_cast<std::uint32_t>(header.label.size());
+  os.write(reinterpret_cast<const char*>(&label_len), sizeof(label_len));
+  os.write(header.label.data(), label_len);
+  for (auto v : header.shape.n) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  const std::uint64_t nblocks = header.num_blocks;
+  os.write(reinterpret_cast<const char*>(&nblocks), sizeof(nblocks));
+  if (!os) throw std::runtime_error("dataset header write failed");
+}
+
+EriDatasetHeader read_dataset_header(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("bad dataset magic");
+  }
+  EriDatasetHeader header;
+  std::uint32_t label_len = 0;
+  is.read(reinterpret_cast<char*>(&label_len), sizeof(label_len));
+  if (!is || label_len > (1u << 20)) {
+    throw std::runtime_error("bad dataset label");
+  }
+  header.label.resize(label_len);
+  is.read(header.label.data(), label_len);
+  for (auto& v : header.shape.n) {
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  }
+  std::uint64_t nblocks = 0;
+  is.read(reinterpret_cast<char*>(&nblocks), sizeof(nblocks));
+  if (!is) throw std::runtime_error("truncated dataset header");
+  header.num_blocks = nblocks;
+  return header;
+}
+
 void save_dataset(const EriDataset& ds, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open for write: " + path);
-  f.write(kMagic, sizeof(kMagic));
-  const std::uint32_t label_len = static_cast<std::uint32_t>(ds.label.size());
-  f.write(reinterpret_cast<const char*>(&label_len), sizeof(label_len));
-  f.write(ds.label.data(), label_len);
-  for (auto v : ds.shape.n) {
-    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  }
-  const std::uint64_t nblocks = ds.num_blocks;
-  f.write(reinterpret_cast<const char*>(&nblocks), sizeof(nblocks));
+  write_dataset_header(f, {ds.label, ds.shape, ds.num_blocks});
   f.write(reinterpret_cast<const char*>(ds.values.data()),
           static_cast<std::streamsize>(ds.values.size() * sizeof(double)));
   if (!f) throw std::runtime_error("write failed: " + path);
@@ -51,27 +83,17 @@ void save_dataset(const EriDataset& ds, const std::string& path) {
 EriDataset load_dataset(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open for read: " + path);
-  char magic[8];
-  f.read(magic, sizeof(magic));
-  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("bad dataset magic: " + path);
+  EriDatasetHeader header;
+  try {
+    header = read_dataset_header(f);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + ": " + path);
   }
   EriDataset ds;
-  std::uint32_t label_len = 0;
-  f.read(reinterpret_cast<char*>(&label_len), sizeof(label_len));
-  if (!f || label_len > (1u << 20)) {
-    throw std::runtime_error("bad dataset label: " + path);
-  }
-  ds.label.resize(label_len);
-  f.read(ds.label.data(), label_len);
-  for (auto& v : ds.shape.n) {
-    f.read(reinterpret_cast<char*>(&v), sizeof(v));
-  }
-  std::uint64_t nblocks = 0;
-  f.read(reinterpret_cast<char*>(&nblocks), sizeof(nblocks));
-  if (!f) throw std::runtime_error("truncated dataset header: " + path);
-  ds.num_blocks = nblocks;
-  ds.values.resize(nblocks * ds.shape.block_size());
+  ds.label = std::move(header.label);
+  ds.shape = header.shape;
+  ds.num_blocks = header.num_blocks;
+  ds.values.resize(ds.num_blocks * ds.shape.block_size());
   f.read(reinterpret_cast<char*>(ds.values.data()),
          static_cast<std::streamsize>(ds.values.size() * sizeof(double)));
   if (!f) throw std::runtime_error("truncated dataset values: " + path);

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -55,5 +56,22 @@ struct EriDataset {
 /// doubles).  Throws std::runtime_error on I/O or format errors.
 void save_dataset(const EriDataset& ds, const std::string& path);
 EriDataset load_dataset(const std::string& path);
+
+/// The .eri container header alone -- everything but the values.  The
+/// header always carries the block count, which is what lets streaming
+/// compressors on non-seekable sinks (pipes) declare it up-front.
+struct EriDatasetHeader {
+  std::string label;
+  BlockShape shape;
+  std::size_t num_blocks = 0;
+};
+
+/// Stream-level .eri (de)serialization for bounded-memory pipelines:
+/// read/write the header through the current stream position, then
+/// stream the raw doubles (num_blocks * shape.block_size() of them)
+/// yourself.  Byte-compatible with save_dataset/load_dataset; works on
+/// stdin/stdout.  Throws std::runtime_error on I/O or format errors.
+void write_dataset_header(std::ostream& os, const EriDatasetHeader& header);
+EriDatasetHeader read_dataset_header(std::istream& is);
 
 }  // namespace pastri::qc

@@ -9,32 +9,6 @@
 namespace pastri::qc {
 namespace {
 
-/// One basis per distinct angular momentum used by the configuration.
-struct SlotShells {
-  std::array<const std::vector<Shell>*, 4> slot{};
-  std::array<BasisSet, kMaxAngularMomentum + 1> by_l;
-};
-
-SlotShells build_slot_shells(const Molecule& mol, const DatasetOptions& opt) {
-  SlotShells s;
-  std::array<bool, kMaxAngularMomentum + 1> built{};
-  for (int i = 0; i < 4; ++i) {
-    const int l = opt.config[i];
-    if (l < 0 || l > kMaxAngularMomentum) {
-      throw std::invalid_argument("configuration momentum out of range");
-    }
-    if (!built[l]) {
-      BasisOptions bo;
-      bo.l = l;
-      bo.contraction = opt.contraction;
-      s.by_l[l] = make_basis(mol, bo);
-      built[l] = true;
-    }
-    s.slot[i] = &s.by_l[l].shells;
-  }
-  return s;
-}
-
 /// Sample `k` distinct values from [0, n) deterministically; returned
 /// sorted so the dataset block order is stable across runs.
 std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k,
@@ -59,45 +33,63 @@ std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k,
   return out;
 }
 
-}  // namespace
+/// One sampled quartet, post-screening.
+struct Item {
+  std::size_t i, j, k, l;
+  bool screened;
+};
 
-std::array<int, 4> parse_config(const std::string& name) {
-  std::string letters;
-  for (char c : name) {
-    if (c == '(' || c == ')' || c == '|' || c == ' ') continue;
-    letters += c;
-  }
-  if (letters.size() != 4) {
-    throw std::invalid_argument("config must name four shells: " + name);
-  }
-  std::array<int, 4> cfg{};
-  for (int i = 0; i < 4; ++i) {
-    const int l = shell_momentum(letters[i]);
-    if (l < 0) throw std::invalid_argument("bad shell letter in: " + name);
-    cfg[i] = l;
-  }
-  return cfg;
-}
+/// Everything `generate_eri_dataset` decides before computing a single
+/// integral: the shells, the surviving sample, and the dataset metadata.
+/// Shared by the dense and the streaming generators so both produce the
+/// identical dataset.  Slots are stored as momenta (indices into by_l),
+/// not pointers, so the plan is safely movable.
+struct EriPlan {
+  std::array<BasisSet, kMaxAngularMomentum + 1> by_l;
+  std::array<int, 4> slot_l{};
+  std::vector<Item> items;
+  EriStreamMeta meta;
 
-EriDataset generate_eri_dataset(const Molecule& mol,
-                                const DatasetOptions& opt) {
-  const SlotShells shells = build_slot_shells(mol, opt);
-  const auto& s0 = *shells.slot[0];
-  const auto& s1 = *shells.slot[1];
-  const auto& s2 = *shells.slot[2];
-  const auto& s3 = *shells.slot[3];
+  const std::vector<Shell>& shells(int s) const {
+    return by_l[static_cast<std::size_t>(slot_l[s])].shells;
+  }
+};
+
+EriPlan plan_eri(const Molecule& mol, const DatasetOptions& opt) {
+  EriPlan plan;
+  {
+    std::array<bool, kMaxAngularMomentum + 1> built{};
+    for (int i = 0; i < 4; ++i) {
+      const int l = opt.config[i];
+      if (l < 0 || l > kMaxAngularMomentum) {
+        throw std::invalid_argument("configuration momentum out of range");
+      }
+      if (!built[l]) {
+        BasisOptions bo;
+        bo.l = l;
+        bo.contraction = opt.contraction;
+        plan.by_l[static_cast<std::size_t>(l)] = make_basis(mol, bo);
+        built[l] = true;
+      }
+      plan.slot_l[i] = l;
+    }
+  }
+  const auto& s0 = plan.shells(0);
+  const auto& s1 = plan.shells(1);
+  const auto& s2 = plan.shells(2);
+  const auto& s3 = plan.shells(3);
   if (s0.empty() || s1.empty() || s2.empty() || s3.empty()) {
     throw std::invalid_argument("molecule yields no shells for this config");
   }
 
-  EriDataset ds;
-  ds.shape.n = {static_cast<std::uint16_t>(num_cartesians(opt.config[0])),
-                static_cast<std::uint16_t>(num_cartesians(opt.config[1])),
-                static_cast<std::uint16_t>(num_cartesians(opt.config[2])),
-                static_cast<std::uint16_t>(num_cartesians(opt.config[3]))};
-  ds.label = mol.name + " " + ds.shape.config_name();
+  plan.meta.shape.n = {
+      static_cast<std::uint16_t>(num_cartesians(opt.config[0])),
+      static_cast<std::uint16_t>(num_cartesians(opt.config[1])),
+      static_cast<std::uint16_t>(num_cartesians(opt.config[2])),
+      static_cast<std::uint16_t>(num_cartesians(opt.config[3]))};
+  plan.meta.label = mol.name + " " + plan.meta.shape.config_name();
 
-  const std::size_t block_size = ds.shape.block_size();
+  const std::size_t block_size = plan.meta.shape.block_size();
   std::size_t max_blocks = opt.max_blocks;
   if (opt.target_bytes != 0) {
     max_blocks = std::max<std::size_t>(
@@ -136,12 +128,7 @@ EriDataset generate_eri_dataset(const Molecule& mol,
   }
 
   // Decide which sampled quartets survive screening.
-  struct Item {
-    std::size_t i, j, k, l;
-    bool screened;
-  };
-  std::vector<Item> items;
-  items.reserve(indices.size());
+  plan.items.reserve(indices.size());
   for (std::size_t flat : indices) {
     Item it;
     it.l = flat % s3.size();
@@ -154,21 +141,92 @@ EriDataset generate_eri_dataset(const Molecule& mol,
                       q_ket[it.k * s3.size() + it.l] <
                   opt.screen_threshold;
     if (it.screened && !opt.keep_screened) continue;
-    items.push_back(it);
+    plan.items.push_back(it);
   }
+  plan.meta.num_blocks = plan.items.size();
+  return plan;
+}
 
-  ds.num_blocks = items.size();
-  ds.values.assign(ds.num_blocks * block_size, 0.0);
+}  // namespace
+
+std::array<int, 4> parse_config(const std::string& name) {
+  std::string letters;
+  for (char c : name) {
+    if (c == '(' || c == ')' || c == '|' || c == ' ') continue;
+    letters += c;
+  }
+  if (letters.size() != 4) {
+    throw std::invalid_argument("config must name four shells: " + name);
+  }
+  std::array<int, 4> cfg{};
+  for (int i = 0; i < 4; ++i) {
+    const int l = shell_momentum(letters[i]);
+    if (l < 0) throw std::invalid_argument("bad shell letter in: " + name);
+    cfg[i] = l;
+  }
+  return cfg;
+}
+
+EriDataset generate_eri_dataset(const Molecule& mol,
+                                const DatasetOptions& opt) {
+  const EriPlan plan = plan_eri(mol, opt);
+  const auto& s0 = plan.shells(0);
+  const auto& s1 = plan.shells(1);
+  const auto& s2 = plan.shells(2);
+  const auto& s3 = plan.shells(3);
+
+  EriDataset ds;
+  ds.label = plan.meta.label;
+  ds.shape = plan.meta.shape;
+  ds.num_blocks = plan.meta.num_blocks;
+  ds.values.assign(ds.num_blocks * ds.shape.block_size(), 0.0);
 
 #pragma omp parallel for schedule(dynamic)
-  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(items.size());
-       ++b) {
-    const Item& it = items[static_cast<std::size_t>(b)];
+  for (std::ptrdiff_t b = 0;
+       b < static_cast<std::ptrdiff_t>(plan.items.size()); ++b) {
+    const Item& it = plan.items[static_cast<std::size_t>(b)];
     if (it.screened) continue;  // stays all-zero
     compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
                       ds.block(static_cast<std::size_t>(b)));
   }
   return ds;
+}
+
+EriStreamMeta generate_eri_blocks(
+    const Molecule& mol, const DatasetOptions& opt,
+    const std::function<void(const EriStreamMeta& meta, std::size_t block,
+                             std::span<const double> values)>& emit,
+    std::size_t batch_blocks) {
+  const EriPlan plan = plan_eri(mol, opt);
+  const auto& s0 = plan.shells(0);
+  const auto& s1 = plan.shells(1);
+  const auto& s2 = plan.shells(2);
+  const auto& s3 = plan.shells(3);
+
+  // Compute a batch of blocks in parallel into one reusable buffer, then
+  // hand them to the callback in dataset order -- the emitted sequence is
+  // exactly generate_eri_dataset's block order, with O(batch) memory.
+  const std::size_t bs = plan.meta.shape.block_size();
+  const std::size_t batch = batch_blocks != 0 ? batch_blocks : 64;
+  std::vector<double> buf(batch * bs);
+  for (std::size_t b0 = 0; b0 < plan.items.size(); b0 += batch) {
+    const std::size_t n = std::min(batch, plan.items.size() - b0);
+    std::fill(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n * bs),
+              0.0);
+#pragma omp parallel for schedule(dynamic)
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(n); ++b) {
+      const Item& it = plan.items[b0 + static_cast<std::size_t>(b)];
+      if (it.screened) continue;  // stays all-zero
+      compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
+                        std::span<double>(buf).subspan(
+                            static_cast<std::size_t>(b) * bs, bs));
+    }
+    for (std::size_t b = 0; b < n; ++b) {
+      emit(plan.meta, b0 + b,
+           std::span<const double>(buf).subspan(b * bs, bs));
+    }
+  }
+  return plan.meta;
 }
 
 std::vector<double> compute_block(const Shell& A, const Shell& B,

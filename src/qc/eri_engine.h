@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <span>
 
 #include "qc/basis.h"
 #include "qc/dataset.h"
@@ -48,6 +50,30 @@ std::array<int, 4> parse_config(const std::string& name);
 /// Generate a sampled ERI dataset for `mol` under `opt`.
 EriDataset generate_eri_dataset(const Molecule& mol,
                                 const DatasetOptions& opt);
+
+/// Metadata of a planned generation, known before any block is computed
+/// (it is exactly the label/shape/num_blocks the dense dataset would
+/// have).  Streaming consumers use `num_blocks` to declare the block
+/// count up-front, e.g. to a StreamWriter on a non-seekable sink.
+struct EriStreamMeta {
+  std::string label;
+  BlockShape shape;
+  std::size_t num_blocks = 0;
+};
+
+/// Block-callback twin of `generate_eri_dataset`: plans the identical
+/// sampled dataset, then computes quartet blocks in OpenMP batches of
+/// `batch_blocks` (0 = auto) and delivers them to `emit` one at a time,
+/// in dataset order -- so piping the emitted blocks into a StreamWriter
+/// yields byte-for-byte the stream `compress(generate_eri_dataset(...))`
+/// would, while peak memory stays O(batch): the dense ERI tensor is
+/// never built.  Screened quartets are emitted as all-zero blocks (or
+/// skipped entirely, per `opt.keep_screened`).  Returns the metadata.
+EriStreamMeta generate_eri_blocks(
+    const Molecule& mol, const DatasetOptions& opt,
+    const std::function<void(const EriStreamMeta& meta, std::size_t block,
+                             std::span<const double> values)>& emit,
+    std::size_t batch_blocks = 0);
 
 /// Compute a single shell-quartet block for externally built shells
 /// (thin wrapper over compute_eri_block that allocates the output).

@@ -2,6 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "core/pastri_capi.h"
 #include "test_util.h"
@@ -173,6 +177,85 @@ TEST(CApi, RandomAccessMatchesFullDecode) {
   pastri_free(range);
   pastri_free(full);
   pastri_free(stream);
+}
+
+TEST(CApi, StreamWritesBatchIdenticalFile) {
+  // The streaming file writer must emit the exact bytes of
+  // pastri_compress_buffer over the concatenated blocks.
+  const BlockSpec spec{6, 9};
+  std::vector<double> data;
+  for (std::uint64_t b = 0; b < 10; ++b) {
+    const auto block = pastri::testutil::noisy_pattern_block(spec, 1e-6, b);
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  pastri_params p;
+  pastri_params_init(&p);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "capi_stream.pastri")
+          .string();
+  pastri_stream* s = nullptr;
+  ASSERT_EQ(pastri_stream_open(path.c_str(), spec.num_sub_blocks,
+                               spec.sub_block_size, &p, &s),
+            PASTRI_OK);
+  ASSERT_NE(s, nullptr);
+  const size_t bs = spec.block_size();
+  for (size_t b = 0; b < 10; ++b) {
+    ASSERT_EQ(pastri_stream_put_block(s, data.data() + b * bs), PASTRI_OK)
+        << b;
+  }
+  size_t total = 0;
+  ASSERT_EQ(pastri_stream_finish(s, &total), PASTRI_OK);
+  // put/finish after finish are errors, close is still required.
+  EXPECT_EQ(pastri_stream_put_block(s, data.data()),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  pastri_stream_close(s);
+
+  unsigned char* reference = nullptr;
+  size_t ref_size = 0;
+  ASSERT_EQ(pastri_compress_buffer(data.data(), data.size(),
+                                   spec.num_sub_blocks,
+                                   spec.sub_block_size, &p, &reference,
+                                   &ref_size),
+            PASTRI_OK);
+  EXPECT_EQ(total, ref_size);
+  std::ifstream f(path, std::ios::binary);
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(f)),
+                                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, std::vector<unsigned char>(reference,
+                                              reference + ref_size));
+  pastri_free(reference);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(CApi, StreamArgumentErrors) {
+  pastri_params p;
+  pastri_params_init(&p);
+  pastri_stream* s = nullptr;
+  EXPECT_EQ(pastri_stream_open(nullptr, 4, 4, &p, &s),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "capi_stream_err.pastri")
+          .string();
+  EXPECT_EQ(pastri_stream_open(path.c_str(), 0, 0, &p, &s),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_stream_open(path.c_str(), 4, 4, nullptr, &s),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_stream_put_block(nullptr, nullptr),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_stream_finish(nullptr, nullptr),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  pastri_stream_close(nullptr);  // must be a no-op
+
+  ASSERT_EQ(pastri_stream_open(path.c_str(), 4, 4, &p, &s), PASTRI_OK);
+  EXPECT_EQ(pastri_stream_put_block(s, nullptr),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  size_t total = 0;
+  EXPECT_EQ(pastri_stream_finish(s, &total), PASTRI_OK);  // empty stream
+  pastri_stream_close(s);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
 }
 
 TEST(CApi, EmptyInput) {

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "core/pastri.h"
+#include "core/stream.h"
 #include "test_util.h"
 
 namespace pastri {
@@ -208,6 +209,39 @@ TEST(Compressor, StatsAccounting) {
   EXPECT_LE(accounted, 8 * st.output_bytes);
   EXPECT_GE(accounted + 8 * st.num_blocks + 64, 8 * st.output_bytes);
   EXPECT_GT(st.ratio(), 1.0);
+}
+
+TEST(Compressor, StatsIdenticalBetweenBatchAndStreaming) {
+  // compress() is a wrapper over the streaming writer, and a hand-driven
+  // StreamWriter must account identically -- every counter, not just the
+  // totals.
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  Params p;
+  Stats batch;
+  compress(ds.values, spec, p, &batch);
+
+  VectorSink sink;
+  StreamWriter w(sink, spec, p);
+  const std::size_t bs = spec.block_size();
+  for (std::size_t b = 0; b < ds.num_blocks; ++b) {
+    w.put_block(std::span<const double>(ds.values).subspan(b * bs, bs));
+  }
+  w.finish();
+  const Stats& st = w.stats();
+  EXPECT_EQ(st.num_blocks, batch.num_blocks);
+  EXPECT_EQ(st.input_bytes, batch.input_bytes);
+  EXPECT_EQ(st.output_bytes, batch.output_bytes);
+  EXPECT_EQ(st.header_bits, batch.header_bits);
+  EXPECT_EQ(st.pattern_bits, batch.pattern_bits);
+  EXPECT_EQ(st.scale_bits, batch.scale_bits);
+  EXPECT_EQ(st.ecq_bits, batch.ecq_bits);
+  EXPECT_EQ(st.num_outliers, batch.num_outliers);
+  EXPECT_EQ(st.sparse_blocks, batch.sparse_blocks);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(st.blocks_by_type[t], batch.blocks_by_type[t]) << t;
+  }
 }
 
 TEST(Compressor, SparseRepresentationKicksInForIsolatedOutliers) {

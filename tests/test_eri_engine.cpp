@@ -160,5 +160,40 @@ TEST(Dataset, GenerationRateIsPositive) {
   EXPECT_GT(measure_generation_rate(make_benzene(), o, 20), 0.0);
 }
 
+TEST(Dataset, StreamedBlocksMatchDenseGeneration) {
+  // generate_eri_blocks must emit exactly the dense dataset's blocks, in
+  // dataset order, with identical metadata -- it is the write side of
+  // the compute -> compress pipeline, so any deviation would change the
+  // compressed bytes.
+  DatasetOptions o;
+  o.config = {2, 1, 1, 2};
+  o.max_blocks = 120;
+  o.seed = 5;
+  const Molecule mol = make_benzene();
+  const EriDataset dense = generate_eri_dataset(mol, o);
+
+  for (const std::size_t batch : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}}) {
+    std::vector<double> streamed;
+    std::size_t next = 0;
+    const EriStreamMeta meta = generate_eri_blocks(
+        mol, o,
+        [&](const EriStreamMeta& m, std::size_t block,
+            std::span<const double> values) {
+          EXPECT_EQ(block, next) << "blocks must arrive in order";
+          EXPECT_EQ(m.shape, dense.shape);
+          EXPECT_EQ(values.size(), dense.shape.block_size());
+          ++next;
+          streamed.insert(streamed.end(), values.begin(), values.end());
+        },
+        batch);
+    EXPECT_EQ(meta.label, dense.label) << "batch " << batch;
+    EXPECT_EQ(meta.shape, dense.shape);
+    EXPECT_EQ(meta.num_blocks, dense.num_blocks);
+    EXPECT_EQ(next, dense.num_blocks);
+    EXPECT_EQ(streamed, dense.values) << "batch " << batch;
+  }
+}
+
 }  // namespace
 }  // namespace pastri::qc

@@ -4,6 +4,8 @@
 // streams of every codec.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
 
 #include "compressors/lossless/fpc.h"
@@ -12,6 +14,9 @@
 #include "compressors/sz/sz.h"
 #include "compressors/zfp/zfp.h"
 #include "core/pastri.h"
+#include "core/stream.h"
+#include "io/compressed_file.h"
+#include "io/file_per_process.h"
 #include "test_util.h"
 
 namespace pastri {
@@ -115,6 +120,99 @@ TEST(Fuzz, PastriRandomAccessNeverCrashes) {
         return decompress_block_at(s, 3);
       },
       300, 8);
+}
+
+TEST(Fuzz, PastriStreamConsumerNeverCrashes) {
+  // The chunked decoder walks the payloads through a rolling buffer;
+  // mutations must surface as exceptions regardless of where the damage
+  // lands relative to chunk boundaries.  Small chunk sizes force every
+  // refill/compact path.
+  const auto data = fuzz_payload();
+  Params p;
+  const auto stream = compress(data, BlockSpec{12, 12}, p);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{37},
+                                  std::size_t{4096}}) {
+    fuzz_stream(
+        stream,
+        [chunk](const auto& s) {
+          std::vector<double> out;
+          if (!pastri_decode_in_budget(s)) return out;
+          SpanSource src(s);
+          StreamConsumer c(src,
+                           StreamConsumerOptions{.chunk_bytes = chunk});
+          std::vector<double> buf(c.info().spec.block_size());
+          while (c.read_blocks(buf) > 0) {
+            out.insert(out.end(), buf.begin(), buf.end());
+          }
+          return out;
+        },
+        200, 11 + static_cast<std::uint64_t>(chunk));
+  }
+}
+
+TEST(Fuzz, PastriStreamConsumerTruncationInsideChunk) {
+  // Hard truncations at every byte position near payload boundaries:
+  // the consumer must either finish cleanly (truncation past the last
+  // needed byte) or throw -- never hang waiting for bytes or read OOB.
+  const auto data = fuzz_payload();
+  Params p;
+  const auto stream = compress(data, BlockSpec{12, 12}, p);
+  for (std::size_t cut = 0; cut <= stream.size(); cut += 7) {
+    std::vector<std::uint8_t> clipped(stream.begin(),
+                                      stream.begin() + cut);
+    try {
+      SpanSource src(clipped);
+      StreamConsumer c(src, StreamConsumerOptions{.chunk_bytes = 64});
+      std::vector<double> buf(c.info().spec.block_size());
+      while (c.read_blocks(buf) > 0) {
+      }
+    } catch (const std::exception&) {
+      // rejected cleanly
+    }
+  }
+}
+
+TEST(Fuzz, ShardAppendCorruptFooterNeverCrashes) {
+  // Appending re-parses the shard's footer and offset table; a corrupt
+  // or clipped tail must be rejected with an exception, and the shard
+  // file must be left unmodified by the failed open.
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "pastri_fuzz_append";
+  fs::create_directories(dir);
+  const auto data = fuzz_payload();
+  Params p;
+  const auto stream = compress(data, BlockSpec{12, 12}, p);
+  const std::string path = io::rank_file_path(dir.string(), "shard", 0);
+  std::mt19937_64 gen(21);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<std::uint8_t> mutated = stream;
+    const std::size_t tail = std::min<std::size_t>(40, mutated.size());
+    if (t % 2 == 0) {
+      const int flips = 1 + static_cast<int>(gen() % 6);
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t at = mutated.size() - 1 - gen() % tail;
+        mutated[at] ^= static_cast<std::uint8_t>(1u << (gen() % 8));
+      }
+    } else {
+      mutated.resize(mutated.size() - 1 - gen() % tail);
+    }
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(reinterpret_cast<const char*>(mutated.data()),
+              static_cast<std::streamsize>(mutated.size()));
+    }
+    try {
+      io::ShardWriter w(dir.string(), "shard", 0, p);
+      w.put_block(std::vector<double>(144, 0.5));
+      w.finish();
+    } catch (const std::exception&) {
+      // A failed append-open must not have altered the file.
+      std::error_code ec;
+      EXPECT_EQ(fs::file_size(path, ec), mutated.size()) << t;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 TEST(Fuzz, PastriIndexFooterNeverCrashes) {

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "compressors/rpp/rpp.h"
 #include "io/compressed_file.h"
+#include "io/file_per_process.h"
 #include "test_util.h"
 
 namespace pastri {
@@ -62,7 +65,11 @@ TEST(Rpp, Rejections) {
 class CompressedFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "pastri_cfile_test")
+    // Unique per test: the suite must survive parallel ctest runs.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("pastri_cfile_") + info->name()))
                .string();
     std::filesystem::create_directories(dir_);
   }
@@ -180,6 +187,139 @@ TEST_F(CompressedFileTest, ReaderIgnoresCorruptManifestLayout) {
   for (auto n : counts) total += n;
   EXPECT_EQ(total, ds.num_blocks);
   EXPECT_NE(counts, io::read_manifest(dir_, "lied").layout.blocks_per_shard);
+}
+
+TEST_F(CompressedFileTest, ShardWriterBytesMatchBatchCompress) {
+  // Streaming blocks into a shard must produce the exact bytes of a
+  // one-shot compress of the same values, regardless of whether the
+  // count is declared up-front or back-filled.
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  Params p;
+  const auto reference = compress(ds.values, spec, p);
+  for (const bool declare : {true, false}) {
+    io::ShardWriter w(dir_, "one", 0, spec, p,
+                      declare ? ds.num_blocks : kUnknownBlockCount);
+    w.put_values(ds.values);
+    EXPECT_EQ(w.blocks(), ds.num_blocks);
+    EXPECT_EQ(w.finish(), reference.size());
+    std::ifstream f(io::rank_file_path(dir_, "one", 0), std::ios::binary);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(f)),
+        std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes, reference) << "declare=" << declare;
+  }
+}
+
+TEST_F(CompressedFileTest, ShardWriterAppendExtendsInPlace) {
+  // Write half the blocks, finish, reopen in append mode, write the
+  // rest: the final file must be byte-identical to one uninterrupted
+  // stream of all blocks.
+  const auto& ds = testutil::small_eri_dataset();
+  const BlockSpec spec{ds.shape.num_sub_blocks(),
+                       ds.shape.sub_block_size()};
+  const std::size_t bs = ds.shape.block_size();
+  const std::size_t half = ds.num_blocks / 2;
+  Params p;
+  {
+    io::ShardWriter w(dir_, "grow", 0, spec, p);
+    w.put_values(std::span<const double>(ds.values).first(half * bs));
+    w.finish();
+  }
+  {
+    io::ShardWriter w(dir_, "grow", 0, p);  // append
+    EXPECT_EQ(w.blocks(), half);
+    w.put_values(std::span<const double>(ds.values).subspan(half * bs));
+    EXPECT_EQ(w.blocks(), ds.num_blocks);
+    w.finish();
+  }
+  std::ifstream f(io::rank_file_path(dir_, "grow", 0), std::ios::binary);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, compress(ds.values, spec, p));
+}
+
+TEST_F(CompressedFileTest, ShardWriterAppendRejectsLegacyAndMismatch) {
+  const BlockSpec spec{4, 4};
+  Params p;
+  const std::vector<double> data(spec.block_size() * 3, 0.125);
+  const std::string path = io::rank_file_path(dir_, "v2", 0);
+  {
+    io::ShardWriter w(dir_, "v2", 0, spec, p);
+    w.put_values(data);
+    w.finish();
+  }
+  // Params that disagree with the shard header cannot append: the
+  // encoded blocks would not decode under the header's bound.
+  Params other = p;
+  other.error_bound = 1e-6;
+  EXPECT_THROW(io::ShardWriter(dir_, "v2", 0, other),
+               std::invalid_argument);
+
+  // Rewrite the shard as a legacy v2 stream (no index to extend).
+  auto stream = compress(data, spec, p);
+  std::uint64_t index_offset = 0;
+  std::memcpy(&index_offset, stream.data() + stream.size() - 20, 8);
+  stream.resize(index_offset);
+  stream[4] = 2;  // kStreamVersionUnindexed
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(stream.data()),
+            static_cast<std::streamsize>(stream.size()));
+  }
+  EXPECT_THROW(io::ShardWriter(dir_, "v2", 0, p), std::runtime_error);
+}
+
+TEST_F(CompressedFileTest, ShardedDatasetWriterMatchesBatchWriter) {
+  // Blocks pushed one at a time through the streaming dataset writer
+  // must produce files byte-identical to write_compressed_dataset.
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  const int kShards = 5;
+  io::write_compressed_dataset(ds, p, kShards, dir_, "batch");
+  {
+    io::ShardedDatasetWriter w(dir_, "stream", ds.label, ds.shape,
+                               ds.num_blocks, p, kShards);
+    for (std::size_t b = 0; b < ds.num_blocks; ++b) {
+      w.put_block(ds.block(b));
+    }
+    EXPECT_EQ(w.blocks_written(), ds.num_blocks);
+    w.finish();
+  }
+  for (int s = 0; s < kShards; ++s) {
+    std::ifstream fa(io::rank_file_path(dir_, "batch", s),
+                     std::ios::binary);
+    std::ifstream fb(io::rank_file_path(dir_, "stream", s),
+                     std::ios::binary);
+    const std::vector<char> a((std::istreambuf_iterator<char>(fa)),
+                              std::istreambuf_iterator<char>());
+    const std::vector<char> b((std::istreambuf_iterator<char>(fb)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(a, b) << "shard " << s;
+  }
+  const auto back = io::read_compressed_dataset(dir_, "stream");
+  EXPECT_EQ(back.num_blocks, ds.num_blocks);
+  EXPECT_LE(max_abs_diff(ds.values, back.values),
+            p.error_bound * (1 + 1e-12));
+}
+
+TEST_F(CompressedFileTest, ShardedDatasetWriterEnforcesDeclaredCount) {
+  const auto& ds = testutil::small_eri_dataset();
+  Params p;
+  {
+    io::ShardedDatasetWriter w(dir_, "over", ds.label, ds.shape,
+                               2, p, 1);
+    w.put_block(ds.block(0));
+    w.put_block(ds.block(1));
+    EXPECT_THROW(w.put_block(ds.block(2)), std::runtime_error);
+  }
+  {
+    io::ShardedDatasetWriter w(dir_, "under", ds.label, ds.shape,
+                               3, p, 2);
+    w.put_block(ds.block(0));
+    EXPECT_THROW(w.finish(), std::runtime_error);
+  }
 }
 
 TEST_F(CompressedFileTest, MissingManifestThrows) {
