@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "core/stream.h"
+#include "obs/metrics.h"
 
 using namespace pastri;
 
@@ -31,8 +32,8 @@ int main() {
   std::printf("dataset %.1f MB; hardware threads available: %d\n\n", mb,
               hw);
 
-  std::printf("%-9s %12s %12s %12s %12s\n", "threads", "comp MB/s",
-              "decomp MB/s", "strm-c MB/s", "strm-d MB/s");
+  std::printf("%-9s %12s %12s %12s %12s %12s\n", "threads", "comp MB/s",
+              "decomp MB/s", "strm-c MB/s", "strm-d MB/s", "obs ovh %");
   std::ofstream json("BENCH_omp_scaling.json");
   json << "[\n";
   std::vector<std::uint8_t> reference;
@@ -43,6 +44,17 @@ int main() {
     std::vector<std::uint8_t> stream;
     const double ct = bench::best_time_seconds(
         [&] { stream = compress(ds.values, bs, p); }, 3);
+
+    // Same compress with the telemetry registry disabled: the delta is
+    // the total cost of the always-on instrumentation (budget: < 2%,
+    // DESIGN.md section 8).  Report-only -- timing noise on loaded hosts
+    // must not flip a correctness bench.
+    obs::registry().set_enabled(false);
+    const double ct_off = bench::best_time_seconds(
+        [&] { stream = compress(ds.values, bs, p); }, 3);
+    obs::registry().set_enabled(true);
+    const double overhead_pct = (ct - ct_off) / ct_off * 100.0;
+
     std::vector<double> back;
     const double dt = bench::best_time_seconds(
         [&] { back = decompress(stream, threads); }, 3);
@@ -84,14 +96,15 @@ int main() {
         },
         3);
 
-    std::printf("%-9d %12.1f %12.1f %12.1f %12.1f\n", threads, mb / ct,
-                mb / dt, mb / sct, mb / sdt);
+    std::printf("%-9d %12.1f %12.1f %12.1f %12.1f %12.2f\n", threads,
+                mb / ct, mb / dt, mb / sct, mb / sdt, overhead_pct);
     if (!first) json << ",\n";
     first = false;
     json << "  {\"threads\": " << threads << ", \"compress_mbps\": "
          << mb / ct << ", \"decompress_mbps\": " << mb / dt
          << ", \"stream_compress_mbps\": " << mb / sct
-         << ", \"stream_decompress_mbps\": " << mb / sdt << "}";
+         << ", \"stream_decompress_mbps\": " << mb / sdt
+         << ", \"metrics_overhead_pct\": " << overhead_pct << "}";
 
     if (streamed != stream) {
       std::printf("ERROR: streaming bytes differ from batch!\n");

@@ -27,6 +27,8 @@
 
 #include "core/pastri.h"
 #include "core/stream.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "qc/eri_engine.h"
 
 namespace {
@@ -34,6 +36,16 @@ namespace {
 using namespace pastri;
 
 constexpr std::size_t kDefaultChunkBytes = std::size_t{4} << 20;
+
+/// --metrics[=json|prom] report, printed to stderr on exit so it can
+/// never corrupt a payload going to stdout.
+enum class MetricsMode { Off, Json, Prom };
+MetricsMode g_metrics_mode = MetricsMode::Off;
+
+/// Set by cmd_compress so the json report can pair the run's Stats with
+/// the metrics snapshot (obs::export_run_json).
+Stats g_compress_stats;
+bool g_have_compress_stats = false;
 
 int usage() {
   std::fprintf(
@@ -45,6 +57,10 @@ int usage() {
       " [--threads N]\n"
       "  pastri_tool verify     IN.eri IN.pastri\n"
       "  pastri_tool extract    IN.pastri FIRST [COUNT]\n"
+      "\n"
+      "every subcommand also accepts --metrics[=json|prom]: dump the\n"
+      "telemetry snapshot (counters, gauges, latency histograms) to\n"
+      "stderr on exit.\n"
       "\n"
       "compress/decompress stream via fixed-size chunks (peak memory\n"
       "O(chunk)); \"-\" as IN or OUT means stdin/stdout.\n");
@@ -178,6 +194,8 @@ int cmd_compress(int argc, char** argv) {
   // When the container goes to stdout the report must not corrupt it.
   std::FILE* rpt = out == "-" ? stderr : stdout;
   const Stats& st = writer.stats();
+  g_compress_stats = st;
+  g_have_compress_stats = true;
   std::fprintf(rpt,
                "%s: %zu -> %zu bytes, ratio %.2fx (EB=%.0e, %s, %s)\n",
                hdr.label.c_str(), st.input_bytes, st.output_bytes,
@@ -309,20 +327,61 @@ int cmd_extract(const char* in, const char* first_s, const char* count_s) {
   return 0;
 }
 
+/// Strip --metrics[=json|prom] from argv (any position, any subcommand)
+/// and record the requested mode.  Returns the new argc, or -1 on a bad
+/// value.
+int strip_metrics_flag(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics" || a == "--metrics=json") {
+      g_metrics_mode = MetricsMode::Json;
+    } else if (a == "--metrics=prom") {
+      g_metrics_mode = MetricsMode::Prom;
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      std::fprintf(stderr, "error: bad --metrics value (json|prom)\n");
+      return -1;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  return kept;
+}
+
+void report_metrics() {
+  if (g_metrics_mode == MetricsMode::Off) return;
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  if (g_metrics_mode == MetricsMode::Prom) {
+    std::fputs(obs::export_prometheus(snap).c_str(), stderr);
+    return;
+  }
+  const std::string json = g_have_compress_stats
+                               ? obs::export_run_json(g_compress_stats, snap)
+                               : obs::export_json(snap);
+  std::fprintf(stderr, "%s\n", json.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = strip_metrics_flag(argc, argv);
+  if (argc < 0) return 2;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  int rc = 2;
   try {
-    if (cmd == "compress") return cmd_compress(argc - 2, argv + 2);
-    if (cmd == "decompress") return cmd_decompress(argc - 2, argv + 2);
-    if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
-    if (cmd == "extract" && argc >= 4)
-      return cmd_extract(argv[2], argv[3], argc >= 5 ? argv[4] : nullptr);
+    if (cmd == "compress") rc = cmd_compress(argc - 2, argv + 2);
+    else if (cmd == "decompress") rc = cmd_decompress(argc - 2, argv + 2);
+    else if (cmd == "verify" && argc >= 4)
+      rc = cmd_verify(argv[2], argv[3]);
+    else if (cmd == "extract" && argc >= 4)
+      rc = cmd_extract(argv[2], argv[3], argc >= 5 ? argv[4] : nullptr);
+    else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    report_metrics();
     return 1;
   }
-  return usage();
+  report_metrics();
+  return rc;
 }

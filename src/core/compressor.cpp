@@ -38,9 +38,34 @@
 #include "core/format_detail.h"
 #include "core/pastri.h"
 #include "core/stream.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace pastri {
 namespace {
+
+/// Per-stage codec telemetry (obs/metric_names.h).  Handles are fetched
+/// once; each hot-path update is one relaxed atomic add on the calling
+/// thread's shard.
+struct CoreMetrics {
+  obs::Counter blocks_encoded =
+      obs::registry().counter(obs::kCoreBlocksEncoded);
+  obs::Counter blocks_decoded =
+      obs::registry().counter(obs::kCoreBlocksDecoded);
+  obs::Histogram pattern_select_ns =
+      obs::registry().histogram(obs::kCorePatternSelectNs);
+  obs::Histogram quantize_ns =
+      obs::registry().histogram(obs::kCoreQuantizeNs);
+  obs::Histogram ecq_encode_ns =
+      obs::registry().histogram(obs::kCoreEcqEncodeNs);
+  obs::Histogram ecq_decode_ns =
+      obs::registry().histogram(obs::kCoreEcqDecodeNs);
+};
+
+const CoreMetrics& core_metrics() {
+  static const CoreMetrics m;
+  return m;
+}
 
 constexpr int kEbExpBias = 1100;  // per-block bound exponent field bias
 
@@ -96,6 +121,8 @@ BlockEncoding plan_block(const QuantizedBlock& qb, const BlockSpec& spec,
 void compress_block(std::span<const double> block, const BlockSpec& spec,
                     const Params& params, bitio::BitWriter& w, Stats* stats) {
   assert(block.size() == spec.block_size());
+  const CoreMetrics& metrics = core_metrics();
+  metrics.blocks_encoded.inc();
   double eb = params.error_bound;
   if (params.bound_mode == BoundMode::BlockRelative) {
     double extremum = 0.0;
@@ -129,8 +156,16 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
     w.write_bits(static_cast<std::uint64_t>(e - 1 + kEbExpBias), 12);
   }
 
-  const PatternSelection sel = select_pattern(block, spec, params.metric);
-  const QuantizedBlock qb = quantize_block(block, spec, sel, eb);
+  PatternSelection sel;
+  {
+    obs::ScopedTimer timer(metrics.pattern_select_ns);
+    sel = select_pattern(block, spec, params.metric);
+  }
+  QuantizedBlock qb;
+  {
+    obs::ScopedTimer timer(metrics.quantize_ns);
+    qb = quantize_block(block, spec, sel, eb);
+  }
   const BlockEncoding enc = plan_block(qb, spec, params, false);
 
   w.write_bits(qb.spec.pattern_bits, 6);
@@ -140,6 +175,7 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
 
   std::size_t ecq_bits = 0;
   if (qb.ecb_max >= 2) {
+    obs::ScopedTimer timer(metrics.ecq_encode_ns);
     w.write_bit(enc.sparse);
     const std::size_t before = w.bit_count();
     if (enc.sparse) {
@@ -175,6 +211,8 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
 void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
                       const Params& params, std::span<double> out) {
   assert(out.size() == spec.block_size());
+  const CoreMetrics& metrics = core_metrics();
+  metrics.blocks_decoded.inc();
   if (r.read_bit()) {  // zero block
     std::fill(out.begin(), out.end(), 0.0);
     return;
@@ -202,6 +240,7 @@ void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
   qb.ecb_max = static_cast<unsigned>(r.read_bits(6));
   qb.ecq.assign(spec.block_size(), 0);
   if (qb.ecb_max >= 2) {
+    obs::ScopedTimer timer(metrics.ecq_decode_ns);
     const bool sparse = r.read_bit();
     if (sparse) {
       const std::uint64_t nol = bitio::read_varint(r);
@@ -281,27 +320,36 @@ std::vector<std::uint8_t> compress(std::span<const double> data,
   return sink.take();
 }
 
-std::vector<double> decompress(std::span<const std::uint8_t> stream,
-                               int num_threads) {
-  const BlockReader reader(stream, num_threads);
-  return reader.read_range(0, reader.num_blocks());
-}
-
 StreamInfo peek_info(std::span<const std::uint8_t> stream) {
   bitio::BitReader r(stream);
   return detail::read_global_header(r);
+}
+
+std::vector<double> decompress(std::span<const std::uint8_t> stream,
+                               const StreamInfo& info, int num_threads) {
+  const BlockReader reader(stream, info, num_threads);
+  return reader.read_range(0, reader.num_blocks());
+}
+
+std::vector<double> decompress(std::span<const std::uint8_t> stream,
+                               int num_threads) {
+  return decompress(stream, peek_info(stream), num_threads);
 }
 
 // ---- BlockReader -------------------------------------------------------
 
 BlockReader::BlockReader(std::span<const std::uint8_t> stream,
                          int num_threads)
-    : stream_(stream) {
-  bitio::BitReader r(stream_);
-  info_ = detail::read_global_header(r);
+    : BlockReader(stream, peek_info(stream), num_threads) {}
+
+BlockReader::BlockReader(std::span<const std::uint8_t> stream,
+                         const StreamInfo& info, int num_threads)
+    : stream_(stream), info_(info) {
   params_ = info_.to_params();
   params_.num_threads = num_threads;
-  const std::size_t payload_base = r.bit_position() / 8;
+  // Every header field is a whole number of bytes, so the payloads start
+  // at the fixed header size regardless of which ctor parsed it.
+  const std::size_t payload_base = detail::kGlobalHeaderBytes;
   if (info_.version >= kStreamVersionIndexed) {
     const detail::IndexFooter footer = detail::read_index_footer(stream_);
     if (footer.num_blocks != info_.num_blocks) {
@@ -369,14 +417,26 @@ std::vector<double> BlockReader::read_range(std::size_t first,
 }
 
 std::vector<double> decompress_block_at(
+    std::span<const std::uint8_t> stream, const StreamInfo& info,
+    std::size_t block) {
+  return BlockReader(stream, info).read_block(block);
+}
+
+std::vector<double> decompress_range(std::span<const std::uint8_t> stream,
+                                     const StreamInfo& info,
+                                     std::size_t first, std::size_t count) {
+  return BlockReader(stream, info).read_range(first, count);
+}
+
+std::vector<double> decompress_block_at(
     std::span<const std::uint8_t> stream, std::size_t block) {
-  return BlockReader(stream).read_block(block);
+  return decompress_block_at(stream, peek_info(stream), block);
 }
 
 std::vector<double> decompress_range(std::span<const std::uint8_t> stream,
                                      std::size_t first,
                                      std::size_t count) {
-  return BlockReader(stream).read_range(first, count);
+  return decompress_range(stream, peek_info(stream), first, count);
 }
 
 BlockIndex read_block_index(std::span<const std::uint8_t> stream) {

@@ -18,9 +18,12 @@
 // OpenMP internally and are safe to call concurrently on distinct data.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/block_index.h"
@@ -85,13 +88,32 @@ struct Stats {
   std::size_t scale_bits = 0;    ///< SQ payload
   std::size_t ecq_bits = 0;      ///< ECQ payload
   std::size_t num_blocks = 0;
-  std::size_t blocks_by_type[4] = {0, 0, 0, 0};
+  std::array<std::size_t, 4> blocks_by_type{};
   std::size_t sparse_blocks = 0;
   std::size_t num_outliers = 0;
 
   double ratio() const {
     return output_bytes ? static_cast<double>(input_bytes) / output_bytes
                         : 0.0;
+  }
+
+  /// Flat JSON object.  Both pastri_tool's --metrics=json report and the
+  /// obs exporter (obs/export.h) serialize Stats through this one
+  /// function, so the two representations can never drift.
+  std::string to_json() const {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"input_bytes\":%zu,\"output_bytes\":%zu,\"ratio\":%.6g,"
+        "\"header_bits\":%zu,\"pattern_bits\":%zu,\"scale_bits\":%zu,"
+        "\"ecq_bits\":%zu,\"num_blocks\":%zu,"
+        "\"blocks_by_type\":[%zu,%zu,%zu,%zu],"
+        "\"sparse_blocks\":%zu,\"num_outliers\":%zu}",
+        input_bytes, output_bytes, ratio(), header_bits, pattern_bits,
+        scale_bits, ecq_bits, num_blocks, blocks_by_type[0],
+        blocks_by_type[1], blocks_by_type[2], blocks_by_type[3],
+        sparse_blocks, num_outliers);
+    return buf;
   }
 };
 
@@ -123,14 +145,29 @@ std::vector<std::uint8_t> compress(std::span<const double> data,
                                    const Params& params,
                                    Stats* stats = nullptr);
 
-/// Decompress a full stream produced by `compress` (block-parallel;
-/// `num_threads` as in Params::num_threads, 0 = OpenMP default).
-/// Throws std::runtime_error on malformed input.
-std::vector<double> decompress(std::span<const std::uint8_t> stream,
-                               int num_threads = 0);
-
 /// Parse the stream header only.
 StreamInfo peek_info(std::span<const std::uint8_t> stream);
+
+// ---- Decode entry points ----------------------------------------------
+//
+// The canonical decode family is StreamInfo-first: probe the header once
+// with `peek_info` (or take it from a BlockReader / StreamConsumer you
+// already have) and pass it back in, so repeated decodes of the same
+// stream never re-parse the header.  The info-less overloads below each
+// delegate to their info-first twin after one `peek_info` call -- they
+// are thin aliases for one-shot use, not separate code paths.
+
+/// Decompress a full stream produced by `compress` (block-parallel;
+/// `num_threads` as in Params::num_threads, 0 = OpenMP default).
+/// `info` must be this stream's header as parsed by `peek_info`.
+/// Throws std::runtime_error on malformed input.
+std::vector<double> decompress(std::span<const std::uint8_t> stream,
+                               const StreamInfo& info, int num_threads = 0);
+
+/// Thin alias: probes the header, then calls the StreamInfo-first
+/// overload.
+std::vector<double> decompress(std::span<const std::uint8_t> stream,
+                               int num_threads = 0);
 
 // ---- Random access ----------------------------------------------------
 
@@ -146,6 +183,11 @@ class BlockReader {
   /// bounds read_range's block parallelism (0 = OpenMP default).
   explicit BlockReader(std::span<const std::uint8_t> stream,
                        int num_threads = 0);
+
+  /// StreamInfo-first constructor: `info` must be this stream's header
+  /// as parsed by `peek_info`; only the block index is parsed here.
+  BlockReader(std::span<const std::uint8_t> stream, const StreamInfo& info,
+              int num_threads = 0);
 
   const StreamInfo& info() const { return info_; }
   const BlockIndex& index() const { return index_; }
@@ -166,9 +208,18 @@ class BlockReader {
   BlockIndex index_;
 };
 
-/// One-shot conveniences over BlockReader.  For repeated random access
-/// into the same stream, construct a BlockReader once instead: these
-/// re-parse the index per call.
+/// One-shot conveniences over BlockReader, in the same StreamInfo-first
+/// family as `decompress`.  For repeated random access into the same
+/// stream, construct a BlockReader once instead: these re-parse the
+/// index per call.
+std::vector<double> decompress_block_at(
+    std::span<const std::uint8_t> stream, const StreamInfo& info,
+    std::size_t block);
+std::vector<double> decompress_range(std::span<const std::uint8_t> stream,
+                                     const StreamInfo& info,
+                                     std::size_t first, std::size_t count);
+
+/// Thin aliases: probe the header, then call the StreamInfo-first twin.
 std::vector<double> decompress_block_at(
     std::span<const std::uint8_t> stream, std::size_t block);
 std::vector<double> decompress_range(std::span<const std::uint8_t> stream,

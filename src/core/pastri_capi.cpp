@@ -8,13 +8,19 @@
 
 #include "core/pastri.h"
 #include "core/stream.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
 thread_local std::string g_last_error;
 
-int fail(int code, const char* what) {
-  g_last_error = what;
+pastri_status fail(pastri_status code, const char* what) noexcept {
+  try {
+    g_last_error = what;
+  } catch (...) {
+    // Out of memory assigning the message; the code still reports it.
+  }
   return code;
 }
 
@@ -27,6 +33,23 @@ pastri::Params to_cpp(const pastri_params& p) {
   out.allow_sparse = p.allow_sparse != 0;
   out.num_threads = p.num_threads;
   return out;
+}
+
+/// Copy a vector into a malloc-owned buffer the C caller frees with
+/// pastri_free.  Returns PASTRI_OK or PASTRI_ERR_INTERNAL.
+template <typename T>
+pastri_status malloc_copy(const std::vector<T>& src, T** out,
+                          size_t* out_count) {
+  auto* buf = static_cast<T*>(std::malloc(src.size() * sizeof(T)));
+  if (buf == nullptr && !src.empty()) {
+    return fail(PASTRI_ERR_INTERNAL, "out of memory");
+  }
+  if (!src.empty()) {
+    std::memcpy(buf, src.data(), src.size() * sizeof(T));
+  }
+  *out = buf;
+  *out_count = src.size();
+  return PASTRI_OK;
 }
 
 }  // namespace
@@ -54,10 +77,11 @@ void pastri_params_init(pastri_params* params) {
   params->num_threads = d.num_threads;
 }
 
-int pastri_compress_buffer(const double* data, size_t count,
-                           size_t num_sub_blocks, size_t sub_block_size,
-                           const pastri_params* params,
-                           unsigned char** out, size_t* out_size) {
+pastri_status pastri_compress_buffer(const double* data, size_t count,
+                                     size_t num_sub_blocks,
+                                     size_t sub_block_size,
+                                     const pastri_params* params,
+                                     unsigned char** out, size_t* out_size) {
   if ((data == nullptr && count != 0) || params == nullptr ||
       out == nullptr || out_size == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
@@ -66,49 +90,39 @@ int pastri_compress_buffer(const double* data, size_t count,
     const pastri::BlockSpec spec{num_sub_blocks, sub_block_size};
     const auto stream = pastri::compress(
         std::span<const double>(data, count), spec, to_cpp(*params));
-    auto* buf = static_cast<unsigned char*>(std::malloc(stream.size()));
-    if (buf == nullptr && !stream.empty()) {
-      return fail(PASTRI_ERR_INTERNAL, "out of memory");
-    }
-    std::memcpy(buf, stream.data(), stream.size());
-    *out = buf;
-    *out_size = stream.size();
-    return PASTRI_OK;
+    return malloc_copy(stream, out, out_size);
   } catch (const std::invalid_argument& e) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, e.what());
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-int pastri_decompress_buffer(const unsigned char* stream,
-                             size_t stream_size, double** out,
-                             size_t* out_count) {
+pastri_status pastri_decompress_buffer(const unsigned char* stream,
+                                       size_t stream_size, double** out,
+                                       size_t* out_count) {
   if (stream == nullptr || out == nullptr || out_count == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
   }
   try {
     const auto values = pastri::decompress(
         std::span<const std::uint8_t>(stream, stream_size));
-    auto* buf = static_cast<double*>(
-        std::malloc(values.size() * sizeof(double)));
-    if (buf == nullptr && !values.empty()) {
-      return fail(PASTRI_ERR_INTERNAL, "out of memory");
-    }
-    std::memcpy(buf, values.data(), values.size() * sizeof(double));
-    *out = buf;
-    *out_count = values.size();
-    return PASTRI_OK;
+    return malloc_copy(values, out, out_count);
   } catch (const std::runtime_error& e) {
     return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-int pastri_decompress_block(const unsigned char* stream,
-                            size_t stream_size, size_t block_index,
-                            double* out, size_t out_capacity) {
+pastri_status pastri_decompress_block(const unsigned char* stream,
+                                      size_t stream_size,
+                                      size_t block_index, double* out,
+                                      size_t out_capacity) {
   if (stream == nullptr || out == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
   }
@@ -128,12 +142,15 @@ int pastri_decompress_block(const unsigned char* stream,
     return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-int pastri_decompress_range(const unsigned char* stream,
-                            size_t stream_size, size_t first, size_t count,
-                            double** out, size_t* out_count) {
+pastri_status pastri_decompress_range(const unsigned char* stream,
+                                      size_t stream_size, size_t first,
+                                      size_t count, double** out,
+                                      size_t* out_count) {
   if (stream == nullptr || out == nullptr || out_count == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
   }
@@ -144,25 +161,19 @@ int pastri_decompress_range(const unsigned char* stream,
       return fail(PASTRI_ERR_INVALID_ARGUMENT, "block range out of range");
     }
     const auto values = reader.read_range(first, count);
-    auto* buf = static_cast<double*>(
-        std::malloc(values.size() * sizeof(double)));
-    if (buf == nullptr && !values.empty()) {
-      return fail(PASTRI_ERR_INTERNAL, "out of memory");
-    }
-    std::memcpy(buf, values.data(), values.size() * sizeof(double));
-    *out = buf;
-    *out_count = values.size();
-    return PASTRI_OK;
+    return malloc_copy(values, out, out_count);
   } catch (const std::runtime_error& e) {
     return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-int pastri_peek(const unsigned char* stream, size_t stream_size,
-                double* error_bound, size_t* num_sub_blocks,
-                size_t* sub_block_size, size_t* num_blocks) {
+pastri_status pastri_peek(const unsigned char* stream, size_t stream_size,
+                          double* error_bound, size_t* num_sub_blocks,
+                          size_t* sub_block_size, size_t* num_blocks) {
   if (stream == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
   }
@@ -180,12 +191,15 @@ int pastri_peek(const unsigned char* stream, size_t stream_size,
     return PASTRI_OK;
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_CORRUPT_STREAM, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-int pastri_stream_open(const char* path, size_t num_sub_blocks,
-                       size_t sub_block_size, const pastri_params* params,
-                       pastri_stream** out) {
+pastri_status pastri_stream_open(const char* path, size_t num_sub_blocks,
+                                 size_t sub_block_size,
+                                 const pastri_params* params,
+                                 pastri_stream** out) {
   if (path == nullptr || params == nullptr || out == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
   }
@@ -193,7 +207,7 @@ int pastri_stream_open(const char* path, size_t num_sub_blocks,
     auto s = std::make_unique<pastri_stream>();
     s->file.open(path, std::ios::binary | std::ios::trunc);
     if (!s->file) {
-      return fail(PASTRI_ERR_INVALID_ARGUMENT, "cannot open output file");
+      return fail(PASTRI_ERR_IO, "cannot open output file");
     }
     const pastri::BlockSpec spec{num_sub_blocks, sub_block_size};
     s->sink = std::make_unique<pastri::OstreamSink>(s->file);
@@ -206,10 +220,13 @@ int pastri_stream_open(const char* path, size_t num_sub_blocks,
     return fail(PASTRI_ERR_INVALID_ARGUMENT, e.what());
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-int pastri_stream_put_block(pastri_stream* stream, const double* block) {
+pastri_status pastri_stream_put_block(pastri_stream* stream,
+                                      const double* block) {
   if (stream == nullptr || block == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
   }
@@ -222,10 +239,13 @@ int pastri_stream_put_block(pastri_stream* stream, const double* block) {
     return PASTRI_OK;
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-int pastri_stream_finish(pastri_stream* stream, size_t* out_size) {
+pastri_status pastri_stream_finish(pastri_stream* stream,
+                                   size_t* out_size) {
   if (stream == nullptr) {
     return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
   }
@@ -236,20 +256,57 @@ int pastri_stream_finish(pastri_stream* stream, size_t* out_size) {
     const size_t total = stream->writer->finish();
     stream->file.close();
     if (!stream->file) {
-      return fail(PASTRI_ERR_INTERNAL, "close failed");
+      return fail(PASTRI_ERR_IO, "close failed");
     }
     stream->finished = true;
     if (out_size != nullptr) *out_size = total;
     return PASTRI_OK;
   } catch (const std::exception& e) {
     return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
   }
 }
 
-void pastri_stream_close(pastri_stream* stream) { delete stream; }
+void pastri_stream_close(pastri_stream* stream) {
+  try {
+    delete stream;
+  } catch (...) {
+    // An abandoned sink may fail flushing on destruction; swallow it.
+  }
+}
+
+pastri_status pastri_metrics_snapshot_json(char** out) {
+  if (out == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    const std::string json =
+        pastri::obs::export_json(pastri::obs::registry().snapshot());
+    auto* buf = static_cast<char*>(std::malloc(json.size() + 1));
+    if (buf == nullptr) {
+      return fail(PASTRI_ERR_INTERNAL, "out of memory");
+    }
+    std::memcpy(buf, json.c_str(), json.size() + 1);
+    *out = buf;
+    return PASTRI_OK;
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
+  }
+}
+
+void pastri_metrics_enable(int enabled) {
+  pastri::obs::registry().set_enabled(enabled != 0);
+}
+
+void pastri_metrics_reset(void) { pastri::obs::registry().reset(); }
 
 void pastri_free(void* ptr) { std::free(ptr); }
 
-const char* pastri_last_error(void) { return g_last_error.c_str(); }
+const char* pastri_last_error_message(void) { return g_last_error.c_str(); }
+
+const char* pastri_last_error(void) { return pastri_last_error_message(); }
 
 }  // extern "C"

@@ -2,8 +2,13 @@
 //
 // The paper's implementation shipped inside SZ, a C library; this header
 // gives C callers (and FFI bindings) the same surface: plain structs,
-// integer error codes, malloc-owned output buffers released with
+// status-code returns, malloc-owned output buffers released with
 // pastri_free().  The streams are byte-identical to the C++ API's.
+//
+// Error handling contract: every entry point returns pastri_status and
+// never lets a C++ exception cross the boundary.  On failure, a
+// human-readable message for the calling thread is available from
+// pastri_last_error_message().
 #pragma once
 
 #include <stddef.h>
@@ -12,13 +17,14 @@
 extern "C" {
 #endif
 
-/* Error codes returned by the API (0 = success). */
-enum {
+/* Status codes returned by every pastri_* entry point (0 = success). */
+typedef enum pastri_status {
   PASTRI_OK = 0,
-  PASTRI_ERR_INVALID_ARGUMENT = -1,
-  PASTRI_ERR_CORRUPT_STREAM = -2,
-  PASTRI_ERR_INTERNAL = -3,
-};
+  PASTRI_ERR_INVALID_ARGUMENT = -1, /* bad pointer, size, or parameter */
+  PASTRI_ERR_CORRUPT_STREAM = -2,   /* malformed or truncated container */
+  PASTRI_ERR_INTERNAL = -3,         /* allocation failure or library bug */
+  PASTRI_ERR_IO = -4,               /* file open/write/close failed */
+} pastri_status;
 
 /* Mirrors pastri::Params; initialize with pastri_params_init. */
 typedef struct pastri_params {
@@ -37,31 +43,34 @@ void pastri_params_init(pastri_params* params);
  * num_sub_blocks * sub_block_size values.  On success *out receives a
  * malloc'd buffer of *out_size bytes (caller frees with pastri_free).
  */
-int pastri_compress_buffer(const double* data, size_t count,
-                           size_t num_sub_blocks, size_t sub_block_size,
-                           const pastri_params* params,
-                           unsigned char** out, size_t* out_size);
+pastri_status pastri_compress_buffer(const double* data, size_t count,
+                                     size_t num_sub_blocks,
+                                     size_t sub_block_size,
+                                     const pastri_params* params,
+                                     unsigned char** out, size_t* out_size);
 
 /* Decompress a stream produced by pastri_compress_buffer (or the C++
  * API).  On success *out receives a malloc'd array of *out_count
  * doubles. */
-int pastri_decompress_buffer(const unsigned char* stream,
-                             size_t stream_size, double** out,
-                             size_t* out_count);
+pastri_status pastri_decompress_buffer(const unsigned char* stream,
+                                       size_t stream_size, double** out,
+                                       size_t* out_count);
 
 /* Decode only block `block_index` of a stream into `out`, which must
  * hold at least out_capacity doubles (>= the stream's block size, i.e.
  * num_sub_blocks * sub_block_size from pastri_peek).  O(1) seek on
  * indexed (v3) streams; falls back to a scan on legacy streams. */
-int pastri_decompress_block(const unsigned char* stream,
-                            size_t stream_size, size_t block_index,
-                            double* out, size_t out_capacity);
+pastri_status pastri_decompress_block(const unsigned char* stream,
+                                      size_t stream_size,
+                                      size_t block_index, double* out,
+                                      size_t out_capacity);
 
 /* Decompress blocks [first, first+count) into a malloc'd array of
  * *out_count doubles (caller frees with pastri_free). */
-int pastri_decompress_range(const unsigned char* stream,
-                            size_t stream_size, size_t first, size_t count,
-                            double** out, size_t* out_count);
+pastri_status pastri_decompress_range(const unsigned char* stream,
+                                      size_t stream_size, size_t first,
+                                      size_t count, double** out,
+                                      size_t* out_count);
 
 /* ---- Streaming compression ------------------------------------------
  *
@@ -82,31 +91,54 @@ int pastri_decompress_range(const unsigned char* stream,
 typedef struct pastri_stream pastri_stream;
 
 /* Open a streaming compressor writing a fresh container to `path`. */
-int pastri_stream_open(const char* path, size_t num_sub_blocks,
-                       size_t sub_block_size, const pastri_params* params,
-                       pastri_stream** out);
+pastri_status pastri_stream_open(const char* path, size_t num_sub_blocks,
+                                 size_t sub_block_size,
+                                 const pastri_params* params,
+                                 pastri_stream** out);
 
 /* Append one block of num_sub_blocks * sub_block_size doubles. */
-int pastri_stream_put_block(pastri_stream* stream, const double* block);
+pastri_status pastri_stream_put_block(pastri_stream* stream,
+                                      const double* block);
 
 /* Flush pending blocks, emit the offset table and footer, back-fill the
  * header block count.  *out_size (may be NULL) receives the container
  * size in bytes.  The handle must still be released with
  * pastri_stream_close. */
-int pastri_stream_finish(pastri_stream* stream, size_t* out_size);
+pastri_status pastri_stream_finish(pastri_stream* stream, size_t* out_size);
 
 /* Release the handle (after finish, or to abandon an open stream). */
 void pastri_stream_close(pastri_stream* stream);
 
 /* Read stream metadata without decompressing; any pointer may be NULL. */
-int pastri_peek(const unsigned char* stream, size_t stream_size,
-                double* error_bound, size_t* num_sub_blocks,
-                size_t* sub_block_size, size_t* num_blocks);
+pastri_status pastri_peek(const unsigned char* stream, size_t stream_size,
+                          double* error_bound, size_t* num_sub_blocks,
+                          size_t* sub_block_size, size_t* num_blocks);
+
+/* ---- Telemetry -------------------------------------------------------
+ *
+ * The library keeps process-wide counters, gauges, and latency
+ * histograms for every codec / stream / io / qc stage (see
+ * obs/metric_names.h for the naming scheme).  Collection is on by
+ * default and costs one relaxed atomic update per event. */
+
+/* Snapshot all metrics as a malloc'd JSON string (caller frees with
+ * pastri_free).  The shape matches pastri_tool --metrics=json. */
+pastri_status pastri_metrics_snapshot_json(char** out);
+
+/* Globally enable (nonzero) or disable (0) metric collection. */
+void pastri_metrics_enable(int enabled);
+
+/* Zero every counter, gauge, and histogram. */
+void pastri_metrics_reset(void);
 
 /* Release a buffer returned by this API. */
 void pastri_free(void* ptr);
 
-/* Human-readable message for the most recent failure on this thread. */
+/* Human-readable message for the most recent failure on this thread.
+ * Never NULL; empty until the first failure. */
+const char* pastri_last_error_message(void);
+
+/* Alias of pastri_last_error_message (original name). */
 const char* pastri_last_error(void);
 
 #ifdef __cplusplus

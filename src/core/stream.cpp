@@ -16,6 +16,8 @@
 
 #include "bitio/varint.h"
 #include "core/format_detail.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace pastri {
 
@@ -93,6 +95,33 @@ std::size_t auto_batch_blocks(const BlockSpec& spec, int num_threads) {
   const std::size_t mem_cap =
       std::max<std::size_t>(1, (std::size_t{8} << 20) / (bs * sizeof(double)));
   return std::min(want, mem_cap);
+}
+
+/// Batch-pipeline telemetry (obs/metric_names.h).  One update per batch,
+/// not per block, so the cost is invisible next to the encode itself.
+struct StreamMetrics {
+  obs::Histogram encode_batch_ns =
+      obs::registry().histogram(obs::kStreamEncodeBatchNs);
+  obs::Histogram decode_batch_ns =
+      obs::registry().histogram(obs::kStreamDecodeBatchNs);
+  obs::Histogram encode_batch_blocks =
+      obs::registry().histogram(obs::kStreamEncodeBatchBlocks);
+  obs::Histogram decode_batch_blocks =
+      obs::registry().histogram(obs::kStreamDecodeBatchBlocks);
+  obs::Counter raw_bytes_in = obs::registry().counter(obs::kStreamRawBytesIn);
+  obs::Counter compressed_bytes_out =
+      obs::registry().counter(obs::kStreamCompressedBytesOut);
+  obs::Counter compressed_bytes_in =
+      obs::registry().counter(obs::kStreamCompressedBytesIn);
+  obs::Counter raw_bytes_out =
+      obs::registry().counter(obs::kStreamRawBytesOut);
+  obs::Gauge compression_ratio =
+      obs::registry().gauge(obs::kStreamCompressionRatio);
+};
+
+const StreamMetrics& stream_metrics() {
+  static const StreamMetrics m;
+  return m;
 }
 
 /// Add the per-block counters produced by compress_block (the size
@@ -225,6 +254,9 @@ void StreamWriter::put_values(std::span<const double> values) {
 void StreamWriter::flush_batch_() {
   const std::size_t n = batch_count_;
   if (n == 0) return;
+  const StreamMetrics& metrics = stream_metrics();
+  obs::ScopedTimer batch_timer(metrics.encode_batch_ns);
+  metrics.encode_batch_blocks.record(n);
   const std::size_t bs = spec_.block_size();
   const int nthreads = detail::resolve_threads(params_.num_threads);
 
@@ -255,6 +287,7 @@ void StreamWriter::flush_batch_() {
   if (error) std::rethrow_exception(error);
   for (const Stats& ts : thread_stats) merge_block_stats(stats_, ts);
 
+  std::size_t emitted = 0;
   for (const auto& payload : payloads) {
     std::uint8_t varint[10];
     std::size_t width = 0;
@@ -268,9 +301,17 @@ void StreamWriter::flush_batch_() {
     sink_.write(payload);
     sizes_.push_back(payload.size());
     bytes_emitted_ += width + payload.size();
+    emitted += width + payload.size();
     stats_.header_bits += 8 * width;
   }
   batch_count_ = 0;
+  metrics.raw_bytes_in.add(n * bs * sizeof(double));
+  metrics.compressed_bytes_out.add(emitted);
+  if (bytes_emitted_ > 0) {
+    metrics.compression_ratio.set(
+        static_cast<double>(stats_.input_bytes) /
+        static_cast<double>(bytes_emitted_));
+  }
 }
 
 std::size_t StreamWriter::finish() {
@@ -384,6 +425,8 @@ void StreamConsumer::ensure_(std::size_t n) {
 
 std::size_t StreamConsumer::decode_batch_(std::span<double> out,
                                           std::size_t max_blocks) {
+  const StreamMetrics& metrics = stream_metrics();
+  obs::ScopedTimer batch_timer(metrics.decode_batch_ns);
   // Gather whole payloads into the buffer without consuming them, so the
   // batch can be decoded in parallel straight out of the buffer.  All
   // offsets are relative to pos_, which refill_/ensure_ preserve.
@@ -437,6 +480,9 @@ std::size_t StreamConsumer::decode_batch_(std::span<double> out,
   if (error) std::rethrow_exception(error);
   pos_ += cur;
   remaining_ -= n;
+  metrics.decode_batch_blocks.record(n);
+  metrics.compressed_bytes_in.add(cur);
+  metrics.raw_bytes_out.add(n * bs * sizeof(double));
   return n;
 }
 

@@ -9,11 +9,30 @@
 
 #include "core/format_detail.h"
 #include "io/file_per_process.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace pastri::io {
 namespace {
 
 constexpr char kManifestMagic[] = "PaSTRIshards v1";
+
+/// Shard-level telemetry (obs/metric_names.h); the per-slice read
+/// counters live in file_per_process.cpp.
+struct ShardMetrics {
+  obs::Histogram shard_append_ns =
+      obs::registry().histogram(obs::kIoShardAppendNs);
+  obs::Counter shard_bytes_written =
+      obs::registry().counter(obs::kIoShardBytesWritten);
+  obs::Counter shards_finished =
+      obs::registry().counter(obs::kIoShardsFinished);
+  obs::Counter blocks_read = obs::registry().counter(obs::kIoBlocksRead);
+};
+
+const ShardMetrics& shard_metrics() {
+  static const ShardMetrics m;
+  return m;
+}
 
 std::string manifest_path(const std::string& dir,
                           const std::string& basename) {
@@ -37,6 +56,7 @@ std::vector<double> read_shard_blocks(const std::string& dir,
                                       const std::string& basename,
                                       int shard, std::size_t local_first,
                                       std::size_t local_count) {
+  shard_metrics().blocks_read.add(local_count);
   const std::size_t fsize = rank_file_size(dir, basename, shard);
   const StreamInfo info = peek_shard(dir, basename, shard, fsize);
   if (local_first + local_count < local_first ||
@@ -162,15 +182,19 @@ ShardWriter::ShardWriter(const std::string& dir, const std::string& basename,
 ShardWriter::~ShardWriter() = default;
 
 void ShardWriter::put_block(std::span<const double> block) {
+  obs::ScopedTimer timer(shard_metrics().shard_append_ns);
   writer_->put_block(block);
 }
 
 void ShardWriter::put_values(std::span<const double> values) {
+  obs::ScopedTimer timer(shard_metrics().shard_append_ns);
   writer_->put_values(values);
 }
 
 std::size_t ShardWriter::finish() {
   const std::size_t total = writer_->finish();
+  shard_metrics().shards_finished.inc();
+  shard_metrics().shard_bytes_written.add(total);
   file_.flush();
   if (!file_) throw std::runtime_error("write failed: " + path_);
   file_.close();

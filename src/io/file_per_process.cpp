@@ -6,12 +6,30 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace pastri::io {
 namespace {
 
 std::string rank_path(const std::string& dir, const std::string& basename,
                       int rank) {
   return rank_file_path(dir, basename, rank);
+}
+
+/// Ranged-read telemetry (obs/metric_names.h): every slice read a shard
+/// consumer issues is counted here, whatever layer asked for it.
+struct SliceMetrics {
+  obs::Counter ranged_reads = obs::registry().counter(obs::kIoRangedReads);
+  obs::Counter ranged_read_bytes =
+      obs::registry().counter(obs::kIoRangedReadBytes);
+  obs::Histogram ranged_read_ns =
+      obs::registry().histogram(obs::kIoRangedReadNs);
+};
+
+const SliceMetrics& slice_metrics() {
+  static const SliceMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -58,6 +76,10 @@ std::vector<std::uint8_t> read_rank_file_slice(const std::string& dir,
                                                const std::string& basename,
                                                int rank, std::size_t offset,
                                                std::size_t count) {
+  const SliceMetrics& metrics = slice_metrics();
+  obs::ScopedTimer timer(metrics.ranged_read_ns);
+  metrics.ranged_reads.inc();
+  metrics.ranged_read_bytes.add(count);
   const std::string path = rank_path(dir, basename, rank);
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw std::runtime_error("cannot open for read: " + path);

@@ -1,0 +1,143 @@
+// export.cpp - JSON and Prometheus renderers for metrics snapshots.
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/pastri.h"
+
+namespace pastri::obs {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string export_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += c.name;
+    out += "\":";
+    append_u64(out, c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += g.name;
+    out += "\":";
+    append_double(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += h.name;
+    out += "\":{\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_u64(out, h.sum);
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += '[';
+      if (b + 1 >= kHistBuckets) {
+        out += "-1";  // unbounded overflow bucket
+      } else {
+        append_u64(out, histogram_bucket_bound(b));
+      }
+      out += ',';
+      append_u64(out, h.buckets[b]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string export_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    out += "# TYPE ";
+    out += c.name;
+    out += " counter\n";
+    out += c.name;
+    out += ' ';
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    out += "# TYPE ";
+    out += g.name;
+    out += " gauge\n";
+    out += g.name;
+    out += ' ';
+    append_double(out, g.value);
+    out += '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    out += "# TYPE ";
+    out += h.name;
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      cumulative += h.buckets[b];
+      if (h.buckets[b] == 0 && b + 1 < kHistBuckets) continue;
+      out += h.name;
+      out += "_bucket{le=\"";
+      if (b + 1 >= kHistBuckets) {
+        out += "+Inf";
+      } else {
+        append_u64(out, histogram_bucket_bound(b));
+      }
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += h.name;
+    out += "_sum ";
+    append_u64(out, h.sum);
+    out += '\n';
+    out += h.name;
+    out += "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string export_run_json(const Stats& stats,
+                            const MetricsSnapshot& snap) {
+  std::string out = "{\"stats\":";
+  out += stats.to_json();
+  out += ",\"metrics\":";
+  out += export_json(snap);
+  out += "}";
+  return out;
+}
+
+}  // namespace pastri::obs

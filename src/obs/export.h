@@ -1,0 +1,36 @@
+// export.h - Render a MetricsSnapshot as JSON or Prometheus text.
+//
+// JSON shape (stable, scriptable):
+//   {"counters": {name: value, ...},
+//    "gauges": {name: value, ...},
+//    "histograms": {name: {"count": n, "sum": s, "mean": m,
+//                          "buckets": [[upper_bound, count], ...]}, ...}}
+// Histogram buckets are emitted sparsely (nonzero only) with inclusive
+// upper bounds; the unbounded last bucket renders as -1 in JSON and as
+// le="+Inf" in Prometheus text.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pastri {
+struct Stats;  // core/pastri.h
+}
+
+namespace pastri::obs {
+
+std::string export_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (counters, gauges, and cumulative
+/// histogram buckets with _bucket/_sum/_count series).
+std::string export_prometheus(const MetricsSnapshot& snapshot);
+
+/// One compression run as a single JSON document: the codec's Stats
+/// (serialized via Stats::to_json, the exact object pastri_tool prints)
+/// under "stats", and the metrics snapshot under "metrics" -- so the
+/// CLI report and the exporter can never drift.
+std::string export_run_json(const Stats& stats,
+                            const MetricsSnapshot& snapshot);
+
+}  // namespace pastri::obs

@@ -1,10 +1,28 @@
 #include "qc/compressed_eri_store.h"
 
 #include "core/stream.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "qc/md_eri.h"
 #include "qc/one_electron.h"
 
 namespace pastri::qc {
+namespace {
+
+/// LRU cache telemetry (obs/metric_names.h), alongside the store's own
+/// cache_hits()/cache_misses() accessors so a snapshot sees them too.
+struct StoreMetrics {
+  obs::Counter cache_hits = obs::registry().counter(obs::kQcEriCacheHits);
+  obs::Counter cache_misses =
+      obs::registry().counter(obs::kQcEriCacheMisses);
+};
+
+const StoreMetrics& store_metrics() {
+  static const StoreMetrics m;
+  return m;
+}
+
+}  // namespace
 
 CompressedEriStore::CompressedEriStore(const BasisSet& basis,
                                        const Params& params) {
@@ -77,10 +95,12 @@ std::shared_ptr<const std::vector<double>> CompressedEriStore::shell_block(
   std::lock_guard<std::mutex> lock(cache_mutex_);
   if (const auto hit = cache_.find(key); hit != cache_.end()) {
     ++cache_hits_;
+    store_metrics().cache_hits.inc();
     lru_.splice(lru_.begin(), lru_, hit->second.first);
     return hit->second.second;
   }
   ++cache_misses_;
+  store_metrics().cache_misses.inc();
   const auto& [cls, ordinal] = ref->second;
   auto value = std::make_shared<const std::vector<double>>(
       cls->reader->read_block(ordinal));

@@ -6,8 +6,26 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace pastri::qc {
 namespace {
+
+/// Integral-generation telemetry (obs/metric_names.h).  Quartets are
+/// counted per batch; the rate gauge holds the latest batch's quartets
+/// per second.
+struct EngineMetrics {
+  obs::Counter quartets = obs::registry().counter(obs::kQcEriQuartets);
+  obs::Histogram generate_batch_ns =
+      obs::registry().histogram(obs::kQcEriGenerateBatchNs);
+  obs::Gauge generate_rate = obs::registry().gauge(obs::kQcEriGenerateRate);
+};
+
+const EngineMetrics& engine_metrics() {
+  static const EngineMetrics m;
+  return m;
+}
 
 /// Sample `k` distinct values from [0, n) deterministically; returned
 /// sorted so the dataset block order is stable across runs.
@@ -209,10 +227,14 @@ EriStreamMeta generate_eri_blocks(
   const std::size_t bs = plan.meta.shape.block_size();
   const std::size_t batch = batch_blocks != 0 ? batch_blocks : 64;
   std::vector<double> buf(batch * bs);
+  const EngineMetrics& metrics = engine_metrics();
+  const bool timed = metrics.generate_batch_ns.active();
   for (std::size_t b0 = 0; b0 < plan.items.size(); b0 += batch) {
     const std::size_t n = std::min(batch, plan.items.size() - b0);
     std::fill(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n * bs),
               0.0);
+    std::chrono::steady_clock::time_point t0;
+    if (timed) t0 = std::chrono::steady_clock::now();
 #pragma omp parallel for schedule(dynamic)
     for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(n); ++b) {
       const Item& it = plan.items[b0 + static_cast<std::size_t>(b)];
@@ -220,6 +242,17 @@ EriStreamMeta generate_eri_blocks(
       compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
                         std::span<double>(buf).subspan(
                             static_cast<std::size_t>(b) * bs, bs));
+    }
+    metrics.quartets.add(n);
+    if (timed) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      metrics.generate_batch_ns.record(static_cast<std::uint64_t>(ns));
+      if (ns > 0) {
+        metrics.generate_rate.set(static_cast<double>(n) * 1e9 /
+                                  static_cast<double>(ns));
+      }
     }
     for (std::size_t b = 0; b < n; ++b) {
       emit(plan.meta, b0 + b,

@@ -62,7 +62,6 @@ TEST(CApi, RoundTrip) {
 }
 
 TEST(CApi, PeekReadsHeader) {
-  const BlockSpec spec{6, 6};
   const auto data = pastri::testutil::random_doubles(36 * 4, -1, 1);
   pastri_params p;
   pastri_params_init(&p);
@@ -256,6 +255,57 @@ TEST(CApi, StreamArgumentErrors) {
   pastri_stream_close(s);
   std::error_code ec;
   std::filesystem::remove(path, ec);
+}
+
+TEST(CApi, StatusTypeAndLastErrorMessage) {
+  // Every entry point returns pastri_status; failures leave a non-empty
+  // thread-local message, and the original accessor stays an alias.
+  const pastri_status st =
+      pastri_decompress_buffer(nullptr, 0, nullptr, nullptr);
+  EXPECT_EQ(st, PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(pastri_last_error_message()[0], '\0');
+  EXPECT_STREQ(pastri_last_error_message(), pastri_last_error());
+}
+
+TEST(CApi, StreamOpenToBadPathIsIoError) {
+  pastri_params p;
+  pastri_params_init(&p);
+  pastri_stream* s = nullptr;
+  EXPECT_EQ(pastri_stream_open("/nonexistent-dir/x/y.pastri", 4, 4, &p, &s),
+            PASTRI_ERR_IO);
+  EXPECT_NE(pastri_last_error_message()[0], '\0');
+}
+
+TEST(CApi, MetricsSnapshotJson) {
+  EXPECT_EQ(pastri_metrics_snapshot_json(nullptr),
+            PASTRI_ERR_INVALID_ARGUMENT);
+
+  // Run a tiny compress so codec counters are nonzero, then snapshot.
+  const auto data = pastri::testutil::random_doubles(16, -1, 1);
+  pastri_params p;
+  pastri_params_init(&p);
+  unsigned char* stream = nullptr;
+  size_t size = 0;
+  ASSERT_EQ(pastri_compress_buffer(data.data(), 16, 4, 4, &p, &stream,
+                                   &size),
+            PASTRI_OK);
+  char* json = nullptr;
+  ASSERT_EQ(pastri_metrics_snapshot_json(&json), PASTRI_OK);
+  ASSERT_NE(json, nullptr);
+  const std::string text(json);
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("pastri_core_blocks_encoded_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  pastri_free(json);
+  pastri_free(stream);
+
+  // Disable / re-enable and reset are safe to call at any time.
+  pastri_metrics_enable(0);
+  pastri_metrics_enable(1);
+  pastri_metrics_reset();
+  ASSERT_EQ(pastri_metrics_snapshot_json(&json), PASTRI_OK);
+  pastri_free(json);
 }
 
 TEST(CApi, EmptyInput) {

@@ -521,5 +521,75 @@ TEST(Compressor, PatternHeavyDataBeatsGenericEntropyBound) {
   EXPECT_GT(st.ratio(), 25.0);
 }
 
+TEST(Compressor, ParamsValidateEdgeCases) {
+  Params p;
+  EXPECT_NO_THROW(p.validate());  // paper defaults are valid
+  p.error_bound = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.error_bound = -1e-10;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.error_bound = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  // Relative mode: the factor must lie strictly inside (0, 1).
+  p.bound_mode = BoundMode::BlockRelative;
+  p.error_bound = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.error_bound = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.error_bound = 0.5;
+  EXPECT_NO_THROW(p.validate());
+  p.error_bound = std::nextafter(1.0, 0.0);
+  EXPECT_NO_THROW(p.validate());
+  // The same factor in Absolute mode stays legal (bounds above 1 only
+  // make sense as absolute bounds).
+  p.bound_mode = BoundMode::Absolute;
+  p.error_bound = 2.0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Compressor, StreamInfoToParamsRoundTrip) {
+  const BlockSpec spec{5, 7};
+  Params p;
+  p.error_bound = 0.25;
+  p.bound_mode = BoundMode::BlockRelative;
+  p.metric = ScalingMetric::AR;
+  p.tree = EcqTree::Tree3;
+  const auto data = testutil::random_doubles(spec.block_size() * 2, -1, 1);
+  const auto stream = compress(data, spec, p);
+  const Params q = peek_info(stream).to_params();
+  EXPECT_EQ(q.error_bound, p.error_bound);
+  EXPECT_EQ(q.bound_mode, p.bound_mode);
+  EXPECT_EQ(q.metric, p.metric);
+  EXPECT_EQ(q.tree, p.tree);
+  // Decode-side params pass validation and drive a correct decode.
+  EXPECT_NO_THROW(q.validate());
+  EXPECT_NO_THROW(decompress(stream));
+}
+
+TEST(Compressor, InfoFirstDecodeFamilyMatchesAliases) {
+  // The StreamInfo-first entry points are the canonical path; the
+  // info-less overloads are thin aliases.  Both must agree exactly.
+  const BlockSpec spec{6, 9};
+  std::vector<double> data;
+  for (std::uint64_t b = 0; b < 7; ++b) {
+    const auto block = testutil::noisy_pattern_block(spec, 1e-6, b);
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  const auto stream = compress(data, spec, Params{});
+  const StreamInfo info = peek_info(stream);
+
+  EXPECT_EQ(decompress(stream, info), decompress(stream));
+  EXPECT_EQ(decompress_block_at(stream, info, 3),
+            decompress_block_at(stream, 3));
+  EXPECT_EQ(decompress_range(stream, info, 2, 4),
+            decompress_range(stream, 2, 4));
+
+  // BlockReader's info-first ctor probes nothing it was already given.
+  const BlockReader reader(stream, info);
+  EXPECT_EQ(reader.info().num_blocks, info.num_blocks);
+  EXPECT_EQ(reader.read_range(0, reader.num_blocks()), decompress(stream));
+}
+
 }  // namespace
 }  // namespace pastri

@@ -14,6 +14,7 @@
 #include "compressors/sz/sz.h"
 #include "compressors/zfp/zfp.h"
 #include "core/pastri.h"
+#include "core/pastri_capi.h"
 #include "core/stream.h"
 #include "io/compressed_file.h"
 #include "io/file_per_process.h"
@@ -244,6 +245,57 @@ TEST(Fuzz, PastriIndexFooterNeverCrashes) {
       // rejected cleanly
     }
   }
+}
+
+TEST(Fuzz, CApiReturnsStatusCodesNeverAborts) {
+  // The C boundary must translate every failure on a mutated stream
+  // into a pastri_status -- an exception escaping through extern "C"
+  // would std::terminate (and a sanitizer build would flag any OOB
+  // read long before that).
+  const auto data = fuzz_payload();
+  Params p;
+  const auto stream = compress(data, BlockSpec{12, 12}, p);
+  const auto is_status = [](pastri_status st) {
+    return st == PASTRI_OK || st == PASTRI_ERR_INVALID_ARGUMENT ||
+           st == PASTRI_ERR_CORRUPT_STREAM || st == PASTRI_ERR_INTERNAL ||
+           st == PASTRI_ERR_IO;
+  };
+  fuzz_stream(
+      stream,
+      [&](const auto& s) {
+        if (!pastri_decode_in_budget(s)) return 0;
+        double* out = nullptr;
+        size_t out_count = 0;
+        const pastri_status st =
+            pastri_decompress_buffer(s.data(), s.size(), &out, &out_count);
+        EXPECT_TRUE(is_status(st));
+        if (st != PASTRI_OK) {
+          EXPECT_NE(pastri_last_error_message()[0], '\0');
+        }
+        pastri_free(out);
+        return 0;
+      },
+      300, 31);
+  fuzz_stream(
+      stream,
+      [&](const auto& s) {
+        if (!pastri_decode_in_budget(s)) return 0;
+        double out[144];
+        EXPECT_TRUE(is_status(
+            pastri_decompress_block(s.data(), s.size(), 3, out, 144)));
+        return 0;
+      },
+      300, 32);
+  fuzz_stream(
+      stream,
+      [&](const auto& s) {
+        double eb = 0;
+        size_t nsb = 0, sbs = 0, nb = 0;
+        EXPECT_TRUE(is_status(
+            pastri_peek(s.data(), s.size(), &eb, &nsb, &sbs, &nb)));
+        return 0;
+      },
+      300, 33);
 }
 
 TEST(Fuzz, SzDecompressorNeverCrashes) {

@@ -1,0 +1,319 @@
+// Tests for the telemetry layer: registry semantics (sharding,
+// capacity, enable/disable, reset), histogram bucket math, exporters,
+// and end-to-end instrumentation through the codec.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/pastri.h"
+#include "obs/export.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace pastri;
+
+TEST(Obs, HistogramBucketMath) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(1023), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1024), 11u);
+  EXPECT_EQ(
+      obs::histogram_bucket(std::numeric_limits<std::uint64_t>::max()),
+      obs::kHistBuckets - 1);
+  // Bounds are inclusive and consistent with the bucket function: every
+  // value <= bound(i) with value > bound(i-1) lands in bucket i.
+  EXPECT_EQ(obs::histogram_bucket_bound(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_bound(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket_bound(2), 3u);
+  EXPECT_EQ(obs::histogram_bucket_bound(10), 1023u);
+  for (std::size_t i = 0; i + 1 < obs::kHistBuckets; ++i) {
+    EXPECT_EQ(obs::histogram_bucket(obs::histogram_bucket_bound(i)), i);
+    EXPECT_EQ(obs::histogram_bucket(obs::histogram_bucket_bound(i) + 1),
+              i + 1);
+  }
+  EXPECT_EQ(obs::histogram_bucket_bound(obs::kHistBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Obs, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry reg;
+  const obs::Counter c = reg.counter("test_counter_total");
+  const obs::Gauge g = reg.gauge("test_gauge");
+  const obs::Histogram h = reg.histogram("test_hist_ns");
+
+  c.inc();
+  c.add(41);
+  g.set(2.5);
+  h.record(0);
+  h.record(5);
+  h.record(1000);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "test_counter_total");
+  EXPECT_EQ(snap.counters[0].value, 42u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 2.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 3u);
+  EXPECT_EQ(snap.histograms[0].sum, 1005u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].mean(), 335.0);
+  EXPECT_EQ(snap.histograms[0].buckets[0], 1u);  // the 0
+  EXPECT_EQ(snap.histograms[0].buckets[obs::histogram_bucket(5)], 1u);
+  EXPECT_EQ(snap.histograms[0].buckets[obs::histogram_bucket(1000)], 1u);
+}
+
+TEST(Obs, RegistrationIsIdempotent) {
+  obs::MetricsRegistry reg;
+  const obs::Counter a = reg.counter("same_name_total");
+  const obs::Counter b = reg.counter("same_name_total");
+  a.inc();
+  b.inc();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 2u);
+}
+
+TEST(Obs, InertHandlesNeverCrash) {
+  // Default-constructed handles and over-capacity registrations must be
+  // safe no-ops: telemetry can never take the process down.
+  const obs::Counter c;
+  const obs::Gauge g;
+  const obs::Histogram h;
+  c.inc();
+  c.add(10);
+  g.set(1.0);
+  h.record(7);
+  EXPECT_FALSE(h.active());
+  { obs::ScopedTimer t(h); }
+
+  obs::MetricsRegistry reg;
+  for (std::size_t i = 0; i < obs::kMaxGauges + 8; ++i) {
+    const obs::Gauge over = reg.gauge("gauge_" + std::to_string(i));
+    over.set(static_cast<double>(i));  // past capacity: silently inert
+  }
+  EXPECT_EQ(reg.snapshot().gauges.size(), obs::kMaxGauges);
+}
+
+TEST(Obs, DisableStopsCollection) {
+  obs::MetricsRegistry reg;
+  const obs::Counter c = reg.counter("c_total");
+  const obs::Histogram h = reg.histogram("h_ns");
+  c.inc();
+  reg.set_enabled(false);
+  c.add(100);
+  h.record(5);
+  EXPECT_FALSE(h.active());
+  reg.set_enabled(true);
+  c.inc();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+TEST(Obs, ResetZeroesValuesKeepsNames) {
+  obs::MetricsRegistry reg;
+  const obs::Counter c = reg.counter("c_total");
+  const obs::Gauge g = reg.gauge("g");
+  const obs::Histogram h = reg.histogram("h_ns");
+  c.add(5);
+  g.set(3.0);
+  h.record(9);
+  reg.reset();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 0u);
+  EXPECT_EQ(snap.gauges[0].value, 0.0);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+  EXPECT_EQ(snap.histograms[0].sum, 0u);
+  c.inc();  // handles stay valid after reset
+  EXPECT_EQ(reg.snapshot().counters[0].value, 1u);
+}
+
+TEST(Obs, ScopedTimerRecordsElapsed) {
+  obs::MetricsRegistry reg;
+  const obs::Histogram h = reg.histogram("timer_ns");
+  { obs::ScopedTimer t(h); }
+  { obs::ScopedTimer t(h); }
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+}
+
+TEST(Obs, ThreadShardingAggregatesExactly) {
+  // The concurrency contract: every thread updates its own shard with
+  // relaxed atomics, and snapshot() still sees the exact global totals.
+  obs::MetricsRegistry reg;
+  const obs::Counter c = reg.counter("mt_total");
+  const obs::Histogram h = reg.histogram("mt_ns");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters[0].value, kThreads * kPerThread);
+  EXPECT_EQ(snap.histograms[0].count, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum = expected_sum + (static_cast<std::uint64_t>(t) + 1) *
+                                      kPerThread;
+  }
+  EXPECT_EQ(snap.histograms[0].sum, expected_sum);
+}
+
+TEST(Obs, ConcurrentSnapshotWhileWriting) {
+  // snapshot() and reset() race against writers without UB (mutex on the
+  // shard list, relaxed atomics on values); run under TSan/ASan presets.
+  obs::MetricsRegistry reg;
+  const obs::Counter c = reg.counter("race_total");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      // At least one increment even if this thread is first scheduled
+      // after main flips `stop` (single-core hosts).
+      do {
+        c.inc();
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)reg.snapshot();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+  const obs::MetricsSnapshot last = reg.snapshot();
+  EXPECT_GT(last.counters[0].value, 0u);
+}
+
+TEST(Obs, GlobalRegistryHasStandardSet) {
+  // instance() pre-registers every metric_names.h constant so snapshots
+  // always expose the full core/stream/io/qc family.
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const auto has_counter = [&](std::string_view name) {
+    for (const auto& s : snap.counters) {
+      if (s.name == name) return true;
+    }
+    return false;
+  };
+  const auto has_hist = [&](std::string_view name) {
+    for (const auto& s : snap.histograms) {
+      if (s.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_counter(obs::kCoreBlocksEncoded));
+  EXPECT_TRUE(has_counter(obs::kStreamRawBytesIn));
+  EXPECT_TRUE(has_counter(obs::kIoRangedReads));
+  EXPECT_TRUE(has_counter(obs::kQcEriQuartets));
+  EXPECT_TRUE(has_hist(obs::kCorePatternSelectNs));
+  EXPECT_TRUE(has_hist(obs::kStreamEncodeBatchNs));
+  EXPECT_TRUE(has_hist(obs::kIoShardAppendNs));
+  EXPECT_TRUE(has_hist(obs::kQcEriGenerateBatchNs));
+}
+
+TEST(Obs, CodecRunMovesCoreAndStreamMetrics) {
+  const BlockSpec spec{6, 9};
+  std::vector<double> data;
+  for (std::uint64_t b = 0; b < 12; ++b) {
+    const auto block = testutil::noisy_pattern_block(spec, 1e-6, b);
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  const auto find_counter = [](const obs::MetricsSnapshot& snap,
+                               std::string_view name) -> std::uint64_t {
+    for (const auto& s : snap.counters) {
+      if (s.name == name) return s.value;
+    }
+    return 0;
+  };
+  const obs::MetricsSnapshot before = obs::registry().snapshot();
+  const auto stream = compress(data, spec, Params{});
+  const auto back = decompress(stream);
+  const obs::MetricsSnapshot after = obs::registry().snapshot();
+  EXPECT_EQ(find_counter(after, obs::kCoreBlocksEncoded) -
+                find_counter(before, obs::kCoreBlocksEncoded),
+            12u);
+  EXPECT_EQ(find_counter(after, obs::kCoreBlocksDecoded) -
+                find_counter(before, obs::kCoreBlocksDecoded),
+            12u);
+  EXPECT_EQ(find_counter(after, obs::kStreamRawBytesIn) -
+                find_counter(before, obs::kStreamRawBytesIn),
+            data.size() * sizeof(double));
+  EXPECT_GT(find_counter(after, obs::kStreamCompressedBytesOut),
+            find_counter(before, obs::kStreamCompressedBytesOut));
+}
+
+TEST(Obs, MetricsDoNotChangeCompressedBytes) {
+  // Telemetry observes the codec; it must never perturb the stream.
+  const BlockSpec spec{4, 8};
+  const auto data = testutil::random_doubles(spec.block_size() * 6, -1, 1);
+  const auto with_metrics = compress(data, spec, Params{});
+  obs::registry().set_enabled(false);
+  const auto without_metrics = compress(data, spec, Params{});
+  obs::registry().set_enabled(true);
+  EXPECT_EQ(with_metrics, without_metrics);
+}
+
+TEST(Obs, ExportJsonShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("c_total").add(7);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h_ns").record(100);
+  const std::string json = obs::export_json(reg.snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"g\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":100"), std::string::npos);
+}
+
+TEST(Obs, ExportPrometheusShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("pastri_test_total").add(3);
+  reg.histogram("pastri_test_ns").record(2);
+  const std::string prom = obs::export_prometheus(reg.snapshot());
+  EXPECT_NE(prom.find("# TYPE pastri_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pastri_test_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pastri_test_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pastri_test_ns_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("pastri_test_ns_sum 2"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Obs, StatsToJsonRoundsTheRun) {
+  Stats st;
+  st.input_bytes = 1000;
+  st.output_bytes = 100;
+  st.num_blocks = 3;
+  st.blocks_by_type = {1, 0, 2, 0};
+  const std::string json = st.to_json();
+  EXPECT_NE(json.find("\"input_bytes\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"output_bytes\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"blocks_by_type\":[1,0,2,0]"), std::string::npos);
+
+  const std::string run = obs::export_run_json(st, obs::MetricsSnapshot{});
+  EXPECT_NE(run.find("\"stats\":"), std::string::npos);
+  EXPECT_NE(run.find("\"metrics\":"), std::string::npos);
+}
+
+}  // namespace
