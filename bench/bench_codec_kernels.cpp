@@ -1,0 +1,314 @@
+// bench_codec_kernels - Before/after rows for the word-at-a-time bit
+// I/O, the table-driven ECQ decode, and the allocation-free block codec
+// hot path.  Each row pits the current kernel against a faithful local
+// reimplementation of the code it replaced (byte-loop bit reads,
+// symbol-by-symbol tree walks, allocate-per-block decode), on the same
+// bytes, so the speedup column isolates the optimization itself.
+//
+// Results go to BENCH_codec_kernels.json (GB/s for byte-oriented rows,
+// symbols/s for the ECQ rows).  PASTRI_BENCH_QUICK=1 shrinks the inputs
+// for the ctest `Perf` smoke run.
+#include <fstream>
+#include <random>
+
+#include "bench_common.h"
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "bitio/varint.h"
+#include "core/pastri.h"
+
+using namespace pastri;
+
+namespace {
+
+/// The pre-optimization BitReader::read_bits: one byte-granular loop
+/// iteration per partial byte, no word loads.
+struct ByteLoopReader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  std::uint64_t read_bits(unsigned nbits) {
+    if (pos + nbits > 8 * data.size()) {
+      throw std::out_of_range("read past end");
+    }
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    while (got < nbits) {
+      const std::size_t byte = pos >> 3;
+      const unsigned bit = static_cast<unsigned>(pos & 7);
+      const unsigned take = std::min<unsigned>(nbits - got, 8 - bit);
+      const std::uint64_t mask = (std::uint64_t{1} << take) - 1;
+      const std::uint64_t chunk =
+          (static_cast<std::uint64_t>(data[byte]) >> bit) & mask;
+      out |= chunk << got;
+      got += take;
+      pos += take;
+    }
+    return out;
+  }
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  std::int64_t read_signed(unsigned nbits) {
+    std::uint64_t raw = read_bits(nbits);
+    if (nbits < 64 && (raw & (std::uint64_t{1} << (nbits - 1)))) {
+      raw |= ~((std::uint64_t{1} << nbits) - 1);
+    }
+    return static_cast<std::int64_t>(raw);
+  }
+
+  std::uint64_t read_varint() {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+      const std::uint64_t byte = read_bits(8);
+      v |= (byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+};
+
+/// The pre-optimization decoder: out-of-line (it lived in ecq_tree.cpp,
+/// so every symbol paid a call), per-symbol switch dispatch, and Tree 5
+/// recursing into the Tree 3 case -- faithfully reproduced, down to the
+/// noinline, so the "before" column is the code that actually ran.
+__attribute__((noinline)) std::int64_t reference_ecq_decode(
+    ByteLoopReader& r, EcqTree t, unsigned ecb_max) {
+  switch (t) {
+    case EcqTree::Tree1:
+      if (!r.read_bit()) return 0;
+      return r.read_signed(ecb_max);
+    case EcqTree::Tree2:
+      if (!r.read_bit()) return 0;
+      if (!r.read_bit()) return 1;
+      if (!r.read_bit()) return -1;
+      return r.read_signed(ecb_max);
+    case EcqTree::Tree3:
+      if (!r.read_bit()) return 0;
+      if (!r.read_bit()) return r.read_signed(ecb_max);
+      return r.read_bit() ? -1 : 1;
+    case EcqTree::Tree5:
+      if (ecb_max <= 2) {
+        if (!r.read_bit()) return 0;
+        return r.read_bit() ? -1 : 1;
+      }
+      return reference_ecq_decode(r, EcqTree::Tree3, ecb_max);
+    default:
+      throw std::invalid_argument("tree not benchmarked");
+  }
+}
+
+/// The pre-optimization decompress_block: fresh QuantizedBlock per call,
+/// per-element byte-loop checked reads, symbol-by-symbol reference
+/// ecq_decode.  Absolute bound mode (the paper's) only, which is all
+/// this bench runs.
+void reference_decompress_block(ByteLoopReader& r, const BlockSpec& spec,
+                                const Params& params,
+                                std::span<double> out) {
+  if (r.read_bit()) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  QuantizedBlock qb;
+  qb.spec = make_quant_spec(0.0, params.error_bound);
+  qb.spec.pattern_bits = static_cast<unsigned>(r.read_bits(6));
+  qb.spec.scale_bits = qb.spec.pattern_bits;
+  qb.spec.scale_binsize =
+      std::ldexp(1.0, 1 - static_cast<int>(qb.spec.scale_bits));
+  qb.pq.resize(spec.sub_block_size);
+  for (auto& v : qb.pq) v = r.read_signed(qb.spec.pattern_bits);
+  qb.sq.resize(spec.num_sub_blocks);
+  for (auto& v : qb.sq) v = r.read_signed(qb.spec.scale_bits);
+  qb.ecb_max = static_cast<unsigned>(r.read_bits(6));
+  qb.ecq.assign(spec.block_size(), 0);
+  if (qb.ecb_max >= 2) {
+    const bool sparse = r.read_bit();
+    if (sparse) {
+      const std::uint64_t nol = r.read_varint();
+      const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
+      for (std::uint64_t k = 0; k < nol; ++k) {
+        const std::uint64_t idx = r.read_bits(idx_bits);
+        qb.ecq[idx] = r.read_signed(qb.ecb_max);
+      }
+    } else {
+      for (auto& v : qb.ecq) {
+        v = reference_ecq_decode(r, params.tree, qb.ecb_max);
+      }
+    }
+  }
+  dequantize_block(qb, spec, out);
+}
+
+struct Row {
+  const char* name;
+  double before_s = 0.0;
+  double after_s = 0.0;
+  double gbps_before = 0.0;
+  double gbps_after = 0.0;
+  double symbols_per_s_before = 0.0;
+  double symbols_per_s_after = 0.0;
+};
+
+double speedup(const Row& r) { return r.before_s / r.after_s; }
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Codec kernels -- word-at-a-time bit I/O, LUT ECQ decode, "
+      "allocation-free block decode",
+      "Section IV-C rates (decode-side kernel cost)");
+  const int reps = bench::quick_mode() ? 3 : 7;
+  std::vector<Row> rows;
+
+  // ---- Row 1: read_bits, byte loop vs word loads ----------------------
+  {
+    const std::size_t n = bench::quick_mode() ? 200'000 : 2'000'000;
+    bitio::BitWriter w;
+    std::mt19937_64 gen(7);
+    std::vector<unsigned> widths(n);
+    for (auto& width : widths) {
+      width = 1 + static_cast<unsigned>(gen() % 57);
+      w.write_bits(gen(), width);
+    }
+    const auto bytes = w.take();
+    Row row{"read_bits mixed widths 1..57"};
+    std::uint64_t sink = 0;
+    row.before_s = bench::best_time_seconds(
+        [&] {
+          ByteLoopReader r{bytes};
+          for (unsigned width : widths) sink ^= r.read_bits(width);
+        },
+        reps);
+    row.after_s = bench::best_time_seconds(
+        [&] {
+          bitio::BitReader r(bytes);
+          for (unsigned width : widths) sink ^= r.read_bits(width);
+        },
+        reps);
+    if (sink == 42) std::printf(" ");  // keep the reads observable
+    row.gbps_before = static_cast<double>(bytes.size()) / row.before_s / 1e9;
+    row.gbps_after = static_cast<double>(bytes.size()) / row.after_s / 1e9;
+    rows.push_back(row);
+  }
+
+  // ---- Row 2: dense ECQ decode, tree walk vs LUT ----------------------
+  {
+    const std::size_t n = bench::quick_mode() ? 400'000 : 4'000'000;
+    const unsigned ecb_max = 5;  // typical type-2 (dd|dd) block
+    std::mt19937_64 gen(11);
+    std::vector<std::int64_t> symbols(n);
+    for (auto& v : symbols) {
+      const std::uint64_t roll = gen() % 100;
+      v = roll < 70 ? 0 : (roll < 90 ? ((gen() & 1) ? 1 : -1)
+                                     : static_cast<std::int64_t>(gen() % 15) - 7);
+    }
+    bitio::BitWriter w;
+    for (std::int64_t v : symbols) {
+      ecq_encode(w, EcqTree::Tree5, v, ecb_max);
+    }
+    const auto bytes = w.take();
+    Row row{"dense ECQ decode (Tree5, ecb_max=5)"};
+    std::int64_t sink = 0;
+    row.before_s = bench::best_time_seconds(
+        [&] {
+          ByteLoopReader r{bytes};
+          for (std::size_t i = 0; i < n; ++i) {
+            sink ^= reference_ecq_decode(r, EcqTree::Tree5, ecb_max);
+          }
+        },
+        reps);
+    const EcqDecodeLut& lut = ecq_decode_lut(EcqTree::Tree5, ecb_max);
+    std::vector<std::int64_t> decoded(n);
+    row.after_s = bench::best_time_seconds(
+        [&] {
+          bitio::BitReader r(bytes);
+          ecq_decode_run(r, lut, EcqTree::Tree5, ecb_max, decoded);
+          r.check_overrun();
+        },
+        reps);
+    if (sink == 42) std::printf(" ");
+    if (decoded != symbols) {
+      std::fprintf(stderr, "FATAL: run decoder diverged from input\n");
+      return 1;
+    }
+    row.symbols_per_s_before = static_cast<double>(n) / row.before_s;
+    row.symbols_per_s_after = static_cast<double>(n) / row.after_s;
+    row.gbps_before = static_cast<double>(bytes.size()) / row.before_s / 1e9;
+    row.gbps_after = static_cast<double>(bytes.size()) / row.after_s / 1e9;
+    rows.push_back(row);
+  }
+
+  // ---- Row 3: full (dd|dd) block decode, old path vs workspace --------
+  {
+    const auto ds = bench::load_bench_dataset(
+        {"benzene", "(dd|dd)", 1296, 250, 1296});
+    const BlockSpec spec = bench::block_spec_of(ds);
+    Params params;
+    const auto stream = compress(ds.values, spec, params);
+    const BlockReader reader(stream);
+    const std::size_t nb = reader.num_blocks();
+    const std::size_t bs = spec.block_size();
+    std::vector<double> out(bs);
+
+    Row row{"full block decompress (dd|dd)"};
+    row.before_s = bench::best_time_seconds(
+        [&] {
+          for (std::size_t b = 0; b < nb; ++b) {
+            const BlockExtent& e = reader.index().extent(b);
+            ByteLoopReader r{
+                std::span<const std::uint8_t>(stream).subspan(e.offset,
+                                                              e.length)};
+            reference_decompress_block(r, spec, params, out);
+          }
+        },
+        reps);
+    CodecWorkspace ws;
+    row.after_s = bench::best_time_seconds(
+        [&] {
+          for (std::size_t b = 0; b < nb; ++b) {
+            const BlockExtent& e = reader.index().extent(b);
+            bitio::BitReader r(
+                std::span<const std::uint8_t>(stream).subspan(e.offset,
+                                                              e.length));
+            decompress_block(r, spec, params, out, ws);
+          }
+        },
+        reps);
+    const double raw_bytes = static_cast<double>(nb * bs * sizeof(double));
+    row.gbps_before = raw_bytes / row.before_s / 1e9;
+    row.gbps_after = raw_bytes / row.after_s / 1e9;
+    row.symbols_per_s_before = static_cast<double>(nb * bs) / row.before_s;
+    row.symbols_per_s_after = static_cast<double>(nb * bs) / row.after_s;
+    rows.push_back(row);
+  }
+
+  std::printf("%-38s %10s %10s %9s\n", "kernel", "before", "after",
+              "speedup");
+  std::ofstream json("BENCH_codec_kernels.json");
+  json << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("%-38s %8.3f s %8.3f s %8.2fx\n", r.name, r.before_s,
+                r.after_s, speedup(r));
+    std::printf("%-38s %7.2f GB/s %5.2f GB/s\n", "", r.gbps_before,
+                r.gbps_after);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"kernel\":\"%s\",\"before_seconds\":%.6g,"
+        "\"after_seconds\":%.6g,\"speedup\":%.4g,"
+        "\"gbps_before\":%.4g,\"gbps_after\":%.4g,"
+        "\"symbols_per_s_before\":%.6g,\"symbols_per_s_after\":%.6g}%s\n",
+        r.name, r.before_s, r.after_s, speedup(r), r.gbps_before,
+        r.gbps_after, r.symbols_per_s_before, r.symbols_per_s_after,
+        i + 1 < rows.size() ? "," : "");
+    json << buf;
+  }
+  json << "]\n";
+  bench::print_rule();
+  std::printf("wrote BENCH_codec_kernels.json\n");
+  return 0;
+}

@@ -1,6 +1,8 @@
 // bit_reader.h - LSB-first bit-granular input stream (pairs with BitWriter).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -11,8 +13,24 @@ namespace pastri::bitio {
 
 /// Consumes bits in the order `BitWriter` produced them.
 ///
-/// Out-of-range reads throw `std::out_of_range`; a corrupt or truncated
-/// compressed stream therefore surfaces as an exception rather than UB.
+/// Two access families share the cursor:
+///
+///   * Checked reads (`read_bits`, `read_signed`, `read_unary`, ...)
+///     throw `std::out_of_range` on an out-of-range read, so a corrupt
+///     or truncated compressed stream surfaces as an exception rather
+///     than UB.  All of them go through a word-granular fast path: one
+///     unaligned 64-bit load + shift when at least 8 bytes remain, with
+///     the original byte loop kept only for the stream tail.
+///
+///   * Speculative reads (`peek_bits`, `consume`, `take_bits`,
+///     `take_signed`) never bounds-check individually.  Peeks beyond the
+///     end of the span return zero bits (never touching out-of-range
+///     memory), and `consume` may push the cursor logically past the
+///     end.  Decoders use them to run a whole block payload with a
+///     single hoisted bounds check -- `check_overrun()` at the end --
+///     instead of one check per symbol; a corrupt stream still throws,
+///     from the hoisted check.  Until `check_overrun()` passes, values
+///     produced by speculative reads must be treated as tentative.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -24,39 +42,159 @@ class BitReader {
     if (pos_ + nbits > 8 * data_.size()) {
       throw std::out_of_range("BitReader: read past end of stream");
     }
-    std::uint64_t out = 0;
-    unsigned got = 0;
-    while (got < nbits) {
-      const std::size_t byte = pos_ >> 3;
-      const unsigned bit = static_cast<unsigned>(pos_ & 7);
-      const unsigned take = std::min<unsigned>(nbits - got, 8 - bit);
-      const std::uint64_t chunk =
-          (static_cast<std::uint64_t>(data_[byte]) >> bit) &
-          ((std::uint64_t{1} << take) - 1);
-      out |= chunk << got;
-      got += take;
-      pos_ += take;
+    const std::size_t byte = pos_ >> 3;
+    const unsigned bit = static_cast<unsigned>(pos_ & 7);
+    if (byte + 8 <= data_.size()) {
+      // Word fast path: one unaligned load covers 64-bit >= 57 bits; a
+      // read reaching further pulls its top bits from the next byte
+      // (which the bounds check above proved is in range).
+      std::uint64_t word;
+      std::memcpy(&word, data_.data() + byte, 8);  // little-endian hosts
+      word >>= bit;
+      const unsigned have = 64 - bit;
+      if (nbits > have) {
+        word |= static_cast<std::uint64_t>(data_[byte + 8]) << have;
+      }
+      pos_ += nbits;
+      return nbits == 64 ? word : word & mask_(nbits);
     }
-    return out;
+    return read_bits_tail_(nbits);
   }
 
   bool read_bit() { return read_bits(1) != 0; }
 
   /// Read a two's-complement signed value of `nbits` bits.
   std::int64_t read_signed(unsigned nbits) {
-    std::uint64_t raw = read_bits(nbits);
-    if (nbits < 64 && (raw & (std::uint64_t{1} << (nbits - 1)))) {
-      raw |= ~((std::uint64_t{1} << nbits) - 1);  // sign extend
-    }
-    return static_cast<std::int64_t>(raw);
+    return sign_extend_(read_bits(nbits), nbits);
   }
 
-  /// Read a unary-coded unsigned value (count of one-bits before a zero).
+  /// Read a run of `count` two's-complement values of `nbits` bits each
+  /// (the fixed-width PQ/SQ arrays).  One bounds check for the whole
+  /// run, then unchecked word loads.
+  void read_signed_run(unsigned nbits, std::span<std::int64_t> out) {
+    assert(nbits >= 1 && nbits <= 57);
+    if (pos_ + nbits * out.size() > 8 * data_.size()) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+    // Windowed: one unaligned load serves floor(57/nbits)+ values; the
+    // bounds check above already proved the whole run is in range.
+    std::uint64_t window = 0;
+    unsigned valid = 0;
+    std::size_t i = 0;
+    for (; i < out.size(); ++i) {
+      if (valid < nbits) {
+        const std::size_t byte = pos_ >> 3;
+        if (byte + 8 > data_.size()) break;  // tail: peek path below
+        std::uint64_t word;
+        std::memcpy(&word, data_.data() + byte, 8);  // little-endian
+        const unsigned bit = static_cast<unsigned>(pos_ & 7);
+        window = word >> bit;
+        valid = 64 - bit;  // >= 57 >= nbits
+      }
+      out[i] = sign_extend_(window & mask_(nbits), nbits);
+      window >>= nbits;
+      valid -= nbits;
+      pos_ += nbits;
+    }
+    for (; i < out.size(); ++i) {
+      out[i] = sign_extend_(peek_bits(nbits), nbits);
+      pos_ += nbits;
+    }
+  }
+
+  /// Read a unary-coded value: the count of one-bits before the
+  /// terminating zero-bit, both consumed -- the exact inverse of
+  /// `BitWriter::write_unary` (test_bitio pins the convention).
+  /// Word-scan fast path: count trailing ones on the peeked word.
   unsigned read_unary() {
     unsigned v = 0;
-    while (read_bit()) ++v;
-    return v;
+    for (;;) {
+      // Peeked bits beyond the end are zero, so a truncated run still
+      // terminates; the position check below then rejects it.
+      const unsigned ones = static_cast<unsigned>(
+          std::countr_one(peek_bits(kMaxPeek)));
+      if (ones < kMaxPeek) {
+        pos_ += ones + 1;
+        if (pos_ > 8 * data_.size()) {
+          throw std::out_of_range("BitReader: read past end of stream");
+        }
+        return v + ones;
+      }
+      v += kMaxPeek;
+      pos_ += kMaxPeek;
+      if (pos_ >= 8 * data_.size()) {
+        throw std::out_of_range("BitReader: read past end of stream");
+      }
+    }
   }
+
+  // ---- Speculative access (hoisted bounds check) -----------------------
+
+  /// Largest peek width a single unaligned load can serve at any bit
+  /// offset (64 minus the worst-case 7-bit shift).
+  static constexpr unsigned kMaxPeek = 57;
+
+  /// Return the next `nbits` bits (<= kMaxPeek) without consuming them.
+  /// Bits beyond the end of the span read as zero; never bounds-throws.
+  std::uint64_t peek_bits(unsigned nbits) const {
+    assert(nbits <= kMaxPeek);
+    const std::size_t byte = pos_ >> 3;
+    const unsigned bit = static_cast<unsigned>(pos_ & 7);
+    std::uint64_t word = 0;
+    if (byte + 8 <= data_.size()) {
+      std::memcpy(&word, data_.data() + byte, 8);  // little-endian hosts
+    } else if (byte < data_.size()) {
+      std::memcpy(&word, data_.data() + byte, data_.size() - byte);
+    }
+    word >>= bit;
+    return word & mask_(nbits);
+  }
+
+  /// Advance the cursor without a bounds check (may run logically past
+  /// the end; pair with `check_overrun`).
+  void consume(unsigned nbits) { pos_ += nbits; }
+
+  /// Unchecked read of `nbits` (0 <= nbits <= 64): peek + consume, zero
+  /// bits past the end.  Pair with `check_overrun`.
+  std::uint64_t take_bits(unsigned nbits) {
+    assert(nbits <= 64);
+    if (nbits <= kMaxPeek) {
+      const std::uint64_t v = peek_bits(nbits);
+      pos_ += nbits;
+      return v;
+    }
+    const std::uint64_t lo = peek_bits(32);
+    pos_ += 32;
+    const std::uint64_t hi = peek_bits(nbits - 32);
+    pos_ += nbits - 32;
+    return lo | (hi << 32);
+  }
+
+  /// Unchecked two's-complement read.  Pair with `check_overrun`.
+  std::int64_t take_signed(unsigned nbits) {
+    return sign_extend_(take_bits(nbits), nbits);
+  }
+
+  /// The underlying byte span.  Bulk decoders window it directly (one
+  /// unaligned load per several symbols) instead of peeking per symbol.
+  std::span<const std::uint8_t> data() const { return data_; }
+
+  /// Unchecked absolute cursor move (speculative family; may land
+  /// logically past the end -- pair with `check_overrun`).
+  void seek_unchecked(std::size_t bitpos) { pos_ = bitpos; }
+
+  /// Whether speculative consumption ran past the end of the span.
+  bool overrun() const { return pos_ > 8 * data_.size(); }
+
+  /// The hoisted bounds check: throws if any speculative read ran past
+  /// the end of the payload.
+  void check_overrun() const {
+    if (overrun()) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+  }
+
+  // ---- Misc ------------------------------------------------------------
 
   template <typename T>
   T read_raw() {
@@ -85,9 +223,43 @@ class BitReader {
   }
 
   std::size_t bit_position() const { return pos_; }
-  std::size_t bits_remaining() const { return 8 * data_.size() - pos_; }
+  std::size_t bits_remaining() const {
+    const std::size_t total = 8 * data_.size();
+    return pos_ <= total ? total - pos_ : 0;
+  }
 
  private:
+  static constexpr std::uint64_t mask_(unsigned nbits) {
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << nbits) - 1;
+  }
+
+  static std::int64_t sign_extend_(std::uint64_t raw, unsigned nbits) {
+    if (nbits < 64 && nbits > 0 &&
+        (raw & (std::uint64_t{1} << (nbits - 1)))) {
+      raw |= ~((std::uint64_t{1} << nbits) - 1);
+    }
+    return static_cast<std::int64_t>(raw);
+  }
+
+  /// Byte-loop fallback for reads within 8 bytes of the stream tail
+  /// (bounds already checked by the caller).
+  std::uint64_t read_bits_tail_(unsigned nbits) {
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    while (got < nbits) {
+      const std::size_t byte = pos_ >> 3;
+      const unsigned bit = static_cast<unsigned>(pos_ & 7);
+      const unsigned take = std::min<unsigned>(nbits - got, 8 - bit);
+      const std::uint64_t chunk =
+          (static_cast<std::uint64_t>(data_[byte]) >> bit) & mask_(take);
+      out |= chunk << got;
+      got += take;
+      pos_ += take;
+    }
+    return out;
+  }
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };

@@ -47,6 +47,16 @@ class BitWriter {
     write_bits(static_cast<std::uint64_t>(value), nbits);
   }
 
+  /// Append a run of fixed-width two's-complement values (the PQ/SQ
+  /// arrays).  Bit-identical to calling write_signed per element.
+  void write_signed_run(std::span<const std::int64_t> values,
+                        unsigned nbits) {
+    bytes_.reserve(bytes_.size() + (nbits * values.size()) / 8 + 8);
+    for (std::int64_t v : values) {
+      write_bits(static_cast<std::uint64_t>(v), nbits);
+    }
+  }
+
   /// Append an unsigned value in unary: `value` one-bits then a zero-bit.
   void write_unary(unsigned value) {
     for (unsigned i = 0; i < value; ++i) write_bit(true);
@@ -92,6 +102,23 @@ class BitWriter {
     acc_ = 0;
     fill_ = 0;
     return out;
+  }
+
+  /// Finish the stream like `take`, but keep ownership of the buffer:
+  /// returns a view of the padded bytes, valid until the next write.
+  /// With `restart()` this lets a driver reuse one writer (and its
+  /// heap buffer) across many blocks without per-block allocation.
+  std::span<const std::uint8_t> finish_view() {
+    align_to_byte();
+    flush_partial_();
+    return bytes_;
+  }
+
+  /// Reset to an empty stream, retaining the buffer capacity.
+  void restart() {
+    bytes_.clear();
+    acc_ = 0;
+    fill_ = 0;
   }
 
   /// Pad with zero bits to the next byte boundary.

@@ -60,6 +60,8 @@ struct CoreMetrics {
       obs::registry().histogram(obs::kCoreEcqEncodeNs);
   obs::Histogram ecq_decode_ns =
       obs::registry().histogram(obs::kCoreEcqDecodeNs);
+  obs::Counter ecq_dense_symbols =
+      obs::registry().counter(obs::kCoreEcqDenseSymbols);
 };
 
 const CoreMetrics& core_metrics() {
@@ -82,6 +84,39 @@ struct BlockEncoding {
   bool sparse = false;
   std::size_t payload_bits = 0;  // excluding flags/bit-width fields
 };
+
+/// Per-block bound and zero-block decision in one pass.  BlockRelative
+/// needs the extremum anyway, and a block is zero exactly when the
+/// extremum is within the bound, so the former two loops (extremum scan
+/// + zero scan) fuse into one.  Absolute mode keeps the early-exit zero
+/// probe instead: it needs no extremum and usually stops at the first
+/// element.
+struct BoundPlan {
+  double eb = 0.0;
+  bool zero_block = false;
+};
+
+BoundPlan plan_bound(std::span<const double> block, const Params& params) {
+  if (params.bound_mode == BoundMode::BlockRelative) {
+    double extremum = 0.0;
+    for (double v : block) extremum = std::max(extremum, std::abs(v));
+    const double eb = relative_block_bound(params.error_bound, extremum);
+    // eb scales with the extremum, so only exact-zero blocks qualify.
+    return {eb, extremum <= eb};
+  }
+  const double eb = params.error_bound;
+  for (double v : block) {
+    if (std::abs(v) > eb) return {eb, false};
+  }
+  // Screened quartets, far-field blocks below the bound: reconstructing
+  // zeros already satisfies the error bound.
+  return {eb, true};
+}
+
+CodecWorkspace& tls_workspace() {
+  thread_local CodecWorkspace ws;
+  return ws;
+}
 
 /// Decide the block representation and return exact payload bit cost.
 BlockEncoding plan_block(const QuantizedBlock& qb, const BlockSpec& spec,
@@ -120,28 +155,19 @@ BlockEncoding plan_block(const QuantizedBlock& qb, const BlockSpec& spec,
 
 void compress_block(std::span<const double> block, const BlockSpec& spec,
                     const Params& params, bitio::BitWriter& w, Stats* stats) {
+  compress_block(block, spec, params, w, stats, tls_workspace());
+}
+
+void compress_block(std::span<const double> block, const BlockSpec& spec,
+                    const Params& params, bitio::BitWriter& w, Stats* stats,
+                    CodecWorkspace& ws) {
   assert(block.size() == spec.block_size());
   const CoreMetrics& metrics = core_metrics();
   metrics.blocks_encoded.inc();
-  double eb = params.error_bound;
-  if (params.bound_mode == BoundMode::BlockRelative) {
-    double extremum = 0.0;
-    for (double v : block) extremum = std::max(extremum, std::abs(v));
-    eb = relative_block_bound(params.error_bound, extremum);
-  }
+  const BoundPlan bound = plan_bound(block, params);
+  const double eb = bound.eb;
 
-  // Zero blocks (screened quartets, far-field blocks below the bound):
-  // reconstructing zeros already satisfies the error bound.  In
-  // BlockRelative mode eb scales with the extremum, so only exact-zero
-  // blocks qualify.
-  bool zero_block = true;
-  for (double v : block) {
-    if (std::abs(v) > eb) {
-      zero_block = false;
-      break;
-    }
-  }
-  if (zero_block) {
+  if (bound.zero_block) {
     w.write_bit(true);
     if (stats) {
       ++stats->blocks_by_type[0];
@@ -156,21 +182,21 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
     w.write_bits(static_cast<std::uint64_t>(e - 1 + kEbExpBias), 12);
   }
 
-  PatternSelection sel;
+  PatternSelection& sel = ws.selection;
   {
     obs::ScopedTimer timer(metrics.pattern_select_ns);
-    sel = select_pattern(block, spec, params.metric);
+    select_pattern(block, spec, params.metric, sel, ws.metric_scratch);
   }
-  QuantizedBlock qb;
+  QuantizedBlock& qb = ws.quantized;
   {
     obs::ScopedTimer timer(metrics.quantize_ns);
-    qb = quantize_block(block, spec, sel, eb);
+    quantize_block(block, spec, sel, eb, qb, ws.p_hat, ws.s_hat);
   }
   const BlockEncoding enc = plan_block(qb, spec, params, false);
 
   w.write_bits(qb.spec.pattern_bits, 6);
-  for (std::int64_t v : qb.pq) w.write_signed(v, qb.spec.pattern_bits);
-  for (std::int64_t v : qb.sq) w.write_signed(v, qb.spec.scale_bits);
+  w.write_signed_run(qb.pq, qb.spec.pattern_bits);
+  w.write_signed_run(qb.sq, qb.spec.scale_bits);
   w.write_bits(qb.ecb_max, 6);
 
   std::size_t ecq_bits = 0;
@@ -189,7 +215,7 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
       }
     } else {
       for (std::int64_t v : qb.ecq) {
-        ecq_encode(w, params.tree, v, qb.ecb_max);
+        ecq_encode_fast(w, params.tree, v, qb.ecb_max);
       }
     }
     ecq_bits = w.bit_count() - before;
@@ -210,6 +236,12 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
 
 void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
                       const Params& params, std::span<double> out) {
+  decompress_block(r, spec, params, out, tls_workspace());
+}
+
+void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
+                      const Params& params, std::span<double> out,
+                      CodecWorkspace& ws) {
   assert(out.size() == spec.block_size());
   const CoreMetrics& metrics = core_metrics();
   metrics.blocks_decoded.inc();
@@ -222,7 +254,7 @@ void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
     const int e = static_cast<int>(r.read_bits(12)) - kEbExpBias;
     eb = std::ldexp(1.0, e);
   }
-  QuantizedBlock qb;
+  QuantizedBlock& qb = ws.quantized;
   qb.spec = make_quant_spec(0.0, eb);
   qb.spec.pattern_bits = static_cast<unsigned>(r.read_bits(6));
   if (qb.spec.pattern_bits == 0 || qb.spec.pattern_bits > 54) {
@@ -232,17 +264,19 @@ void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
   qb.spec.scale_binsize =
       std::ldexp(1.0, 1 - static_cast<int>(qb.spec.scale_bits));
 
+  // Fixed-width PQ/SQ runs: one hoisted bounds check each, then
+  // unchecked word loads (bit_reader.h).
   qb.pq.resize(spec.sub_block_size);
-  for (auto& v : qb.pq) v = r.read_signed(qb.spec.pattern_bits);
+  r.read_signed_run(qb.spec.pattern_bits, qb.pq);
   qb.sq.resize(spec.num_sub_blocks);
-  for (auto& v : qb.sq) v = r.read_signed(qb.spec.scale_bits);
+  r.read_signed_run(qb.spec.scale_bits, qb.sq);
 
   qb.ecb_max = static_cast<unsigned>(r.read_bits(6));
-  qb.ecq.assign(spec.block_size(), 0);
   if (qb.ecb_max >= 2) {
     obs::ScopedTimer timer(metrics.ecq_decode_ns);
     const bool sparse = r.read_bit();
     if (sparse) {
+      qb.ecq.assign(spec.block_size(), 0);
       const std::uint64_t nol = bitio::read_varint(r);
       if (nol > spec.block_size()) {
         throw std::runtime_error("PaSTRI: corrupt outlier count");
@@ -256,8 +290,20 @@ void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
         qb.ecq[idx] = r.read_signed(qb.ecb_max);
       }
     } else {
-      for (auto& v : qb.ecq) v = ecq_decode(r, params.tree, qb.ecb_max);
+      // Dense ECQ: table-driven decode with speculative reads; the
+      // single check_overrun below replaces a bounds check per symbol.
+      // A truncated payload decodes zero bits into tentative garbage
+      // and then throws here, before any value escapes.
+      const EcqDecodeLut& lut = ecq_decode_lut(params.tree, qb.ecb_max);
+      qb.ecq.resize(spec.block_size());
+      ecq_decode_run(r, lut, params.tree, qb.ecb_max, qb.ecq);
+      r.check_overrun();
+      // One counter bump for the whole block -- per-symbol updates (or
+      // worse, per-symbol clock reads) would dominate the LUT decode.
+      metrics.ecq_dense_symbols.add(spec.block_size());
     }
+  } else {
+    qb.ecq.assign(spec.block_size(), 0);
   }
   dequantize_block(qb, spec, out);
 }
@@ -265,19 +311,9 @@ void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
 BlockAnalysis analyze_block(std::span<const double> block,
                             const BlockSpec& spec, const Params& params) {
   BlockAnalysis a;
-  double eb = params.error_bound;
-  if (params.bound_mode == BoundMode::BlockRelative) {
-    double extremum = 0.0;
-    for (double v : block) extremum = std::max(extremum, std::abs(v));
-    eb = relative_block_bound(params.error_bound, extremum);
-  }
-  a.zero_block = true;
-  for (double v : block) {
-    if (std::abs(v) > eb) {
-      a.zero_block = false;
-      break;
-    }
-  }
+  const BoundPlan bound = plan_bound(block, params);
+  const double eb = bound.eb;
+  a.zero_block = bound.zero_block;
   if (a.zero_block && eb == 0.0) {
     // exact-zero block under a relative bound
     a.selection.scales.assign(spec.num_sub_blocks, 0.0);

@@ -1,5 +1,6 @@
 #include "core/ecq_tree.h"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -27,8 +28,7 @@ void tree4_encode(bitio::BitWriter& w, std::int64_t v) {
 }
 
 std::int64_t tree4_decode(bitio::BitReader& r) {
-  unsigned ones = 0;
-  while (r.read_bit()) ++ones;
+  const unsigned ones = r.read_unary();
   if (ones == 0) return 0;
   const unsigned bin = ones + 1;
   const bool neg = r.read_bit();
@@ -159,6 +159,198 @@ std::size_t ecq_encoded_bits(EcqTree t, std::span<const std::int64_t> ecq,
   std::size_t bits = 0;
   for (std::int64_t v : ecq) bits += ecq_code_length(t, v, ecb_max);
   return bits;
+}
+
+// ---- Table-driven fast path --------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t lut_mask(unsigned nbits) {
+  return (std::uint64_t{1} << nbits) - 1;
+}
+
+/// The five distinct table shapes (Tree 5 is Tree 3 above EC_b,max = 2).
+enum class LutShape { T1, T2, T3, T4, T5Small };
+
+/// Build one table by pattern-matching every kEcqLutBits-bit suffix the
+/// way the reference decoder walks it (LSB-first: bit 0 of the index is
+/// the first bit on the wire).
+EcqDecodeLut build_lut(LutShape shape) {
+  EcqDecodeLut lut;
+  for (std::uint64_t p = 0; p < (std::uint64_t{1} << kEcqLutBits); ++p) {
+    EcqDecodeEntry e;
+    switch (shape) {
+      case LutShape::T1:
+        if ((p & 1) == 0) {
+          e = {0, 1, 0};
+        } else {
+          e = {0, 1, 1};
+        }
+        break;
+      case LutShape::T2:
+        if ((p & 1) == 0) {
+          e = {0, 1, 0};
+        } else if ((p & 2) == 0) {
+          e = {1, 2, 0};
+        } else if ((p & 4) == 0) {
+          e = {-1, 3, 0};
+        } else {
+          e = {0, 3, 1};
+        }
+        break;
+      case LutShape::T3:
+        if ((p & 1) == 0) {
+          e = {0, 1, 0};
+        } else if ((p & 2) == 0) {
+          e = {0, 2, 1};
+        } else {
+          e = {(p & 4) == 0 ? 1 : -1, 3, 0};
+        }
+        break;
+      case LutShape::T5Small:
+        if ((p & 1) == 0) {
+          e = {0, 1, 0};
+        } else {
+          e = {(p & 2) == 0 ? 1 : -1, 2, 0};
+        }
+        break;
+      case LutShape::T4: {
+        // p < 2^kEcqLutBits, so countr_one is capped at kEcqLutBits.
+        const unsigned ones = static_cast<unsigned>(std::countr_one(p));
+        if (ones == 0) {
+          e = {0, 1, 0};
+          break;
+        }
+        const unsigned bin = ones + 1;
+        const unsigned needed = 2 * bin - 1;
+        if (ones >= kEcqLutBits || needed > kEcqLutBits) {
+          e = {0, 0, 0};  // deeper than the table: reference slow path
+          break;
+        }
+        const bool neg = ((p >> (ones + 1)) & 1) != 0;
+        const std::uint64_t offset =
+            bin > 2 ? (p >> (ones + 2)) & lut_mask(bin - 2) : 0;
+        const auto mag = static_cast<std::int32_t>(
+            (std::uint64_t{1} << (bin - 2)) + offset);
+        e = {neg ? -mag : mag, static_cast<std::uint8_t>(needed), 0};
+        break;
+      }
+    }
+    lut.entry[p] = e;
+  }
+  return lut;
+}
+
+const EcqDecodeLut& shape_lut(LutShape shape) {
+  static const EcqDecodeLut t1 = build_lut(LutShape::T1);
+  static const EcqDecodeLut t2 = build_lut(LutShape::T2);
+  static const EcqDecodeLut t3 = build_lut(LutShape::T3);
+  static const EcqDecodeLut t4 = build_lut(LutShape::T4);
+  static const EcqDecodeLut t5s = build_lut(LutShape::T5Small);
+  switch (shape) {
+    case LutShape::T1: return t1;
+    case LutShape::T2: return t2;
+    case LutShape::T3: return t3;
+    case LutShape::T4: return t4;
+    case LutShape::T5Small: return t5s;
+  }
+  return t3;
+}
+
+}  // namespace
+
+const EcqDecodeLut& ecq_decode_lut(EcqTree t, unsigned ecb_max) {
+  switch (t) {
+    case EcqTree::Tree1: return shape_lut(LutShape::T1);
+    case EcqTree::Tree2: return shape_lut(LutShape::T2);
+    case EcqTree::Tree3: return shape_lut(LutShape::T3);
+    case EcqTree::Tree4: return shape_lut(LutShape::T4);
+    case EcqTree::Tree5:
+      return shape_lut(ecb_max <= 2 ? LutShape::T5Small : LutShape::T3);
+  }
+  throw std::invalid_argument("unknown ECQ tree");
+}
+
+void ecq_encode_fast(bitio::BitWriter& w, EcqTree t, std::int64_t v,
+                     unsigned ecb_max) {
+  const auto payload = [&](std::uint64_t prefix, unsigned prefix_len) {
+    // prefix then v in ecb_max two's-complement bits, one call when the
+    // pack fits 64 bits (always, for the format's ecb_max <= 63).
+    if (prefix_len + ecb_max <= 64) {
+      const std::uint64_t pack =
+          prefix | ((static_cast<std::uint64_t>(v) &
+                     (ecb_max >= 64 ? ~std::uint64_t{0} : lut_mask(ecb_max)))
+                    << prefix_len);
+      w.write_bits(pack, prefix_len + ecb_max);
+    } else {
+      w.write_bits(prefix, prefix_len);
+      w.write_signed(v, ecb_max);
+    }
+  };
+  switch (t) {
+    case EcqTree::Tree1:
+      if (v == 0) {
+        w.write_bit(false);
+      } else {
+        payload(0b1, 1);
+      }
+      return;
+    case EcqTree::Tree2:
+      if (v == 0) {
+        w.write_bit(false);
+      } else if (v == 1) {
+        w.write_bits(0b01, 2);
+      } else if (v == -1) {
+        w.write_bits(0b011, 3);
+      } else {
+        payload(0b111, 3);
+      }
+      return;
+    case EcqTree::Tree3:
+      if (v == 0) {
+        w.write_bit(false);
+      } else if (v == 1) {
+        w.write_bits(0b011, 3);
+      } else if (v == -1) {
+        w.write_bits(0b111, 3);
+      } else {
+        payload(0b01, 2);
+      }
+      return;
+    case EcqTree::Tree4: {
+      if (v == 0) {
+        w.write_bit(false);
+        return;
+      }
+      const unsigned bin = ecq_bin(v);
+      if (2 * bin - 1 > 64) {  // pathological deep bin: reference path
+        tree4_encode(w, v);
+        return;
+      }
+      const bool neg = v < 0;
+      const std::uint64_t mag = neg ? static_cast<std::uint64_t>(-v)
+                                    : static_cast<std::uint64_t>(v);
+      const std::uint64_t offset = mag - (std::uint64_t{1} << (bin - 2));
+      // (bin-1) ones, the terminating zero, the sign, then the offset.
+      std::uint64_t pack = lut_mask(bin - 1);
+      if (neg) pack |= std::uint64_t{1} << bin;
+      pack |= offset << (bin + 1);
+      w.write_bits(pack, 2 * bin - 1);
+      return;
+    }
+    case EcqTree::Tree5:
+      if (ecb_max <= 2) {
+        if (v == 0) {
+          w.write_bit(false);
+        } else {
+          w.write_bits(v < 0 ? 0b11 : 0b01, 2);
+        }
+      } else {
+        ecq_encode_fast(w, EcqTree::Tree3, v, ecb_max);
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown ECQ tree");
 }
 
 }  // namespace pastri

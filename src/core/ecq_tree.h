@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 #include "bitio/bit_reader.h"
@@ -32,6 +33,11 @@ const char* ecq_tree_name(EcqTree t);
 unsigned ecq_code_length(EcqTree t, std::int64_t v, unsigned ecb_max);
 
 /// Encode/decode one value.  `ecb_max >= 2` (type-0 blocks emit nothing).
+///
+/// These are the *reference* implementations: bit-by-bit tree walks kept
+/// for escapes, deep Tree-4 bins, and differential testing.  The hot
+/// path uses the table-driven pair below, which is verified bit- and
+/// value-identical against these by the EcqDiffFuzz suite.
 void ecq_encode(bitio::BitWriter& w, EcqTree t, std::int64_t v,
                 unsigned ecb_max);
 std::int64_t ecq_decode(bitio::BitReader& r, EcqTree t, unsigned ecb_max);
@@ -39,5 +45,117 @@ std::int64_t ecq_decode(bitio::BitReader& r, EcqTree t, unsigned ecb_max);
 /// Convenience: total encoded size of a sequence, in bits.
 std::size_t ecq_encoded_bits(EcqTree t, std::span<const std::int64_t> ecq,
                              unsigned ecb_max);
+
+// ---- Table-driven fast path --------------------------------------------
+//
+// Decode: an 11-bit peek indexes a per-tree LUT whose entry gives the
+// decoded value and the prefix length in one hit, so dense type-1/2
+// blocks decode at ~1 table lookup per symbol instead of 2-4 checked
+// read_bit calls.  Escape entries consume the prefix and then pull the
+// EC_b,max-bit payload with one (speculative) word read.  The lookup
+// uses BitReader's speculative peek/consume family: the caller runs one
+// hoisted `check_overrun()` per block payload instead of a bounds check
+// per symbol.
+//
+// The table shape depends only on the tree (and, for Tree 5, on whether
+// EC_b,max <= 2 switches it to the optimal {0,+1,-1} tree), never on the
+// exact EC_b,max -- escape payload width is applied at decode time -- so
+// five static tables cover every block.
+
+inline constexpr unsigned kEcqLutBits = 11;
+
+struct EcqDecodeEntry {
+  std::int32_t value = 0;   ///< decoded value when `escape` is 0
+  std::uint8_t bits = 0;    ///< prefix bits consumed; 0 = slow-path miss
+  std::uint8_t escape = 0;  ///< 1 = value follows as EC_b,max signed bits
+};
+
+struct EcqDecodeLut {
+  EcqDecodeEntry entry[std::size_t{1} << kEcqLutBits];
+};
+
+/// The decode table for `(t, ecb_max)` (a reference to one of five
+/// lazily built static tables; cheap to call per block).
+const EcqDecodeLut& ecq_decode_lut(EcqTree t, unsigned ecb_max);
+
+/// Fast one-symbol decode via `lut` (= ecq_decode_lut(t, ecb_max)).
+/// Speculative: never bounds-checks; the caller must `check_overrun()`
+/// once after the symbol run.  Falls back to the reference decoder for
+/// patterns deeper than the table (Tree-4 bins beyond |v| ~ 31).
+inline std::int64_t ecq_decode_fast(bitio::BitReader& r,
+                                    const EcqDecodeLut& lut, EcqTree t,
+                                    unsigned ecb_max) {
+  const EcqDecodeEntry e = lut.entry[r.peek_bits(kEcqLutBits)];
+  if (e.bits != 0) {
+    r.consume(e.bits);
+    if (e.escape == 0) return e.value;
+    return r.take_signed(ecb_max);
+  }
+  return ecq_decode(r, t, ecb_max);
+}
+
+/// Fast one-symbol encode: the whole code (prefix + escape payload) is
+/// packed into a single write_bits call whenever it fits 64 bits, which
+/// covers every case but pathological Tree-4 bins.  Bit-identical to
+/// `ecq_encode` for all inputs.
+void ecq_encode_fast(bitio::BitWriter& w, EcqTree t, std::int64_t v,
+                     unsigned ecb_max);
+
+/// Decode a dense run of `out.size()` symbols -- the whole-block form of
+/// `ecq_decode_fast`, and what decompress_block actually calls.  Keeps a
+/// 64-bit window in a register and refills it with one unaligned load
+/// per ~57 consumed bits (tens of symbols on real residuals) instead of
+/// reloading per symbol.  Escapes, LUT misses, and the last <8 stream
+/// bytes drop back to `ecq_decode_fast` / the reference decoder through
+/// the reader, so the two paths stay value- and cursor-identical (the
+/// EcqDiffFuzz suite pins this).  Speculative like the rest of the
+/// family: run `check_overrun()` after the call.
+inline void ecq_decode_run(bitio::BitReader& r, const EcqDecodeLut& lut,
+                           EcqTree t, unsigned ecb_max,
+                           std::span<std::int64_t> out) {
+  const std::uint8_t* base = r.data().data();
+  const std::size_t nbytes = r.data().size();
+  std::size_t pos = r.bit_position();
+  std::uint64_t window = 0;
+  unsigned valid = 0;
+  std::size_t i = 0;
+  while (i < out.size()) {
+    if (valid < kEcqLutBits) {
+      const std::size_t byte = pos >> 3;
+      if (byte + 8 > nbytes) break;  // stream tail: finish via the reader
+      std::uint64_t word;
+      std::memcpy(&word, base + byte, 8);  // little-endian hosts
+      const unsigned bit = static_cast<unsigned>(pos & 7);
+      window = word >> bit;
+      valid = 64 - bit;  // >= 57 > kEcqLutBits
+    }
+    const EcqDecodeEntry e =
+        lut.entry[window & ((std::size_t{1} << kEcqLutBits) - 1)];
+    if (e.bits == 0) {  // deeper than the table (deep Tree-4 bins)
+      r.seek_unchecked(pos);
+      out[i++] = ecq_decode(r, t, ecb_max);
+      pos = r.bit_position();
+      valid = 0;
+      continue;
+    }
+    pos += e.bits;
+    window >>= e.bits;
+    valid -= e.bits;
+    if (e.escape != 0) {
+      // The payload (up to 64 bits) is wider than the window guarantees;
+      // pull it through the reader's own speculative load.
+      r.seek_unchecked(pos);
+      out[i++] = r.take_signed(ecb_max);
+      pos = r.bit_position();
+      valid = 0;
+      continue;
+    }
+    out[i++] = e.value;
+  }
+  r.seek_unchecked(pos);
+  for (; i < out.size(); ++i) {
+    out[i] = ecq_decode_fast(r, lut, t, ecb_max);
+  }
+}
 
 }  // namespace pastri

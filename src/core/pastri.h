@@ -231,13 +231,40 @@ BlockIndex read_block_index(std::span<const std::uint8_t> stream);
 
 // ---- Block-level API (building blocks, also used by tests/benches) ----
 
+/// Reusable per-thread scratch for the block codec hot path.  Sized on
+/// first use for a given BlockSpec and reused for every block after, so
+/// steady-state compress/decompress loops perform zero heap allocations
+/// per block.  Each OpenMP worker in the batch drivers owns one; the
+/// workspace-less compress_block/decompress_block overloads fall back to
+/// a thread-local instance.  Not thread-safe: one workspace per thread.
+struct CodecWorkspace {
+  PatternSelection selection;             ///< encode: pattern + scales
+  QuantizedBlock quantized;               ///< both sides: PQ/SQ/ECQ
+  std::vector<double> p_hat;              ///< encode: reconstructed pattern
+  std::vector<double> s_hat;              ///< encode: reconstructed scales
+  std::vector<double> metric_scratch;     ///< encode: select_pattern values
+  bitio::BitWriter writer;                ///< drivers: per-block bit staging
+  std::vector<std::uint8_t> arena;        ///< drivers: batch payload staging
+  Stats stats;                            ///< drivers: per-thread accounting
+};
+
 /// Compress one block into `w` and account into `stats` (may be null).
 void compress_block(std::span<const double> block, const BlockSpec& spec,
                     const Params& params, bitio::BitWriter& w, Stats* stats);
 
+/// Workspace-explicit variant (allocation-free once `ws` is warm).
+void compress_block(std::span<const double> block, const BlockSpec& spec,
+                    const Params& params, bitio::BitWriter& w, Stats* stats,
+                    CodecWorkspace& ws);
+
 /// Decompress one block from `r`.
 void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
                       const Params& params, std::span<double> out);
+
+/// Workspace-explicit variant (allocation-free once `ws` is warm).
+void decompress_block(bitio::BitReader& r, const BlockSpec& spec,
+                      const Params& params, std::span<double> out,
+                      CodecWorkspace& ws);
 
 /// Introspection for analysis benches/tests: the full quantized
 /// representation of one block under `params` (pattern selection included).

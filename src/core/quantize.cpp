@@ -70,6 +70,16 @@ QuantizedBlock quantize_block(std::span<const double> block,
                               const BlockSpec& spec,
                               const PatternSelection& sel,
                               double error_bound) {
+  QuantizedBlock qb;
+  std::vector<double> p_hat, s_hat;
+  quantize_block(block, spec, sel, error_bound, qb, p_hat, s_hat);
+  return qb;
+}
+
+void quantize_block(std::span<const double> block, const BlockSpec& spec,
+                    const PatternSelection& sel, double error_bound,
+                    QuantizedBlock& qb, std::vector<double>& p_hat,
+                    std::vector<double>& s_hat) {
   assert(block.size() == spec.block_size());
   const std::size_t nsb = spec.num_sub_blocks;
   const std::size_t sbs = spec.sub_block_size;
@@ -78,13 +88,14 @@ QuantizedBlock quantize_block(std::span<const double> block,
   double p_ext = 0.0;
   for (double v : pattern) p_ext = std::max(p_ext, std::abs(v));
 
-  QuantizedBlock qb;
   qb.spec = make_quant_spec(p_ext, error_bound);
+  qb.ecb_max = 1;
+  qb.num_outliers = 0;
 
   // Pattern: PQ = round(P / (2 EB)); clamping cannot fire because
   // pattern_bits was sized from the extremum, but keep it for safety.
   qb.pq.resize(sbs);
-  std::vector<double> p_hat(sbs);
+  p_hat.resize(sbs);
   for (std::size_t i = 0; i < sbs; ++i) {
     std::int64_t v = round_to_i64(pattern[i] / qb.spec.pattern_binsize);
     v = clamp_signed(v, qb.spec.pattern_bits);
@@ -95,7 +106,7 @@ QuantizedBlock quantize_block(std::span<const double> block,
   // Scales: SQ = round(S / S_binsize), clamped into S_b bits (S = +1 maps
   // to the largest code, costing at most one extra ECQ bin -- Eq. (23)).
   qb.sq.resize(nsb);
-  std::vector<double> s_hat(nsb);
+  s_hat.resize(nsb);
   for (std::size_t j = 0; j < nsb; ++j) {
     std::int64_t v = round_to_i64(sel.scales[j] / qb.spec.scale_binsize);
     v = clamp_signed(v, qb.spec.scale_bits);
@@ -118,7 +129,6 @@ QuantizedBlock quantize_block(std::span<const double> block,
       }
     }
   }
-  return qb;
 }
 
 void dequantize_block(const QuantizedBlock& qb, const BlockSpec& spec,

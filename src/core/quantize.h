@@ -57,6 +57,15 @@ QuantizedBlock quantize_block(std::span<const double> block,
                               const PatternSelection& sel,
                               double error_bound);
 
+/// In-place variant for the allocation-free hot path: fully re-derives
+/// `qb` (spec, pq/sq/ecq, ecb_max, outlier count), reusing vector
+/// capacity; `p_hat`/`s_hat` are scratch for the reconstructed pattern
+/// and scales (see CodecWorkspace in pastri.h).
+void quantize_block(std::span<const double> block, const BlockSpec& spec,
+                    const PatternSelection& sel, double error_bound,
+                    QuantizedBlock& qb, std::vector<double>& p_hat,
+                    std::vector<double>& s_hat);
+
 /// Inverse of quantize_block: reconstruct the block values.
 void dequantize_block(const QuantizedBlock& qb, const BlockSpec& spec,
                       std::span<double> out);

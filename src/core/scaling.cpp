@@ -39,11 +39,20 @@ const char* scaling_metric_name(ScalingMetric m) {
 
 PatternSelection select_pattern(std::span<const double> block,
                                 const BlockSpec& spec, ScalingMetric metric) {
+  PatternSelection sel;
+  std::vector<double> scratch;
+  select_pattern(block, spec, metric, sel, scratch);
+  return sel;
+}
+
+void select_pattern(std::span<const double> block, const BlockSpec& spec,
+                    ScalingMetric metric, PatternSelection& sel,
+                    std::vector<double>& metric_val) {
   assert(block.size() == spec.block_size());
   const std::size_t nsb = spec.num_sub_blocks;
   const std::size_t sbs = spec.sub_block_size;
 
-  PatternSelection sel;
+  sel.pattern_sub_block = 0;
   sel.scales.assign(nsb, 0.0);
 
   auto sub = [&](std::size_t j) {
@@ -51,7 +60,7 @@ PatternSelection select_pattern(std::span<const double> block,
   };
 
   // Per-sub-block metric value; the pattern is the argmax.
-  std::vector<double> metric_val(nsb, 0.0);
+  metric_val.assign(nsb, 0.0);
   // ER needs the local index of the block-wide extremum.
   std::size_t er_index = 0;
 
@@ -104,7 +113,7 @@ PatternSelection select_pattern(std::span<const double> block,
       metric_val.begin());
   const auto pattern = sub(sel.pattern_sub_block);
   const double denom = metric_val[sel.pattern_sub_block];
-  if (denom == 0.0) return sel;  // all-zero (or metric-degenerate) block
+  if (denom == 0.0) return;  // all-zero (or metric-degenerate) block
 
   for (std::size_t j = 0; j < nsb; ++j) {
     double s = 0.0;
@@ -137,7 +146,6 @@ PatternSelection select_pattern(std::span<const double> block,
     }
     sel.scales[j] = clamp_scale(s);
   }
-  return sel;
 }
 
 }  // namespace pastri

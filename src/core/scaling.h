@@ -41,4 +41,11 @@ struct PatternSelection {
 PatternSelection select_pattern(std::span<const double> block,
                                 const BlockSpec& spec, ScalingMetric metric);
 
+/// In-place variant for the allocation-free hot path: `out.scales` and
+/// `scratch` (per-sub-block metric values) are resized, reusing their
+/// capacity across blocks (see CodecWorkspace in pastri.h).
+void select_pattern(std::span<const double> block, const BlockSpec& spec,
+                    ScalingMetric metric, PatternSelection& out,
+                    std::vector<double>& scratch);
+
 }  // namespace pastri

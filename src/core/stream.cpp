@@ -260,24 +260,36 @@ void StreamWriter::flush_batch_() {
   const std::size_t bs = spec_.block_size();
   const int nthreads = detail::resolve_threads(params_.num_threads);
 
-  // Workers encode the staged blocks independently; the serializer below
-  // then writes them in append order, so the container bytes cannot
-  // depend on scheduling.
-  std::vector<std::vector<std::uint8_t>> payloads(n);
-  std::vector<Stats> thread_stats(static_cast<std::size_t>(nthreads));
+  // Workers encode the staged blocks independently into their own
+  // workspace (bit staging + payload arena, reused batch to batch); the
+  // serializer below then writes them in append order, so the container
+  // bytes cannot depend on scheduling.
+  if (workspaces_.size() < static_cast<std::size_t>(nthreads)) {
+    workspaces_.resize(static_cast<std::size_t>(nthreads));
+  }
+  for (CodecWorkspace& ws : workspaces_) {
+    ws.arena.clear();       // capacity retained
+    ws.stats = Stats{};     // merged into stats_ after the join
+  }
+  refs_.resize(n);
   std::exception_ptr error;
 #pragma omp parallel num_threads(nthreads)
   {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    CodecWorkspace& ws =
+        workspaces_[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(dynamic, 16)
     for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(n); ++b) {
       try {
-        bitio::BitWriter w;
+        ws.writer.restart();
         compress_block(
             std::span<const double>(batch_).subspan(
                 static_cast<std::size_t>(b) * bs, bs),
-            spec_, params_, w, &thread_stats[tid]);
-        payloads[static_cast<std::size_t>(b)] = w.take();
+            spec_, params_, ws.writer, &ws.stats, ws);
+        const auto payload = ws.writer.finish_view();
+        refs_[static_cast<std::size_t>(b)] = {
+            static_cast<std::size_t>(omp_get_thread_num()),
+            ws.arena.size(), payload.size()};
+        ws.arena.insert(ws.arena.end(), payload.begin(), payload.end());
       } catch (...) {
 #pragma omp critical(pastri_stream_writer_error)
         if (!error) error = std::current_exception();
@@ -285,10 +297,15 @@ void StreamWriter::flush_batch_() {
     }
   }
   if (error) std::rethrow_exception(error);
-  for (const Stats& ts : thread_stats) merge_block_stats(stats_, ts);
+  for (const CodecWorkspace& ws : workspaces_) {
+    merge_block_stats(stats_, ws.stats);
+  }
 
   std::size_t emitted = 0;
-  for (const auto& payload : payloads) {
+  for (std::size_t b = 0; b < n; ++b) {
+    const PayloadRef& ref = refs_[b];
+    const auto payload = std::span<const std::uint8_t>(
+        workspaces_[ref.tid].arena).subspan(ref.off, ref.len);
     std::uint8_t varint[10];
     std::size_t width = 0;
     std::uint64_t v = payload.size();
@@ -430,13 +447,9 @@ std::size_t StreamConsumer::decode_batch_(std::span<double> out,
   // Gather whole payloads into the buffer without consuming them, so the
   // batch can be decoded in parallel straight out of the buffer.  All
   // offsets are relative to pos_, which refill_/ensure_ preserve.
-  struct Extent {
-    std::size_t off, len;
-  };
-  std::vector<Extent> extents;
-  extents.reserve(max_blocks);
+  extents_.clear();  // capacity retained batch to batch
   std::size_t cur = 0;
-  while (extents.size() < max_blocks) {
+  while (extents_.size() < max_blocks) {
     std::uint64_t len = 0;
     unsigned shift = 0;
     std::size_t i = 0;
@@ -455,23 +468,28 @@ std::size_t StreamConsumer::decode_batch_(std::span<double> out,
       throw std::runtime_error("PaSTRI: corrupt block length");
     }
     ensure_(cur + i + static_cast<std::size_t>(len));
-    extents.push_back({cur + i, static_cast<std::size_t>(len)});
+    extents_.push_back({cur + i, static_cast<std::size_t>(len)});
     cur += i + static_cast<std::size_t>(len);
   }
 
   const std::size_t bs = info_.spec.block_size();
-  const std::size_t n = extents.size();
+  const std::size_t n = extents_.size();
   const int nthreads = detail::resolve_threads(params_.num_threads);
+  if (workspaces_.size() < static_cast<std::size_t>(nthreads)) {
+    workspaces_.resize(static_cast<std::size_t>(nthreads));
+  }
   std::exception_ptr error;
 #pragma omp parallel for schedule(dynamic, 16) num_threads(nthreads) \
     shared(error) if (n > 1)
   for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(n); ++b) {
     try {
-      const Extent& e = extents[static_cast<std::size_t>(b)];
+      const Extent& e = extents_[static_cast<std::size_t>(b)];
       bitio::BitReader r(std::span<const std::uint8_t>(buf_).subspan(
           pos_ + e.off, e.len));
-      decompress_block(r, info_.spec, params_,
-                       out.subspan(static_cast<std::size_t>(b) * bs, bs));
+      decompress_block(
+          r, info_.spec, params_,
+          out.subspan(static_cast<std::size_t>(b) * bs, bs),
+          workspaces_[static_cast<std::size_t>(omp_get_thread_num())]);
     } catch (...) {
 #pragma omp critical(pastri_stream_consumer_error)
       if (!error) error = std::current_exception();

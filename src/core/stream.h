@@ -200,6 +200,17 @@ class StreamWriter {
  private:
   void flush_batch_();
 
+  /// Where one block's encoded payload lives: byte range `[off, off+len)`
+  /// of the encoding worker's arena (workspaces_[tid].arena).  The
+  /// serializer walks these in append order, so the container bytes are
+  /// scheduling-independent even though payloads are scattered across
+  /// per-thread arenas.
+  struct PayloadRef {
+    std::size_t tid = 0;
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
   ByteSink& sink_;
   BlockSpec spec_;
   Params params_;
@@ -212,6 +223,12 @@ class StreamWriter {
   std::vector<double> batch_;        // staged raw blocks
   std::size_t batch_count_ = 0;      // blocks currently staged
   std::vector<double> tail_;         // partial block from put_values
+
+  // Per-worker codec scratch + payload arenas, sized on the first batch
+  // and reused for every batch after: steady-state flushes perform no
+  // heap allocation (tests/test_alloc_free.cpp pins this).
+  std::vector<CodecWorkspace> workspaces_;
+  std::vector<PayloadRef> refs_;     // per staged block, append order
 
   std::vector<std::size_t> sizes_;   // payload bytes per block (the table)
   std::size_t bytes_emitted_ = 0;    // container bytes written so far
@@ -261,12 +278,22 @@ class StreamConsumer {
   void ensure_(std::size_t n);
   std::size_t decode_batch_(std::span<double> out, std::size_t max_blocks);
 
+  /// One whole payload gathered in buf_: `[pos_ + off, pos_ + off + len)`.
+  struct Extent {
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
   ByteSource& source_;
   StreamInfo info_;
   Params params_;
   std::size_t remaining_ = 0;
   std::size_t batch_blocks_ = 0;
   std::size_t max_payload_ = 0;  // sanity cap on one block's payload
+
+  // Reused across batches so steady-state decode allocates nothing.
+  std::vector<Extent> extents_;
+  std::vector<CodecWorkspace> workspaces_;
 
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  // next unconsumed byte in buf_

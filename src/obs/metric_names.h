@@ -25,6 +25,8 @@ inline constexpr std::string_view kCoreEcqEncodeNs =
     "pastri_core_ecq_encode_ns";
 inline constexpr std::string_view kCoreEcqDecodeNs =
     "pastri_core_ecq_decode_ns";
+inline constexpr std::string_view kCoreEcqDenseSymbols =
+    "pastri_core_ecq_dense_symbols_total";
 
 // ---- stream: batch pipeline --------------------------------------------
 inline constexpr std::string_view kStreamEncodeBatchNs =

@@ -28,6 +28,7 @@ constexpr StdMetric kStandardMetrics[] = {
     {kCoreQuantizeNs, StdType::Histogram},
     {kCoreEcqEncodeNs, StdType::Histogram},
     {kCoreEcqDecodeNs, StdType::Histogram},
+    {kCoreEcqDenseSymbols, StdType::Counter},
     {kStreamEncodeBatchNs, StdType::Histogram},
     {kStreamDecodeBatchNs, StdType::Histogram},
     {kStreamEncodeBatchBlocks, StdType::Histogram},

@@ -1,0 +1,192 @@
+// Allocation accounting for the block codec hot path.  Overriding the
+// global operator new in this TU counts every heap allocation the
+// process makes; after a warm-up pass that sizes the CodecWorkspace and
+// the driver arenas, steady-state compress/decompress must allocate
+// nothing per block (workspace loops: exactly zero; streaming drivers:
+// amortized container growth only, far below one allocation per block).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "core/pastri.h"
+#include "core/stream.h"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+// The replacement allocator pairs new with malloc/free on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace pastri {
+namespace {
+
+constexpr BlockSpec kSpec{.num_sub_blocks = 36, .sub_block_size = 36};
+
+/// ERI-like blocks: scaled copies of a pattern plus noise large enough
+/// to force dense ECQ payloads (the hot decode path).
+std::vector<double> make_blocks(std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::vector<double> data(count * kSpec.block_size());
+  for (std::size_t b = 0; b < count; ++b) {
+    double pattern[36];
+    for (double& p : pattern) p = unit(gen);
+    for (std::size_t j = 0; j < kSpec.num_sub_blocks; ++j) {
+      const double scale = unit(gen);
+      for (std::size_t i = 0; i < kSpec.sub_block_size; ++i) {
+        data[b * kSpec.block_size() + j * kSpec.sub_block_size + i] =
+            scale * pattern[i] + 2e-9 * unit(gen);
+      }
+    }
+  }
+  return data;
+}
+
+std::size_t allocations_since(std::size_t mark) {
+  return g_alloc_count.load(std::memory_order_relaxed) - mark;
+}
+
+TEST(AllocFree, CompressBlockSteadyStateAllocatesNothing) {
+  const std::size_t n = 64;
+  const auto data = make_blocks(n, 11);
+  Params params;
+  CodecWorkspace ws;
+  bitio::BitWriter w;
+
+  auto block = [&](std::size_t b) {
+    return std::span<const double>(data).subspan(b * kSpec.block_size(),
+                                                 kSpec.block_size());
+  };
+  // Warm pass over every block: sizes the workspace, grows the writer
+  // buffer to the largest payload, and builds any lazy statics (metric
+  // registry shards, decode LUTs).  The measured second pass is the
+  // steady state.
+  for (std::size_t b = 0; b < n; ++b) {
+    w.restart();
+    compress_block(block(b), kSpec, params, w, &ws.stats, ws);
+  }
+
+  const std::size_t mark = g_alloc_count.load();
+  for (std::size_t b = 0; b < n; ++b) {
+    w.restart();
+    compress_block(block(b), kSpec, params, w, &ws.stats, ws);
+    (void)w.finish_view();
+  }
+  EXPECT_EQ(allocations_since(mark), 0u)
+      << "compress_block allocated in steady state";
+}
+
+TEST(AllocFree, DecompressBlockSteadyStateAllocatesNothing) {
+  const std::size_t n = 64;
+  const auto data = make_blocks(n, 12);
+  Params params;
+  CodecWorkspace ws;
+  bitio::BitWriter w;
+
+  std::vector<std::vector<std::uint8_t>> payloads(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    w.restart();
+    compress_block(std::span<const double>(data).subspan(
+                       b * kSpec.block_size(), kSpec.block_size()),
+                   kSpec, params, w, nullptr, ws);
+    const auto view = w.finish_view();
+    payloads[b].assign(view.begin(), view.end());
+  }
+
+  std::vector<double> out(kSpec.block_size());
+  for (std::size_t b = 0; b < n; ++b) {  // warm pass
+    bitio::BitReader r(payloads[b]);
+    decompress_block(r, kSpec, params, out, ws);
+  }
+  const std::size_t mark = g_alloc_count.load();
+  for (std::size_t b = 0; b < n; ++b) {
+    bitio::BitReader r(payloads[b]);
+    decompress_block(r, kSpec, params, out, ws);
+  }
+  EXPECT_EQ(allocations_since(mark), 0u)
+      << "decompress_block allocated in steady state";
+}
+
+TEST(AllocFree, StreamWriterSteadyStateBatchesAllocateFarBelowPerBlock) {
+  const std::size_t batch = 16;
+  const std::size_t n = 8 * batch;
+  const std::size_t warm = 2 * batch;
+  const auto data = make_blocks(n, 13);
+  Params params;
+  params.num_threads = 2;
+
+  VectorSink sink;
+  StreamWriter writer(sink, kSpec, params,
+                      {.batch_blocks = batch, .expected_blocks = n});
+  auto block = [&](std::size_t b) {
+    return std::span<const double>(data).subspan(b * kSpec.block_size(),
+                                                 kSpec.block_size());
+  };
+  // First batches are the cold path: workspaces, arenas (which may still
+  // rebalance across threads on batch two), sink buffer.
+  for (std::size_t b = 0; b < warm; ++b) writer.put_block(block(b));
+
+  const std::size_t mark = g_alloc_count.load();
+  for (std::size_t b = warm; b < n; ++b) writer.put_block(block(b));
+  const std::size_t measured = n - warm;
+  const std::size_t allocs = allocations_since(mark);
+  // Amortized growth of the sink buffer and the offset table is allowed;
+  // per-block payload/scratch allocation is not.
+  EXPECT_LT(allocs, measured / 8)
+      << allocs << " allocations over " << measured << " blocks";
+
+  writer.finish();
+  // The workspace/arena rewrite must not change the container bytes.
+  EXPECT_EQ(sink.take(), compress(data, kSpec, params));
+}
+
+TEST(AllocFree, StreamConsumerSteadyStateBatchesAllocateFarBelowPerBlock) {
+  const std::size_t batch = 16;
+  const std::size_t n = 4 * batch;
+  const auto data = make_blocks(n, 14);
+  Params params;
+  params.num_threads = 2;
+  const auto stream = compress(data, kSpec, params);
+
+  SpanSource source(stream);
+  StreamConsumer consumer(source,
+                          {.batch_blocks = batch, .num_threads = 2});
+  std::vector<double> out(n * kSpec.block_size());
+  // Cold batch: decode buffers, extents, workspaces.
+  ASSERT_EQ(consumer.read_blocks(
+                std::span<double>(out).first(batch * kSpec.block_size())),
+            batch);
+
+  const std::size_t mark = g_alloc_count.load();
+  ASSERT_EQ(consumer.read_blocks(
+                std::span<double>(out).subspan(batch * kSpec.block_size())),
+            n - batch);
+  const std::size_t measured = n - batch;
+  const std::size_t allocs = allocations_since(mark);
+  EXPECT_LT(allocs, measured / 4)
+      << allocs << " allocations over " << measured << " blocks";
+  // Decode is deterministic: the chunked path must equal the one-shot.
+  EXPECT_EQ(out, decompress(stream));
+}
+
+}  // namespace
+}  // namespace pastri

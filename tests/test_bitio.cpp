@@ -150,6 +150,126 @@ TEST(BitRoundTrip, RandomizedMixedWidths) {
   }
 }
 
+TEST(BitRoundTrip, SignedRunMatchesPerElementWrites) {
+  // write_signed_run / read_signed_run must be bit-identical to the
+  // element-at-a-time loops they replaced, at any bit offset.
+  std::mt19937_64 gen(99);
+  for (unsigned nbits : {1u, 2u, 7u, 11u, 33u, 54u, 57u}) {
+    std::vector<std::int64_t> values(64);
+    for (auto& v : values) {
+      const std::uint64_t raw = gen();
+      std::int64_t s = static_cast<std::int64_t>(raw);
+      if (nbits < 64) {
+        const std::int64_t hi = (std::int64_t{1} << (nbits - 1)) - 1;
+        const std::int64_t lo = -(std::int64_t{1} << (nbits - 1));
+        s = lo + static_cast<std::int64_t>(raw % (hi - lo + 1));
+      }
+      v = s;
+    }
+    BitWriter ref, fast;
+    ref.write_bits(0x5, 3);  // misalign both streams
+    fast.write_bits(0x5, 3);
+    for (std::int64_t v : values) ref.write_signed(v, nbits);
+    fast.write_signed_run(values, nbits);
+    const auto ref_bytes = ref.take();
+    EXPECT_EQ(fast.take(), ref_bytes) << "nbits=" << nbits;
+
+    BitReader r(ref_bytes);
+    r.skip_bits(3);
+    std::vector<std::int64_t> back(values.size());
+    r.read_signed_run(nbits, back);
+    EXPECT_EQ(back, values) << "nbits=" << nbits;
+  }
+}
+
+TEST(BitReader, SignedRunThrowsOnTruncatedPayload) {
+  BitWriter w;
+  for (int i = 0; i < 4; ++i) w.write_signed(-3, 11);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  std::vector<std::int64_t> out(5);  // one value more than was written
+  EXPECT_THROW(r.read_signed_run(11, out), std::out_of_range);
+}
+
+TEST(BitReader, UnaryConventionMatchesWriter) {
+  // Pin the wire convention: write_unary(v) emits v one-bits then a
+  // terminating zero-bit, and read_unary returns v consuming all v+1
+  // bits.  The word-scan fast path must preserve this exactly, including
+  // runs longer than one peek window (> 57 ones).
+  for (unsigned v : {0u, 1u, 7u, 56u, 57u, 58u, 130u}) {
+    BitWriter w;
+    w.write_bit(true);  // misalign
+    w.write_unary(v);
+    w.write_bits(0x2A, 7);  // sentinel proving the cursor lands right
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    EXPECT_TRUE(r.read_bit());
+    EXPECT_EQ(r.read_unary(), v);
+    EXPECT_EQ(r.read_bits(7), 0x2Au);
+  }
+}
+
+TEST(BitReader, UnaryThrowsOnMissingTerminator) {
+  const std::vector<std::uint8_t> ones(16, 0xFF);
+  BitReader r(ones);
+  EXPECT_THROW(r.read_unary(), std::out_of_range);
+}
+
+TEST(BitReader, PeekIsNonConsumingAndZeroPadsPastEnd) {
+  BitWriter w;
+  w.write_bits(0x1ABCD, 17);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.peek_bits(17), 0x1ABCDu);
+  EXPECT_EQ(r.peek_bits(17), 0x1ABCDu);  // did not consume
+  EXPECT_EQ(r.bit_position(), 0u);
+  // Peeking past the 24-bit span returns zero bits, never throws.
+  r.consume(17);
+  EXPECT_EQ(r.peek_bits(BitReader::kMaxPeek), 0u);
+  EXPECT_FALSE(r.overrun());
+}
+
+TEST(BitReader, TakeAndConsumeDeferBoundsToCheckOverrun) {
+  BitWriter w;
+  w.write_bits(0xBEEF, 16);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.take_bits(16), 0xBEEFu);
+  EXPECT_NO_THROW(r.check_overrun());
+  // Speculative reads past the end yield zero bits and set overrun; only
+  // the hoisted check throws.
+  EXPECT_EQ(r.take_bits(13), 0u);
+  EXPECT_TRUE(r.overrun());
+  EXPECT_THROW(r.check_overrun(), std::out_of_range);
+}
+
+TEST(BitReader, TakeBitsWideWidths) {
+  BitWriter w;
+  w.write_bit(true);  // odd offset
+  w.write_bits(0xFEDCBA9876543210ull, 64);
+  w.write_signed(-12345, 60);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.take_bits(64), 0xFEDCBA9876543210ull);
+  EXPECT_EQ(r.take_signed(60), -12345);
+  EXPECT_NO_THROW(r.check_overrun());
+}
+
+TEST(BitWriter, FinishViewAndRestartReuseBuffer) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  const auto view = w.finish_view();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], 0xABu);
+  w.restart();
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write_bits(0xCD, 8);
+  const auto view2 = w.finish_view();
+  ASSERT_EQ(view2.size(), 1u);
+  EXPECT_EQ(view2[0], 0xCDu);
+}
+
 TEST(BitReader, ThrowsPastEnd) {
   const std::vector<std::uint8_t> one{0xAB};
   BitReader r(one);

@@ -1,0 +1,208 @@
+// Differential fuzz: the table-driven ECQ fast path (ecq_encode_fast /
+// ecq_decode_fast) against the reference bit-by-bit tree walks
+// (ecq_encode / ecq_decode), over every tree, the full EC_b,max range,
+// and random symbol sequences starting at odd bit offsets.  The fast
+// path exists only as an optimization, so any divergence -- in emitted
+// bits, decoded values, or cursor position -- is a bug by definition.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "core/ecq_tree.h"
+#include "core/quantize.h"
+
+namespace pastri {
+namespace {
+
+constexpr EcqTree kAllTrees[] = {EcqTree::Tree1, EcqTree::Tree2,
+                                 EcqTree::Tree3, EcqTree::Tree4,
+                                 EcqTree::Tree5};
+
+/// A random ECQ sequence valid for `ecb_max`: every value's bin fits,
+/// i.e. |v| <= 2^(ecb_max-1) - 1 (for ecb_max = 2 that is exactly the
+/// {0, +1, -1} alphabet Tree 5's small mode requires).  Mostly zeros and
+/// +-1 like real residuals, with a tail of larger escapes.
+std::vector<std::int64_t> random_sequence(std::mt19937_64& gen,
+                                          unsigned ecb_max,
+                                          std::size_t count) {
+  const std::int64_t max_mag =
+      ecb_max >= 63 ? (std::int64_t{1} << 62)
+                    : (std::int64_t{1} << (ecb_max - 1)) - 1;
+  std::vector<std::int64_t> seq(count);
+  for (auto& v : seq) {
+    const std::uint64_t roll = gen() % 100;
+    if (roll < 55) {
+      v = 0;
+    } else if (roll < 80) {
+      v = (gen() & 1) ? 1 : -1;
+    } else {
+      const std::int64_t mag =
+          static_cast<std::int64_t>(gen() % (max_mag + 1));
+      v = (gen() & 1) ? mag : -mag;
+    }
+  }
+  return seq;
+}
+
+TEST(EcqDiffFuzz, FastEncodeBitIdenticalToReference) {
+  std::mt19937_64 gen(2024);
+  for (EcqTree tree : kAllTrees) {
+    for (unsigned ecb_max = 2; ecb_max <= 52; ++ecb_max) {
+      const auto seq = random_sequence(gen, ecb_max, 200);
+      // Odd starting offset: the packers must be correct at any phase.
+      const unsigned offset = 1 + static_cast<unsigned>(gen() % 7);
+      bitio::BitWriter ref, fast;
+      ref.write_bits(0, offset);
+      fast.write_bits(0, offset);
+      for (std::int64_t v : seq) ecq_encode(ref, tree, v, ecb_max);
+      for (std::int64_t v : seq) ecq_encode_fast(fast, tree, v, ecb_max);
+      ASSERT_EQ(ref.bit_count(), fast.bit_count())
+          << ecq_tree_name(tree) << " ecb_max=" << ecb_max;
+      ASSERT_EQ(ref.take(), fast.take())
+          << ecq_tree_name(tree) << " ecb_max=" << ecb_max;
+    }
+  }
+}
+
+TEST(EcqDiffFuzz, FastDecodeMatchesReferenceValuesAndCursor) {
+  std::mt19937_64 gen(4096);
+  for (EcqTree tree : kAllTrees) {
+    for (unsigned ecb_max = 2; ecb_max <= 52; ++ecb_max) {
+      const auto seq = random_sequence(gen, ecb_max, 200);
+      const unsigned offset = 1 + static_cast<unsigned>(gen() % 7);
+      bitio::BitWriter w;
+      w.write_bits(0, offset);
+      for (std::int64_t v : seq) ecq_encode(w, tree, v, ecb_max);
+      const auto bytes = w.take();
+
+      bitio::BitReader ref(bytes);
+      bitio::BitReader fast(bytes);
+      ref.skip_bits(offset);
+      fast.skip_bits(offset);
+      const EcqDecodeLut& lut = ecq_decode_lut(tree, ecb_max);
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        const std::int64_t want = ecq_decode(ref, tree, ecb_max);
+        const std::int64_t got = ecq_decode_fast(fast, lut, tree, ecb_max);
+        ASSERT_EQ(got, want)
+            << ecq_tree_name(tree) << " ecb_max=" << ecb_max << " i=" << i;
+        ASSERT_EQ(fast.bit_position(), ref.bit_position())
+            << ecq_tree_name(tree) << " ecb_max=" << ecb_max << " i=" << i;
+        ASSERT_EQ(want, seq[i]);
+      }
+      fast.check_overrun();
+    }
+  }
+}
+
+TEST(EcqDiffFuzz, CrossDecodeFastStreamWithReferenceDecoder) {
+  // The two encoders must be interchangeable with the two decoders in
+  // every pairing, not just fast-with-fast and ref-with-ref.
+  std::mt19937_64 gen(777);
+  for (EcqTree tree : kAllTrees) {
+    for (unsigned ecb_max : {2u, 3u, 6u, 11u, 27u, 52u}) {
+      const auto seq = random_sequence(gen, ecb_max, 300);
+      bitio::BitWriter w;
+      w.write_bit(true);  // odd offset
+      for (std::int64_t v : seq) ecq_encode_fast(w, tree, v, ecb_max);
+      const auto bytes = w.take();
+      bitio::BitReader r(bytes);
+      EXPECT_TRUE(r.read_bit());
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        ASSERT_EQ(ecq_decode(r, tree, ecb_max), seq[i])
+            << ecq_tree_name(tree) << " ecb_max=" << ecb_max << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(EcqDiffFuzz, RunDecoderMatchesPerSymbolDecodeAndCursor) {
+  // The windowed whole-block decoder must land on the same values and
+  // the same final cursor as symbol-at-a-time decoding, for every tree,
+  // the full ecb_max range, odd offsets, and with trailing bits after
+  // the run (so the window cannot over-consume).
+  std::mt19937_64 gen(90210);
+  for (EcqTree tree : kAllTrees) {
+    for (unsigned ecb_max : {2u, 3u, 5u, 9u, 17u, 33u, 52u}) {
+      const auto seq = random_sequence(gen, ecb_max, 300);
+      const unsigned offset = 1 + static_cast<unsigned>(gen() % 7);
+      bitio::BitWriter w;
+      w.write_bits(0, offset);
+      for (std::int64_t v : seq) ecq_encode(w, tree, v, ecb_max);
+      w.write_bits(0x15, 5);  // trailing bits the run must not consume
+      const auto bytes = w.take();
+
+      const EcqDecodeLut& lut = ecq_decode_lut(tree, ecb_max);
+      bitio::BitReader ref(bytes);
+      bitio::BitReader run(bytes);
+      ref.skip_bits(offset);
+      run.skip_bits(offset);
+      std::vector<std::int64_t> want(seq.size()), got(seq.size());
+      for (auto& v : want) v = ecq_decode(ref, tree, ecb_max);
+      ecq_decode_run(run, lut, tree, ecb_max, got);
+      run.check_overrun();
+      ASSERT_EQ(got, want) << ecq_tree_name(tree) << " ecb_max=" << ecb_max;
+      ASSERT_EQ(run.bit_position(), ref.bit_position())
+          << ecq_tree_name(tree) << " ecb_max=" << ecb_max;
+      ASSERT_EQ(want, seq);
+    }
+  }
+}
+
+TEST(EcqDiffFuzz, RunDecoderThrowsOnTruncatedPayload) {
+  // Chopping the stream mid-run must surface as check_overrun throwing,
+  // never UB: the window path stops at the last 8 bytes and the reader's
+  // speculative tail path zero-pads then overruns.
+  std::mt19937_64 gen(5150);
+  const unsigned ecb_max = 9;
+  const auto seq = random_sequence(gen, ecb_max, 200);
+  bitio::BitWriter w;
+  for (std::int64_t v : seq) ecq_encode(w, EcqTree::Tree5, v, ecb_max);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() / 2);
+
+  const EcqDecodeLut& lut = ecq_decode_lut(EcqTree::Tree5, ecb_max);
+  bitio::BitReader r(bytes);
+  std::vector<std::int64_t> out(seq.size());
+  ecq_decode_run(r, lut, EcqTree::Tree5, ecb_max, out);
+  EXPECT_TRUE(r.overrun());
+  EXPECT_THROW(r.check_overrun(), std::out_of_range);
+}
+
+TEST(EcqDiffFuzz, Tree4DeepBinsFallBackCorrectly) {
+  // Bins deeper than the 11-bit table (|v| >= 32 for Tree 4) must hit
+  // the slow-path miss entry and still decode exactly.
+  std::mt19937_64 gen(31337);
+  const unsigned ecb_max = 40;
+  std::vector<std::int64_t> seq;
+  for (int i = 0; i < 200; ++i) {
+    // Magnitudes spanning every bin from the table edge upward.
+    const unsigned bin = 6 + static_cast<unsigned>(gen() % 34);
+    const std::int64_t lo = std::int64_t{1} << (bin - 2);
+    const std::int64_t hi = (std::int64_t{1} << (bin - 1)) - 1;
+    const std::int64_t mag =
+        lo + static_cast<std::int64_t>(gen() % (hi - lo + 1));
+    seq.push_back((gen() & 1) ? mag : -mag);
+    EXPECT_EQ(ecq_bin(seq.back()), bin);
+  }
+  bitio::BitWriter ref, fast;
+  for (std::int64_t v : seq) ecq_encode(ref, EcqTree::Tree4, v, ecb_max);
+  for (std::int64_t v : seq) {
+    ecq_encode_fast(fast, EcqTree::Tree4, v, ecb_max);
+  }
+  const auto bytes = ref.take();
+  ASSERT_EQ(fast.take(), bytes);
+
+  bitio::BitReader r(bytes);
+  const EcqDecodeLut& lut = ecq_decode_lut(EcqTree::Tree4, ecb_max);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(ecq_decode_fast(r, lut, EcqTree::Tree4, ecb_max), seq[i])
+        << i;
+  }
+  r.check_overrun();
+}
+
+}  // namespace
+}  // namespace pastri
