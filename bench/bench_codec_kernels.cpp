@@ -1,13 +1,15 @@
 // bench_codec_kernels - Before/after rows for the word-at-a-time bit
-// I/O, the table-driven ECQ decode, and the allocation-free block codec
-// hot path.  Each row pits the current kernel against a faithful local
-// reimplementation of the code it replaced (byte-loop bit reads,
-// symbol-by-symbol tree walks, allocate-per-block decode), on the same
+// I/O, the table-driven ECQ decode, the allocation-free block codec
+// hot path, and the pass-fused SIMD encode pipeline.  Each row pits the
+// current kernel against a faithful local reimplementation of the code
+// it replaced (byte-loop bit reads, symbol-by-symbol tree walks,
+// allocate-per-block decode, multi-pass scalar encode), on the same
 // bytes, so the speedup column isolates the optimization itself.
 //
-// Results go to BENCH_codec_kernels.json (GB/s for byte-oriented rows,
-// symbols/s for the ECQ rows).  PASTRI_BENCH_QUICK=1 shrinks the inputs
-// for the ctest `Perf` smoke run.
+// Results go to BENCH_codec_kernels.json at the repo root (GB/s for
+// byte-oriented rows, symbols/s for the ECQ rows).  PASTRI_BENCH_QUICK=1
+// shrinks the inputs for the ctest `Perf` smoke run.
+#include <cstring>
 #include <fstream>
 #include <random>
 
@@ -16,6 +18,7 @@
 #include "bitio/bit_writer.h"
 #include "bitio/varint.h"
 #include "core/pastri.h"
+#include "core/simd/simd.h"
 
 using namespace pastri;
 
@@ -141,6 +144,167 @@ void reference_decompress_block(ByteLoopReader& r, const BlockSpec& spec,
   dequantize_block(qb, spec, out);
 }
 
+// ---- Pre-SIMD encode path (the code the fused kernels replaced) -------
+//
+// Faithful reimplementation of the multi-pass scalar compress_block:
+// early-exit zero probe, single-function select_pattern with its
+// per-call metric_val.assign clear, a separate pattern-extremum rescan
+// inside quantize, scalar quantize/residual loops, a full
+// ecq_code_length walk for the dense-vs-sparse decision, and per-symbol
+// ecq_encode_fast dispatch.  Absolute bound mode (the paper's) only,
+// which is all this bench runs.
+
+std::int64_t reference_round_to_i64(double x) {
+  const double r = std::nearbyint(x);
+  if (r >= 9.2e18) return std::int64_t{1} << 62;
+  if (r <= -9.2e18) return -(std::int64_t{1} << 62);
+  return static_cast<std::int64_t>(std::llround(x));
+}
+
+std::int64_t reference_clamp_signed(std::int64_t v, unsigned bits) {
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  return std::clamp(v, lo, hi);
+}
+
+void reference_select_pattern_er(std::span<const double> block,
+                                 const BlockSpec& spec,
+                                 PatternSelection& sel,
+                                 std::vector<double>& metric_val) {
+  const std::size_t nsb = spec.num_sub_blocks;
+  const std::size_t sbs = spec.sub_block_size;
+  sel.pattern_sub_block = 0;
+  sel.scales.assign(nsb, 0.0);
+  auto sub = [&](std::size_t j) { return block.subspan(j * sbs, sbs); };
+  metric_val.assign(nsb, 0.0);
+  std::size_t er_index = 0;
+  double best = -1.0;
+  for (std::size_t j = 0; j < nsb; ++j) {
+    auto s = sub(j);
+    for (std::size_t i = 0; i < sbs; ++i) {
+      const double a = std::abs(s[i]);
+      if (a > metric_val[j]) metric_val[j] = a;
+      if (a > best) {
+        best = a;
+        er_index = i;
+      }
+    }
+  }
+  sel.pattern_sub_block = static_cast<std::size_t>(
+      std::max_element(metric_val.begin(), metric_val.end()) -
+      metric_val.begin());
+  const auto pattern = sub(sel.pattern_sub_block);
+  if (metric_val[sel.pattern_sub_block] == 0.0) return;
+  for (std::size_t j = 0; j < nsb; ++j) {
+    const double s = sub(j)[er_index] / pattern[er_index];
+    sel.scales[j] =
+        std::isfinite(s) ? std::clamp(s, -1.0, 1.0) : 0.0;
+  }
+}
+
+void reference_quantize_block(std::span<const double> block,
+                              const BlockSpec& spec,
+                              const PatternSelection& sel,
+                              double error_bound, QuantizedBlock& qb,
+                              std::vector<double>& p_hat,
+                              std::vector<double>& s_hat) {
+  const std::size_t nsb = spec.num_sub_blocks;
+  const std::size_t sbs = spec.sub_block_size;
+  const auto pattern = block.subspan(sel.pattern_sub_block * sbs, sbs);
+  double p_ext = 0.0;
+  for (double v : pattern) p_ext = std::max(p_ext, std::abs(v));
+  qb.spec = make_quant_spec(p_ext, error_bound);
+  qb.ecb_max = 1;
+  qb.num_outliers = 0;
+  qb.pq.resize(sbs);
+  p_hat.resize(sbs);
+  for (std::size_t i = 0; i < sbs; ++i) {
+    std::int64_t v =
+        reference_round_to_i64(pattern[i] / qb.spec.pattern_binsize);
+    v = reference_clamp_signed(v, qb.spec.pattern_bits);
+    qb.pq[i] = v;
+    p_hat[i] = static_cast<double>(v) * qb.spec.pattern_binsize;
+  }
+  qb.sq.resize(nsb);
+  s_hat.resize(nsb);
+  for (std::size_t j = 0; j < nsb; ++j) {
+    std::int64_t v =
+        reference_round_to_i64(sel.scales[j] / qb.spec.scale_binsize);
+    v = reference_clamp_signed(v, qb.spec.scale_bits);
+    qb.sq[j] = v;
+    s_hat[j] = static_cast<double>(v) * qb.spec.scale_binsize;
+  }
+  qb.ecq.resize(block.size());
+  for (std::size_t j = 0; j < nsb; ++j) {
+    for (std::size_t i = 0; i < sbs; ++i) {
+      const std::size_t idx = j * sbs + i;
+      const double approx = s_hat[j] * p_hat[i];
+      const std::int64_t e =
+          reference_round_to_i64((block[idx] - approx) / qb.spec.ec_binsize);
+      qb.ecq[idx] = e;
+      if (e != 0) {
+        ++qb.num_outliers;
+        qb.ecb_max = std::max(qb.ecb_max, ecq_bin(e));
+      }
+    }
+  }
+}
+
+void reference_compress_block(std::span<const double> block,
+                              const BlockSpec& spec, const Params& params,
+                              bitio::BitWriter& w, CodecWorkspace& ws) {
+  bool zero_block = true;
+  for (double v : block) {
+    if (std::abs(v) > params.error_bound) {
+      zero_block = false;
+      break;
+    }
+  }
+  if (zero_block) {
+    w.write_bit(true);
+    return;
+  }
+  w.write_bit(false);
+  reference_select_pattern_er(block, spec, ws.selection, ws.metric_scratch);
+  QuantizedBlock& qb = ws.quantized;
+  reference_quantize_block(block, spec, ws.selection, params.error_bound,
+                           qb, ws.p_hat, ws.s_hat);
+  bool sparse = false;
+  if (qb.ecb_max >= 2) {
+    const std::size_t dense_bits =
+        ecq_encoded_bits(params.tree, qb.ecq, qb.ecb_max);
+    const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
+    std::size_t nol_varint_bits = 8;
+    for (std::size_t n = qb.num_outliers; n >= 0x80; n >>= 7) {
+      nol_varint_bits += 8;
+    }
+    const std::size_t sparse_bits =
+        nol_varint_bits + qb.num_outliers * (idx_bits + qb.ecb_max);
+    sparse = params.allow_sparse && sparse_bits < dense_bits;
+  }
+  w.write_bits(qb.spec.pattern_bits, 6);
+  w.write_signed_run(qb.pq, qb.spec.pattern_bits);
+  w.write_signed_run(qb.sq, qb.spec.scale_bits);
+  w.write_bits(qb.ecb_max, 6);
+  if (qb.ecb_max >= 2) {
+    w.write_bit(sparse);
+    if (sparse) {
+      const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
+      bitio::write_varint(w, qb.num_outliers);
+      for (std::size_t i = 0; i < qb.ecq.size(); ++i) {
+        if (qb.ecq[i] != 0) {
+          w.write_bits(i, idx_bits);
+          w.write_signed(qb.ecq[i], qb.ecb_max);
+        }
+      }
+    } else {
+      for (std::int64_t v : qb.ecq) {
+        ecq_encode_fast(w, params.tree, v, qb.ecb_max);
+      }
+    }
+  }
+}
+
 struct Row {
   const char* name;
   double before_s = 0.0;
@@ -158,8 +322,8 @@ double speedup(const Row& r) { return r.before_s / r.after_s; }
 int main() {
   bench::print_header(
       "Codec kernels -- word-at-a-time bit I/O, LUT ECQ decode, "
-      "allocation-free block decode",
-      "Section IV-C rates (decode-side kernel cost)");
+      "allocation-free block decode, fused SIMD encode",
+      "Section IV-C rates (per-block kernel cost)");
   const int reps = bench::quick_mode() ? 3 : 7;
   std::vector<Row> rows;
 
@@ -285,9 +449,62 @@ int main() {
     rows.push_back(row);
   }
 
+  // ---- Row 4: full block compress, multi-pass scalar vs fused SIMD ----
+  {
+    const auto ds = bench::load_bench_dataset(
+        {"benzene", "(dd|dd)", 1296, 250, 1296});
+    const BlockSpec spec = bench::block_spec_of(ds);
+    Params params;
+    const std::size_t bs = spec.block_size();
+    const std::size_t nb = ds.values.size() / bs;
+    const auto block_at = [&](std::size_t b) {
+      return std::span<const double>(ds.values).subspan(b * bs, bs);
+    };
+
+    Row row{"full block compress (dd|dd)"};
+    CodecWorkspace ws;
+    bitio::BitWriter w_before;
+    row.before_s = bench::best_time_seconds(
+        [&] {
+          w_before.restart();
+          for (std::size_t b = 0; b < nb; ++b) {
+            reference_compress_block(block_at(b), spec, params, w_before,
+                                     ws);
+          }
+        },
+        reps);
+    bitio::BitWriter w_after;
+    row.after_s = bench::best_time_seconds(
+        [&] {
+          w_after.restart();
+          for (std::size_t b = 0; b < nb; ++b) {
+            compress_block(block_at(b), spec, params, w_after, nullptr,
+                           ws);
+          }
+        },
+        reps);
+    // The fused SIMD path must emit the very bytes the old path did.
+    const auto before_bytes = w_before.finish_view();
+    const auto after_bytes = w_after.finish_view();
+    if (before_bytes.size() != after_bytes.size() ||
+        std::memcmp(before_bytes.data(), after_bytes.data(),
+                    before_bytes.size()) != 0) {
+      std::fprintf(stderr, "FATAL: fused encoder diverged from scalar\n");
+      return 1;
+    }
+    const double raw_bytes = static_cast<double>(nb * bs * sizeof(double));
+    row.gbps_before = raw_bytes / row.before_s / 1e9;
+    row.gbps_after = raw_bytes / row.after_s / 1e9;
+    row.symbols_per_s_before = static_cast<double>(nb * bs) / row.before_s;
+    row.symbols_per_s_after = static_cast<double>(nb * bs) / row.after_s;
+    rows.push_back(row);
+    std::printf("encode backend: %s\n",
+                simd::backend_name(simd::active_backend()));
+  }
+
   std::printf("%-38s %10s %10s %9s\n", "kernel", "before", "after",
               "speedup");
-  std::ofstream json("BENCH_codec_kernels.json");
+  std::ofstream json(bench::artifact_path("BENCH_codec_kernels.json"));
   json << "[\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -309,6 +526,7 @@ int main() {
   }
   json << "]\n";
   bench::print_rule();
-  std::printf("wrote BENCH_codec_kernels.json\n");
+  std::printf("wrote %s\n",
+              bench::artifact_path("BENCH_codec_kernels.json").c_str());
   return 0;
 }

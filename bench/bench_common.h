@@ -113,6 +113,18 @@ inline double best_time_seconds(const std::function<void()>& fn,
   return best;
 }
 
+/// Where to write a checked-in bench artifact (BENCH_*.json): the repo
+/// root when the build exported it (bench/CMakeLists.txt defines
+/// PASTRI_SOURCE_DIR), falling back to the working directory so the
+/// binaries still run standalone.
+inline std::string artifact_path(const char* filename) {
+#ifdef PASTRI_SOURCE_DIR
+  return std::string(PASTRI_SOURCE_DIR) + "/" + filename;
+#else
+  return filename;
+#endif
+}
+
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::fputc('-', stdout);
   std::fputc('\n', stdout);

@@ -34,7 +34,7 @@ int main() {
 
   std::printf("%-9s %12s %12s %12s %12s %12s\n", "threads", "comp MB/s",
               "decomp MB/s", "strm-c MB/s", "strm-d MB/s", "obs ovh %");
-  std::ofstream json("BENCH_omp_scaling.json");
+  std::ofstream json(bench::artifact_path("BENCH_omp_scaling.json"));
   json << "[\n";
   std::vector<std::uint8_t> reference;
   bool first = true;

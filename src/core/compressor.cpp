@@ -37,6 +37,7 @@
 #include "bitio/varint.h"
 #include "core/format_detail.h"
 #include "core/pastri.h"
+#include "core/simd/simd.h"
 #include "core/stream.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -62,6 +63,8 @@ struct CoreMetrics {
       obs::registry().histogram(obs::kCoreEcqDecodeNs);
   obs::Counter ecq_dense_symbols =
       obs::registry().counter(obs::kCoreEcqDenseSymbols);
+  obs::Counter encode_bytes =
+      obs::registry().counter(obs::kCoreEncodeBytes);
 };
 
 const CoreMetrics& core_metrics() {
@@ -91,26 +94,28 @@ struct BlockEncoding {
 /// + zero scan) fuse into one.  Absolute mode keeps the early-exit zero
 /// probe instead: it needs no extremum and usually stops at the first
 /// element.
+///
+/// This is the non-ER path only: with the paper's ER metric the fused
+/// plan in compress_block reuses the per-sub-block maxima from
+/// compute_metric_values, whose maximum IS the extremum, so no separate
+/// bound scan runs at all.
 struct BoundPlan {
   double eb = 0.0;
   bool zero_block = false;
 };
 
 BoundPlan plan_bound(std::span<const double> block, const Params& params) {
+  const simd::EncodeKernels& kern = simd::encode_kernels();
   if (params.bound_mode == BoundMode::BlockRelative) {
-    double extremum = 0.0;
-    for (double v : block) extremum = std::max(extremum, std::abs(v));
+    const double extremum = kern.abs_max(block.data(), block.size());
     const double eb = relative_block_bound(params.error_bound, extremum);
     // eb scales with the extremum, so only exact-zero blocks qualify.
     return {eb, extremum <= eb};
   }
   const double eb = params.error_bound;
-  for (double v : block) {
-    if (std::abs(v) > eb) return {eb, false};
-  }
   // Screened quartets, far-field blocks below the bound: reconstructing
   // zeros already satisfies the error bound.
-  return {eb, true};
+  return {eb, !kern.any_abs_above(block.data(), block.size(), eb)};
 }
 
 CodecWorkspace& tls_workspace() {
@@ -133,8 +138,15 @@ BlockEncoding plan_block(const QuantizedBlock& qb, const BlockSpec& spec,
   bits += 6;  // EC_b,max
   if (qb.ecb_max >= 2) {
     bits += 1;  // sparse flag
+    // Trees 1/2/3/5 price symbols by class only, so the dense size is
+    // O(1) from the counts the fused residual kernel accumulated; Tree 4
+    // prices by magnitude bin and keeps the walk.
     const std::size_t dense_bits =
-        ecq_encoded_bits(params.tree, qb.ecq, qb.ecb_max);
+        ecq_dense_bits_countable(params.tree)
+            ? ecq_encoded_bits_counted(params.tree, qb.ecq.size(),
+                                       qb.num_outliers, qb.num_plus1,
+                                       qb.num_minus1, qb.ecb_max)
+            : ecq_encoded_bits(params.tree, qb.ecq, qb.ecb_max);
     const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
     // NOL is a varint (8 bits per 7 payload bits), then one
     // (index, value) record per outlier -- Eq. (20)'s NOL term.
@@ -164,11 +176,49 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
   assert(block.size() == spec.block_size());
   const CoreMetrics& metrics = core_metrics();
   metrics.blocks_encoded.inc();
-  const BoundPlan bound = plan_bound(block, params);
-  const double eb = bound.eb;
+  const std::size_t start_bits = w.bit_count();
 
-  if (bound.zero_block) {
+  // Fused single-pass plan (the ER fast path): stage 1 of pattern
+  // selection computes the per-sub-block absolute maxima, whose maximum
+  // is exactly the block extremum the bound plan needs -- one scan
+  // serves the bound, the zero decision, and the pattern choice, and
+  // stage 2 never rescans the block.  The selected metric value doubles
+  // as the pattern extremum for quantization, killing that rescan too.
+  // Non-ER metrics keep the two-pass plan (their metric values are not
+  // extrema).
+  const bool er_fused = params.metric == ScalingMetric::ER;
+  PatternSelection& sel = ws.selection;
+  double eb = params.error_bound;
+  double pattern_extremum = 0.0;
+  bool zero_block;
+  if (er_fused) {
+    obs::ScopedTimer timer(metrics.pattern_select_ns);
+    compute_metric_values(block, spec, params.metric, ws.metric_scratch);
+    double extremum = 0.0;
+    for (double m : ws.metric_scratch) {
+      if (m > extremum) extremum = m;
+    }
+    if (params.bound_mode == BoundMode::BlockRelative) {
+      eb = relative_block_bound(params.error_bound, extremum);
+    }
+    zero_block = extremum <= eb;
+    pattern_extremum = extremum;
+    if (!zero_block) {
+      finish_selection(block, spec, params.metric, ws.metric_scratch, sel);
+    }
+  } else {
+    const BoundPlan bound = plan_bound(block, params);
+    eb = bound.eb;
+    zero_block = bound.zero_block;
+    if (!zero_block) {
+      obs::ScopedTimer timer(metrics.pattern_select_ns);
+      select_pattern(block, spec, params.metric, sel, ws.metric_scratch);
+    }
+  }
+
+  if (zero_block) {
     w.write_bit(true);
+    metrics.encode_bytes.add((w.bit_count() - start_bits + 7) / 8);
     if (stats) {
       ++stats->blocks_by_type[0];
       stats->header_bits += 1;
@@ -182,15 +232,15 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
     w.write_bits(static_cast<std::uint64_t>(e - 1 + kEbExpBias), 12);
   }
 
-  PatternSelection& sel = ws.selection;
-  {
-    obs::ScopedTimer timer(metrics.pattern_select_ns);
-    select_pattern(block, spec, params.metric, sel, ws.metric_scratch);
-  }
   QuantizedBlock& qb = ws.quantized;
   {
     obs::ScopedTimer timer(metrics.quantize_ns);
-    quantize_block(block, spec, sel, eb, qb, ws.p_hat, ws.s_hat);
+    if (er_fused) {
+      quantize_block_with_extremum(block, spec, sel, eb, pattern_extremum,
+                                   qb, ws.p_hat, ws.s_hat);
+    } else {
+      quantize_block(block, spec, sel, eb, qb, ws.p_hat, ws.s_hat);
+    }
   }
   const BlockEncoding enc = plan_block(qb, spec, params, false);
 
@@ -214,12 +264,13 @@ void compress_block(std::span<const double> block, const BlockSpec& spec,
         }
       }
     } else {
-      for (std::int64_t v : qb.ecq) {
-        ecq_encode_fast(w, params.tree, v, qb.ecb_max);
-      }
+      ecq_encode_run(w, params.tree, qb.ecq, qb.ecb_max);
     }
     ecq_bits = w.bit_count() - before;
   }
+  // Payload size at block granularity (bits are byte-padded by the
+  // container's per-block alignment, so round up).
+  metrics.encode_bytes.add((w.bit_count() - start_bits + 7) / 8);
 
   if (stats) {
     ++stats->blocks_by_type[block_type(qb.ecb_max)];

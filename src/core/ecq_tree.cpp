@@ -161,6 +161,34 @@ std::size_t ecq_encoded_bits(EcqTree t, std::span<const std::int64_t> ecq,
   return bits;
 }
 
+std::size_t ecq_encoded_bits_counted(EcqTree t, std::size_t n,
+                                     std::size_t num_outliers,
+                                     std::size_t num_plus1,
+                                     std::size_t num_minus1,
+                                     unsigned ecb_max) {
+  assert(ecq_dense_bits_countable(t));
+  assert(num_plus1 + num_minus1 <= num_outliers && num_outliers <= n);
+  const std::size_t zeros = n - num_outliers;
+  const std::size_t escapes = num_outliers - num_plus1 - num_minus1;
+  switch (t) {
+    case EcqTree::Tree1:
+      return zeros + num_outliers * (1 + ecb_max);
+    case EcqTree::Tree2:
+      return zeros + num_plus1 * 2 + num_minus1 * 3 +
+             escapes * (3 + ecb_max);
+    case EcqTree::Tree3:
+      return zeros + (num_plus1 + num_minus1) * 3 +
+             escapes * (2 + ecb_max);
+    case EcqTree::Tree5:
+      if (ecb_max <= 2) return zeros + num_outliers * 2;
+      return ecq_encoded_bits_counted(EcqTree::Tree3, n, num_outliers,
+                                      num_plus1, num_minus1, ecb_max);
+    case EcqTree::Tree4:
+      break;  // magnitude-dependent: caller must walk
+  }
+  throw std::invalid_argument("dense bits not countable for this tree");
+}
+
 // ---- Table-driven fast path --------------------------------------------
 
 namespace {
@@ -347,6 +375,77 @@ void ecq_encode_fast(bitio::BitWriter& w, EcqTree t, std::int64_t v,
         }
       } else {
         ecq_encode_fast(w, EcqTree::Tree3, v, ecb_max);
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown ECQ tree");
+}
+
+void ecq_encode_run(bitio::BitWriter& w, EcqTree t,
+                    std::span<const std::int64_t> ecq, unsigned ecb_max) {
+  // Resolve Tree 5's EC_b,max adaptivity once for the whole run, then
+  // keep each per-tree loop free of the per-symbol tree switch.  Every
+  // branch issues exactly the write_bits calls ecq_encode_fast would.
+  if (t == EcqTree::Tree5 && ecb_max > 2) t = EcqTree::Tree3;
+  const auto escape = [&](std::uint64_t prefix, unsigned prefix_len,
+                          std::int64_t v) {
+    if (prefix_len + ecb_max <= 64) {
+      const std::uint64_t pack =
+          prefix | ((static_cast<std::uint64_t>(v) &
+                     (ecb_max >= 64 ? ~std::uint64_t{0} : lut_mask(ecb_max)))
+                    << prefix_len);
+      w.write_bits(pack, prefix_len + ecb_max);
+    } else {
+      w.write_bits(prefix, prefix_len);
+      w.write_signed(v, ecb_max);
+    }
+  };
+  switch (t) {
+    case EcqTree::Tree1:
+      for (std::int64_t v : ecq) {
+        if (v == 0) {
+          w.write_bit(false);
+        } else {
+          escape(0b1, 1, v);
+        }
+      }
+      return;
+    case EcqTree::Tree2:
+      for (std::int64_t v : ecq) {
+        if (v == 0) {
+          w.write_bit(false);
+        } else if (v == 1) {
+          w.write_bits(0b01, 2);
+        } else if (v == -1) {
+          w.write_bits(0b011, 3);
+        } else {
+          escape(0b111, 3, v);
+        }
+      }
+      return;
+    case EcqTree::Tree3:
+      for (std::int64_t v : ecq) {
+        if (v == 0) {
+          w.write_bit(false);
+        } else if (v == 1) {
+          w.write_bits(0b011, 3);
+        } else if (v == -1) {
+          w.write_bits(0b111, 3);
+        } else {
+          escape(0b01, 2, v);
+        }
+      }
+      return;
+    case EcqTree::Tree4:
+      for (std::int64_t v : ecq) ecq_encode_fast(w, EcqTree::Tree4, v, ecb_max);
+      return;
+    case EcqTree::Tree5:  // ecb_max <= 2: the optimal {0,+1,-1} tree
+      for (std::int64_t v : ecq) {
+        if (v == 0) {
+          w.write_bit(false);
+        } else {
+          w.write_bits(v < 0 ? 0b11 : 0b01, 2);
+        }
       }
       return;
   }

@@ -46,6 +46,30 @@ std::int64_t ecq_decode(bitio::BitReader& r, EcqTree t, unsigned ecb_max);
 std::size_t ecq_encoded_bits(EcqTree t, std::span<const std::int64_t> ecq,
                              unsigned ecb_max);
 
+/// True when the dense size under tree `t` depends only on the symbol
+/// *classes* {0, +1, -1, escape} -- every tree but Tree 4, whose unary
+/// bin index needs the full magnitude histogram.
+constexpr bool ecq_dense_bits_countable(EcqTree t) {
+  return t != EcqTree::Tree4;
+}
+
+/// O(1) dense size from the class counts the fused residual kernel
+/// accumulates (QuantizedBlock::{num_outliers,num_plus1,num_minus1}).
+/// Equals ecq_encoded_bits() for any sequence with those counts; `t`
+/// must satisfy ecq_dense_bits_countable().
+std::size_t ecq_encoded_bits_counted(EcqTree t, std::size_t n,
+                                     std::size_t num_outliers,
+                                     std::size_t num_plus1,
+                                     std::size_t num_minus1,
+                                     unsigned ecb_max);
+
+/// Encode a dense run of symbols: the whole-block form of
+/// `ecq_encode_fast` with the tree switch (and Tree 5's EC_b,max
+/// adaptivity) hoisted out of the symbol loop.  Bit-identical to
+/// calling ecq_encode_fast per symbol.
+void ecq_encode_run(bitio::BitWriter& w, EcqTree t,
+                    std::span<const std::int64_t> ecq, unsigned ecb_max);
+
 // ---- Table-driven fast path --------------------------------------------
 //
 // Decode: an 11-bit peek indexes a per-tree LUT whose entry gives the

@@ -5,17 +5,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/simd/simd.h"
+
 namespace pastri {
 namespace {
-
-/// round-half-away-from-zero to int64, saturating (residuals of
-/// pathological inputs must not overflow UB-style).
-std::int64_t round_to_i64(double x) {
-  const double r = std::nearbyint(x);
-  if (r >= 9.2e18) return std::int64_t{1} << 62;
-  if (r <= -9.2e18) return -(std::int64_t{1} << 62);
-  return static_cast<std::int64_t>(std::llround(x));
-}
 
 /// Two's-complement width for a magnitude: smallest b with |v| <= 2^(b-1)-1
 /// ... except we allow the asymmetric minimum -2^(b-1).
@@ -23,12 +16,6 @@ unsigned signed_bits_for(std::uint64_t magnitude) {
   unsigned b = 1;
   while (magnitude > (std::uint64_t{1} << (b - 1)) - 1 && b < 63) ++b;
   return b;
-}
-
-std::int64_t clamp_signed(std::int64_t v, unsigned bits) {
-  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
-  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
-  return std::clamp(v, lo, hi);
 }
 
 }  // namespace
@@ -80,55 +67,60 @@ void quantize_block(std::span<const double> block, const BlockSpec& spec,
                     const PatternSelection& sel, double error_bound,
                     QuantizedBlock& qb, std::vector<double>& p_hat,
                     std::vector<double>& s_hat) {
+  const std::size_t sbs = spec.sub_block_size;
+  const auto pattern = block.subspan(sel.pattern_sub_block * sbs, sbs);
+  const double p_ext =
+      simd::encode_kernels().abs_max(pattern.data(), sbs);
+  quantize_block_with_extremum(block, spec, sel, error_bound, p_ext, qb,
+                               p_hat, s_hat);
+}
+
+void quantize_block_with_extremum(std::span<const double> block,
+                                  const BlockSpec& spec,
+                                  const PatternSelection& sel,
+                                  double error_bound,
+                                  double pattern_extremum,
+                                  QuantizedBlock& qb,
+                                  std::vector<double>& p_hat,
+                                  std::vector<double>& s_hat) {
   assert(block.size() == spec.block_size());
   const std::size_t nsb = spec.num_sub_blocks;
   const std::size_t sbs = spec.sub_block_size;
   const auto pattern = block.subspan(sel.pattern_sub_block * sbs, sbs);
+  const simd::EncodeKernels& kern = simd::encode_kernels();
 
-  double p_ext = 0.0;
-  for (double v : pattern) p_ext = std::max(p_ext, std::abs(v));
-
-  qb.spec = make_quant_spec(p_ext, error_bound);
-  qb.ecb_max = 1;
-  qb.num_outliers = 0;
+  qb.spec = make_quant_spec(pattern_extremum, error_bound);
 
   // Pattern: PQ = round(P / (2 EB)); clamping cannot fire because
   // pattern_bits was sized from the extremum, but keep it for safety.
   qb.pq.resize(sbs);
   p_hat.resize(sbs);
-  for (std::size_t i = 0; i < sbs; ++i) {
-    std::int64_t v = round_to_i64(pattern[i] / qb.spec.pattern_binsize);
-    v = clamp_signed(v, qb.spec.pattern_bits);
-    qb.pq[i] = v;
-    p_hat[i] = static_cast<double>(v) * qb.spec.pattern_binsize;
-  }
+  kern.quantize_signed(pattern.data(), sbs, qb.spec.pattern_binsize,
+                       qb.spec.pattern_bits, qb.spec.pattern_binsize,
+                       qb.pq.data(), p_hat.data());
 
   // Scales: SQ = round(S / S_binsize), clamped into S_b bits (S = +1 maps
   // to the largest code, costing at most one extra ECQ bin -- Eq. (23)).
   qb.sq.resize(nsb);
   s_hat.resize(nsb);
-  for (std::size_t j = 0; j < nsb; ++j) {
-    std::int64_t v = round_to_i64(sel.scales[j] / qb.spec.scale_binsize);
-    v = clamp_signed(v, qb.spec.scale_bits);
-    qb.sq[j] = v;
-    s_hat[j] = static_cast<double>(v) * qb.spec.scale_binsize;
-  }
+  kern.quantize_signed(sel.scales.data(), nsb, qb.spec.scale_binsize,
+                       qb.spec.scale_bits, qb.spec.scale_binsize,
+                       qb.sq.data(), s_hat.data());
 
-  // Error-correction codes against the *reconstructed* scaled pattern.
+  // Error-correction codes against the *reconstructed* scaled pattern,
+  // with the outlier count, max bin, and the +-1 class counts (the
+  // dense-size histogram) accumulated in the same fused pass.
   qb.ecq.resize(block.size());
-  for (std::size_t j = 0; j < nsb; ++j) {
-    for (std::size_t i = 0; i < sbs; ++i) {
-      const std::size_t idx = j * sbs + i;
-      const double approx = s_hat[j] * p_hat[i];
-      const std::int64_t e =
-          round_to_i64((block[idx] - approx) / qb.spec.ec_binsize);
-      qb.ecq[idx] = e;
-      if (e != 0) {
-        ++qb.num_outliers;
-        qb.ecb_max = std::max(qb.ecb_max, ecq_bin(e));
-      }
-    }
-  }
+  simd::EcqStats st;
+  kern.ecq_residual(block.data(), nsb, sbs, p_hat.data(), s_hat.data(),
+                    qb.spec.ec_binsize, qb.ecq.data(), &st);
+  qb.num_outliers = st.num_outliers;
+  qb.num_plus1 = st.num_plus1;
+  qb.num_minus1 = st.num_minus1;
+  qb.ecb_max =
+      st.num_outliers == 0
+          ? 1
+          : static_cast<unsigned>(std::bit_width(st.max_magnitude)) + 1;
 }
 
 void dequantize_block(const QuantizedBlock& qb, const BlockSpec& spec,

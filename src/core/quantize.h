@@ -40,6 +40,12 @@ struct QuantizedBlock {
   std::vector<std::int64_t> ecq;  ///< per-point codes, block_size entries
   unsigned ecb_max = 1;           ///< max ECQ bin (Fig. 6 x-axis)
   std::size_t num_outliers = 0;   ///< count of nonzero ECQ
+  // ECQ width histogram, accumulated by the fused residual kernel in
+  // the same pass that writes `ecq`: together with num_outliers these
+  // classes determine the dense-ECQ payload size for trees 1/2/3/5
+  // without re-walking the block (plan_block's former second pass).
+  std::size_t num_plus1 = 0;      ///< count of ECQ == +1
+  std::size_t num_minus1 = 0;     ///< count of ECQ == -1
 };
 
 /// Minimum number of bits ("bin") to represent an ECQ value per Fig. 6:
@@ -65,6 +71,19 @@ void quantize_block(std::span<const double> block, const BlockSpec& spec,
                     const PatternSelection& sel, double error_bound,
                     QuantizedBlock& qb, std::vector<double>& p_hat,
                     std::vector<double>& s_hat);
+
+/// Fused-path variant: identical to the in-place quantize_block except
+/// the caller supplies the pattern extremum it already has (for ER it
+/// is the selected metric value, the same double the rescan would
+/// produce), saving one sub-block scan per block.
+void quantize_block_with_extremum(std::span<const double> block,
+                                  const BlockSpec& spec,
+                                  const PatternSelection& sel,
+                                  double error_bound,
+                                  double pattern_extremum,
+                                  QuantizedBlock& qb,
+                                  std::vector<double>& p_hat,
+                                  std::vector<double>& s_hat);
 
 /// Inverse of quantize_block: reconstruct the block values.
 void dequantize_block(const QuantizedBlock& qb, const BlockSpec& spec,

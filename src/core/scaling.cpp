@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/simd/simd.h"
+
 namespace pastri {
 namespace {
 
@@ -37,32 +39,18 @@ const char* scaling_metric_name(ScalingMetric m) {
   return "?";
 }
 
-PatternSelection select_pattern(std::span<const double> block,
-                                const BlockSpec& spec, ScalingMetric metric) {
-  PatternSelection sel;
-  std::vector<double> scratch;
-  select_pattern(block, spec, metric, sel, scratch);
-  return sel;
-}
-
-void select_pattern(std::span<const double> block, const BlockSpec& spec,
-                    ScalingMetric metric, PatternSelection& sel,
-                    std::vector<double>& metric_val) {
+void compute_metric_values(std::span<const double> block,
+                           const BlockSpec& spec, ScalingMetric metric,
+                           std::vector<double>& metric_val) {
   assert(block.size() == spec.block_size());
   const std::size_t nsb = spec.num_sub_blocks;
   const std::size_t sbs = spec.sub_block_size;
+  // Resize, never assign: every branch writes all nsb entries, so the
+  // O(num_SB) clear the old code paid per call is gone (the vector's
+  // capacity lives in the CodecWorkspace across blocks).
+  metric_val.resize(nsb);
 
-  sel.pattern_sub_block = 0;
-  sel.scales.assign(nsb, 0.0);
-
-  auto sub = [&](std::size_t j) {
-    return block.subspan(j * sbs, sbs);
-  };
-
-  // Per-sub-block metric value; the pattern is the argmax.
-  metric_val.assign(nsb, 0.0);
-  // ER needs the local index of the block-wide extremum.
-  std::size_t er_index = 0;
+  auto sub = [&](std::size_t j) { return block.subspan(j * sbs, sbs); };
 
   switch (metric) {
     case ScalingMetric::FR:
@@ -71,21 +59,18 @@ void select_pattern(std::span<const double> block, const BlockSpec& spec,
       }
       break;
     case ScalingMetric::ER: {
-      double best = -1.0;
+      // Per-sub-block |.| maxima through the dispatched kernel; the
+      // AVX2 backend's compare+blend scan is bit-identical to the
+      // scalar `if (a > m) m = a` loop (SimdDiff pins this).
+      const simd::EncodeKernels& kern = simd::encode_kernels();
       for (std::size_t j = 0; j < nsb; ++j) {
-        auto s = sub(j);
-        for (std::size_t i = 0; i < sbs; ++i) {
-          const double a = std::abs(s[i]);
-          if (a > metric_val[j]) metric_val[j] = a;
-          if (a > best) {
-            best = a;
-            er_index = i;
-          }
-        }
+        metric_val[j] = kern.abs_max(block.data() + j * sbs, sbs);
       }
       break;
     }
     case ScalingMetric::AR:
+      // Order-sensitive sums stay sequential: vectorizing them would
+      // reassociate and change the metric in the last ulp.
       for (std::size_t j = 0; j < nsb; ++j) {
         double m = 0.0;
         for (double v : sub(j)) m += v;
@@ -107,13 +92,39 @@ void select_pattern(std::span<const double> block, const BlockSpec& spec,
       }
       break;
   }
+}
 
-  sel.pattern_sub_block = static_cast<std::size_t>(
+void finish_selection(std::span<const double> block, const BlockSpec& spec,
+                      ScalingMetric metric,
+                      std::span<const double> metric_val,
+                      PatternSelection& out) {
+  const std::size_t nsb = spec.num_sub_blocks;
+  const std::size_t sbs = spec.sub_block_size;
+  assert(metric_val.size() == nsb);
+
+  auto sub = [&](std::size_t j) { return block.subspan(j * sbs, sbs); };
+
+  out.pattern_sub_block = static_cast<std::size_t>(
       std::max_element(metric_val.begin(), metric_val.end()) -
       metric_val.begin());
-  const auto pattern = sub(sel.pattern_sub_block);
-  const double denom = metric_val[sel.pattern_sub_block];
-  if (denom == 0.0) return;  // all-zero (or metric-degenerate) block
+  out.scales.resize(nsb);
+  const auto pattern = sub(out.pattern_sub_block);
+  const double denom = metric_val[out.pattern_sub_block];
+  if (denom == 0.0) {  // all-zero (or metric-degenerate) block
+    std::fill(out.scales.begin(), out.scales.end(), 0.0);
+    return;
+  }
+
+  // ER's scale is the ratio at the block-wide extremum's local index:
+  // the first occurrence of the maximum inside the first sub-block that
+  // attains it -- exactly the index the old single-loop scan tracked
+  // via first-strict-improvement.
+  std::size_t er_index = 0;
+  if (metric == ScalingMetric::ER) {
+    er_index = simd::encode_kernels().find_first_abs_eq(
+        pattern.data(), sbs, denom);
+    assert(er_index < sbs);
+  }
 
   for (std::size_t j = 0; j < nsb; ++j) {
     double s = 0.0;
@@ -144,8 +155,23 @@ void select_pattern(std::span<const double> block, const BlockSpec& spec,
         break;
       }
     }
-    sel.scales[j] = clamp_scale(s);
+    out.scales[j] = clamp_scale(s);
   }
+}
+
+PatternSelection select_pattern(std::span<const double> block,
+                                const BlockSpec& spec, ScalingMetric metric) {
+  PatternSelection sel;
+  std::vector<double> scratch;
+  select_pattern(block, spec, metric, sel, scratch);
+  return sel;
+}
+
+void select_pattern(std::span<const double> block, const BlockSpec& spec,
+                    ScalingMetric metric, PatternSelection& sel,
+                    std::vector<double>& metric_val) {
+  compute_metric_values(block, spec, metric, metric_val);
+  finish_selection(block, spec, metric, metric_val, sel);
 }
 
 }  // namespace pastri

@@ -43,9 +43,35 @@ PatternSelection select_pattern(std::span<const double> block,
 
 /// In-place variant for the allocation-free hot path: `out.scales` and
 /// `scratch` (per-sub-block metric values) are resized, reusing their
-/// capacity across blocks (see CodecWorkspace in pastri.h).
+/// capacity across blocks with no per-call clears (see CodecWorkspace
+/// in pastri.h).
 void select_pattern(std::span<const double> block, const BlockSpec& spec,
                     ScalingMetric metric, PatternSelection& out,
                     std::vector<double>& scratch);
+
+// ---- Fused-scan stages (compress_block's single-pass plan) -------------
+//
+// select_pattern == stage 1 + stage 2.  The encode hot path calls them
+// separately so one block scan serves both the bound plan and pattern
+// selection: for ER (the paper's metric) the stage-1 values are the
+// per-sub-block absolute maxima, whose maximum IS the block extremum
+// plan_bound otherwise rescans for -- so the zero-block decision and
+// the BlockRelative bound come free, and stage 2 never rescans the
+// block (the ER scale lookup is O(num_SB) strided reads).
+
+/// Stage 1: per-sub-block metric values into `metric_val` (resized to
+/// num_sub_blocks; every entry is written, nothing needs clearing).
+/// Vectorized through the simd kernel table for ER.
+void compute_metric_values(std::span<const double> block,
+                           const BlockSpec& spec, ScalingMetric metric,
+                           std::vector<double>& metric_val);
+
+/// Stage 2: pick the pattern sub-block (first argmax of `metric_val`,
+/// which must be stage 1's output for the same block/metric) and fill
+/// `out.scales`.
+void finish_selection(std::span<const double> block, const BlockSpec& spec,
+                      ScalingMetric metric,
+                      std::span<const double> metric_val,
+                      PatternSelection& out);
 
 }  // namespace pastri

@@ -1,0 +1,106 @@
+// simd.cpp - Runtime backend dispatch for the encode kernel table.
+//
+// Selection runs once, at the first encode_kernels() call: the widest
+// backend both the build and the CPU support wins, unless PASTRI_SIMD
+// names one explicitly (unsupported or unknown names fall back to
+// scalar -- a forced-off path must never crash on an old CPU).  The
+// choice is published through an atomic pointer so steady-state access
+// is one relaxed load; force_backend()/refresh_backend_from_env() are
+// testing hooks that republish it.
+#include "core/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace pastri::simd {
+namespace {
+
+std::atomic<const EncodeKernels*> g_active{nullptr};
+std::atomic<Backend> g_backend{Backend::Scalar};
+
+bool cpu_has_avx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const EncodeKernels& table_for(Backend b) {
+  switch (b) {
+    case Backend::Scalar: return kScalarKernels;
+    case Backend::Avx2: return kAvx2Kernels;
+  }
+  return kScalarKernels;
+}
+
+Backend select_backend() {
+  Backend b = backend_supported(Backend::Avx2) ? Backend::Avx2
+                                               : Backend::Scalar;
+  if (const char* env = std::getenv("PASTRI_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      b = Backend::Scalar;
+    } else if (std::strcmp(env, "avx2") == 0 &&
+               backend_supported(Backend::Avx2)) {
+      b = Backend::Avx2;
+    } else if (std::strcmp(env, "avx2") != 0 && env[0] != '\0') {
+      b = Backend::Scalar;  // unknown name: the safe backend
+    }
+  }
+  return b;
+}
+
+void publish(Backend b) {
+  g_backend.store(b, std::memory_order_relaxed);
+  g_active.store(&table_for(b), std::memory_order_release);
+  // Observability: which backend the encode path dispatches to
+  // (0 = scalar, 1 = avx2), settable-once gauges are fine to re-set.
+  obs::registry().gauge(obs::kCoreSimdBackend).set(static_cast<double>(b));
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::Scalar: return "scalar";
+    case Backend::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+bool backend_supported(Backend b) {
+  switch (b) {
+    case Backend::Scalar: return true;
+    case Backend::Avx2: return avx2_compiled_in() && cpu_has_avx2();
+  }
+  return false;
+}
+
+const EncodeKernels& encode_kernels() {
+  const EncodeKernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) [[unlikely]] {
+    // Selection is idempotent; a racing first call publishes the same
+    // table twice.
+    publish(select_backend());
+    k = g_active.load(std::memory_order_acquire);
+  }
+  return *k;
+}
+
+Backend active_backend() {
+  (void)encode_kernels();
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void force_backend(Backend b) {
+  if (!backend_supported(b)) b = Backend::Scalar;
+  publish(b);
+}
+
+void refresh_backend_from_env() { publish(select_backend()); }
+
+}  // namespace pastri::simd

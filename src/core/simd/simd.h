@@ -1,0 +1,114 @@
+// simd.h - Vectorized encode kernels with runtime CPU dispatch.
+//
+// The encode hot path (extremum/metric scans, fused
+// quantize+residual+ECQ, and the ECQ class counts that feed
+// plan_block's dense-size computation) is expressed as a small table of
+// kernel functions.  Two backends implement the table:
+//
+//   * scalar -- portable loops, bit-for-bit the pre-SIMD behaviour.
+//   * avx2   -- 4-lane double kernels, compiled with -mavx2 in its own
+//               TU and only ever selected when CPUID reports AVX2.
+//
+// Every AVX2 kernel is restricted to lanewise IEEE operations in the
+// same order the scalar code performs them (no FMA contraction, no
+// reassociated sums, round-half-away-from-zero reproduced exactly), so
+// the two backends produce identical bytes; the SimdDiff suite pins
+// this and the golden format digest is backend-independent.
+//
+// Dispatch happens once, at first use: CPUID picks the widest supported
+// backend, overridable with PASTRI_SIMD=scalar|avx2 for testing and
+// triage (an unsupported request falls back to scalar).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pastri::simd {
+
+enum class Backend : std::uint8_t {
+  Scalar = 0,
+  Avx2 = 1,
+};
+
+const char* backend_name(Backend b);
+
+/// Per-block ECQ statistics accumulated by the fused residual kernel.
+/// `max_magnitude` is over nonzero codes only (0 when the block has no
+/// outliers); the class counts are exactly the dense-ECQ width
+/// histogram plan_block needs for trees 1/2/3/5, whose code lengths
+/// depend only on the symbol class {0, +1, -1, escape}.
+struct EcqStats {
+  std::uint64_t max_magnitude = 0;
+  std::size_t num_outliers = 0;  ///< nonzero codes
+  std::size_t num_plus1 = 0;
+  std::size_t num_minus1 = 0;
+};
+
+/// The kernel table.  All pointers are non-null in a selected table.
+struct EncodeKernels {
+  /// max over |x[i]| starting from 0.0, NaNs ignored (the scalar
+  /// `if (a > m) m = a` semantics).
+  double (*abs_max)(const double* x, std::size_t n);
+
+  /// First index i with |x[i]| == m; n if no element matches.
+  std::size_t (*find_first_abs_eq)(const double* x, std::size_t n,
+                                   double m);
+
+  /// True iff some |x[i]| > bound (the absolute-mode zero-block probe;
+  /// early-exits like the scalar loop).
+  bool (*any_abs_above)(const double* x, std::size_t n, double bound);
+
+  /// q[i] = clamp(round_half_away(x[i] / binsize), nbits two's
+  /// complement); recon[i] = double(q[i]) * recon_binsize.  Division --
+  /// not multiplication by a reciprocal -- and llround's
+  /// round-half-away-from-zero are preserved exactly.
+  void (*quantize_signed)(const double* x, std::size_t n, double binsize,
+                          unsigned nbits, double recon_binsize,
+                          std::int64_t* q, double* recon);
+
+  /// Fused residual + ECQ pass: for every sub-block j and local index i,
+  ///   ecq[j*sbs+i] = round_half_away((block[j*sbs+i]
+  ///                                   - s_hat[j] * p_hat[i]) / binsize)
+  /// (saturating like the scalar round_to_i64), while accumulating the
+  /// EcqStats class counts in the same pass.
+  void (*ecq_residual)(const double* block, std::size_t nsb,
+                       std::size_t sbs, const double* p_hat,
+                       const double* s_hat, double binsize,
+                       std::int64_t* ecq, EcqStats* stats);
+};
+
+/// The active kernel table (selected on first call; see file comment).
+const EncodeKernels& encode_kernels();
+
+/// Backend that `encode_kernels()` currently dispatches to.
+Backend active_backend();
+
+/// True iff this CPU can run backend `b`.
+bool backend_supported(Backend b);
+
+/// Testing/triage hook: force a backend for the whole process.  An
+/// unsupported backend silently falls back to scalar (same policy as
+/// the PASTRI_SIMD environment override).  Not for use while other
+/// threads are encoding.
+void force_backend(Backend b);
+
+/// Re-run the PASTRI_SIMD + CPUID selection (used by tests that change
+/// the environment variable after startup).
+void refresh_backend_from_env();
+
+/// Saturating llround: round-half-away-from-zero with the same
+/// saturation the scalar quantizer always applied.  The shared
+/// definition both backends (and the AVX2 out-of-range lane fallback)
+/// call, so pathological lanes cannot diverge between backends.
+std::int64_t round_half_away_i64(double x);
+
+// Backend tables (defined in kernels_scalar.cpp / kernels_avx2.cpp).
+// kAvx2Kernels exists on every build; dispatch just never selects it
+// when the CPU (or the compiler) lacks AVX2 support.
+extern const EncodeKernels kScalarKernels;
+extern const EncodeKernels kAvx2Kernels;
+
+/// Whether this binary was built with the AVX2 backend compiled in.
+bool avx2_compiled_in();
+
+}  // namespace pastri::simd

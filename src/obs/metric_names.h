@@ -27,6 +27,10 @@ inline constexpr std::string_view kCoreEcqDecodeNs =
     "pastri_core_ecq_decode_ns";
 inline constexpr std::string_view kCoreEcqDenseSymbols =
     "pastri_core_ecq_dense_symbols_total";
+inline constexpr std::string_view kCoreEncodeBytes =
+    "pastri_core_encode_bytes_total";
+inline constexpr std::string_view kCoreSimdBackend =
+    "pastri_core_simd_backend";
 
 // ---- stream: batch pipeline --------------------------------------------
 inline constexpr std::string_view kStreamEncodeBatchNs =

@@ -29,6 +29,8 @@ constexpr StdMetric kStandardMetrics[] = {
     {kCoreEcqEncodeNs, StdType::Histogram},
     {kCoreEcqDecodeNs, StdType::Histogram},
     {kCoreEcqDenseSymbols, StdType::Counter},
+    {kCoreEncodeBytes, StdType::Counter},
+    {kCoreSimdBackend, StdType::Gauge},
     {kStreamEncodeBatchNs, StdType::Histogram},
     {kStreamDecodeBatchNs, StdType::Histogram},
     {kStreamEncodeBatchBlocks, StdType::Histogram},
