@@ -1,0 +1,157 @@
+// bench_pattern_dict - Cost/benefit of the cross-block pattern
+// dictionary (container v4) against the dict-off v3 baseline: ratio
+// gain, encode throughput, decode throughput.  Runs the paper's (ff|ff)
+// datasets plus a synthetic high-l stream with explicit shell-class
+// redundancy (a few base patterns recurring rescaled with bounded
+// noise, the structure the dictionary targets).  Emits
+// BENCH_pattern_dict.json at the repo root.
+#include <cmath>
+#include <fstream>
+
+#include "bench_common.h"
+
+using namespace pastri;
+
+namespace {
+
+/// Synthetic high-l dataset, (ff|ff)-shaped (100x100 blocks): every
+/// block is a near-perfect pattern (each sub-block an exact scalar
+/// multiple of the block's pattern, the paper's high-l limit where PQ
+/// dominates the payload), and the *same* few patterns recur across
+/// blocks -- same-class quartets repeating across a tensor.  One block
+/// in eight carries a just-above-bound perturbation so the near-match
+/// (delta) path is exercised alongside exact references.
+std::vector<double> synthetic_high_l(const BlockSpec& spec,
+                                     std::size_t num_blocks) {
+  constexpr std::size_t kNumBases = 8;
+  std::uint64_t state = 20180901;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  auto unit = [&next] {  // uniform in [-1, 1)
+    return static_cast<double>(next() % 2000000) / 1e6 - 1.0;
+  };
+  std::vector<std::vector<double>> bases(kNumBases);
+  for (auto& base : bases) {
+    base.resize(spec.sub_block_size);
+    for (auto& x : base) x = 1e-4 * unit();
+  }
+  std::vector<double> data;
+  data.reserve(num_blocks * spec.block_size());
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const auto& base = bases[b % kNumBases];
+    const bool perturb = b % 8 == 7;
+    for (std::size_t j = 0; j < spec.num_sub_blocks; ++j) {
+      // Sub-block 0 carries the pattern itself (scale 1), so blocks of
+      // the same base quantize to the same PQ and the dictionary sees
+      // true recurrence.
+      const double s = (j == 0) ? 1.0 : 0.9 * unit();
+      for (std::size_t i = 0; i < spec.sub_block_size; ++i) {
+        double v = s * base[i];
+        if (perturb) v += 1.5e-10 * unit();
+        data.push_back(v);
+      }
+    }
+  }
+  return data;
+}
+
+struct Row {
+  std::string name;
+  double ratio_off = 0.0, ratio_on = 0.0;
+  double enc_off_mbs = 0.0, enc_on_mbs = 0.0;
+  double dec_on_mbs = 0.0;
+  std::size_t dict_entries = 0, exact_refs = 0, delta_refs = 0;
+
+  double ratio_gain() const { return ratio_on / ratio_off - 1.0; }
+  double enc_cost() const { return 1.0 - enc_on_mbs / enc_off_mbs; }
+};
+
+Row run_one(const std::string& name, const std::vector<double>& data,
+            const BlockSpec& spec) {
+  Row r;
+  r.name = name;
+  Params off;
+  off.error_bound = 1e-10;
+  Params on = off;
+  on.dict = DictMode::On;
+
+  Stats off_st, on_st;
+  const auto v3 = compress(data, spec, off, &off_st);
+  const auto v4 = compress(data, spec, on, &on_st);
+  r.ratio_off = off_st.ratio();
+  r.ratio_on = on_st.ratio();
+  r.dict_entries = on_st.dict_entries;
+  r.exact_refs = on_st.dict_exact_refs;
+  r.delta_refs = on_st.dict_delta_refs;
+
+  const double mb = static_cast<double>(data.size() * sizeof(double)) / 1e6;
+  r.enc_off_mbs =
+      mb / bench::best_time_seconds([&] { (void)compress(data, spec, off); });
+  r.enc_on_mbs =
+      mb / bench::best_time_seconds([&] { (void)compress(data, spec, on); });
+  r.dec_on_mbs = mb / bench::best_time_seconds([&] { (void)decompress(v4); });
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Cross-block pattern dictionary (v4) vs v3 baseline",
+                      "container-level pattern dedup (DESIGN.md S11)");
+
+  std::vector<Row> rows;
+  for (const auto& spec : bench::paper_datasets()) {
+    if (std::string(spec.config) != "(ff|ff)") continue;
+    const auto ds = bench::load_bench_dataset(spec);
+    rows.push_back(run_one(ds.label, ds.values, bench::block_spec_of(ds)));
+  }
+  {
+    const BlockSpec spec{100, 100};  // the (ff|ff) block geometry
+    const std::size_t blocks = bench::quick_mode() ? 96 : 512;
+    rows.push_back(
+        run_one("synthetic-high-l", synthetic_high_l(spec, blocks), spec));
+  }
+
+  std::printf("%-22s %9s %9s %7s %10s %10s %7s\n", "dataset", "ratio v3",
+              "ratio v4", "gain", "enc v3", "enc v4", "cost");
+  std::ofstream json(bench::artifact_path("BENCH_pattern_dict.json"));
+  json << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("%-22s %9.2f %9.2f %6.1f%% %7.1f MB/s %5.1f MB/s %6.1f%%\n",
+                r.name.c_str(), r.ratio_off, r.ratio_on,
+                100.0 * r.ratio_gain(), r.enc_off_mbs, r.enc_on_mbs,
+                100.0 * r.enc_cost());
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"dataset\":\"%s\",\"ratio_off\":%.4g,\"ratio_on\":%.4g,"
+        "\"ratio_gain\":%.4g,\"enc_off_mb_s\":%.4g,\"enc_on_mb_s\":%.4g,"
+        "\"enc_cost\":%.4g,\"dec_on_mb_s\":%.4g,\"dict_entries\":%zu,"
+        "\"exact_refs\":%zu,\"delta_refs\":%zu}%s\n",
+        r.name.c_str(), r.ratio_off, r.ratio_on, r.ratio_gain(),
+        r.enc_off_mbs, r.enc_on_mbs, r.enc_cost(), r.dec_on_mbs,
+        r.dict_entries, r.exact_refs, r.delta_refs,
+        i + 1 < rows.size() ? "," : "");
+    json << buf;
+  }
+  json << "]\n";
+  bench::print_rule();
+
+  // The acceptance targets: on the synthetic high-l stream the
+  // dictionary buys >= 15% ratio at <= 10% encode-throughput cost.
+  const Row& synth = rows.back();
+  const bool ratio_ok = synth.ratio_gain() >= 0.15;
+  const bool cost_ok = synth.enc_cost() <= 0.10;
+  std::printf("synthetic-high-l: ratio %+.1f%% (target >= +15%%) -> %s, "
+              "encode cost %.1f%% (target <= 10%%) -> %s\n",
+              100.0 * synth.ratio_gain(), ratio_ok ? "PASS" : "FAIL",
+              100.0 * synth.enc_cost(), cost_ok ? "PASS" : "FAIL");
+  std::printf("wrote %s\n",
+              bench::artifact_path("BENCH_pattern_dict.json").c_str());
+  return ratio_ok && cost_ok ? 0 : 1;
+}

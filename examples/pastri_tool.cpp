@@ -4,11 +4,13 @@
 //   $ pastri_tool compress   in.eri out.pastri [--eb 1e-10]
 //                            [--metric ER|FR|AR|AAR|IS]
 //                            [--tree 1..5] [--no-sparse]
+//                            [--dict on|off|auto]
 //                            [--chunk BYTES] [--threads N]
 //   $ pastri_tool decompress in.pastri out.eri [--chunk BYTES]
 //                            [--threads N]
 //   $ pastri_tool verify     in.eri in.pastri
 //   $ pastri_tool extract    in.pastri FIRST [COUNT]   # seek, don't scan
+//   $ pastri_tool inspect    in.pastri                 # index + dict stats
 //
 // compress/decompress stream through fixed-size chunks (default 4 MiB):
 // peak memory is O(chunk), independent of the dataset size, and "-"
@@ -18,7 +20,9 @@
 //
 // (the .eri header always carries the block count, so compressing to a
 // pipe needs no seeking).
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +30,7 @@
 #include <string>
 
 #include "core/pastri.h"
+#include "core/pastri_capi.h"
 #include "core/stream.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -52,11 +57,13 @@ int usage() {
       stderr,
       "usage:\n"
       "  pastri_tool compress   IN.eri OUT.pastri [--eb E] [--metric M]"
-      " [--tree N] [--no-sparse] [--chunk BYTES] [--threads N]\n"
+      " [--tree N] [--no-sparse] [--dict on|off|auto] [--chunk BYTES]"
+      " [--threads N]\n"
       "  pastri_tool decompress IN.pastri OUT.eri [--chunk BYTES]"
       " [--threads N]\n"
       "  pastri_tool verify     IN.eri IN.pastri\n"
       "  pastri_tool extract    IN.pastri FIRST [COUNT]\n"
+      "  pastri_tool inspect    IN.pastri\n"
       "\n"
       "every subcommand also accepts --metrics[=json|prom]: dump the\n"
       "telemetry snapshot (counters, gauges, latency histograms) to\n"
@@ -75,6 +82,13 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
   f.read(reinterpret_cast<char*>(data.data()), size);
   return data;
+}
+
+DictMode parse_dict_mode(const std::string& s) {
+  if (s == "on") return DictMode::On;
+  if (s == "off") return DictMode::Off;
+  if (s == "auto") return DictMode::Auto;
+  throw std::invalid_argument("--dict takes on|off|auto, got: " + s);
 }
 
 ScalingMetric parse_metric(const std::string& s) {
@@ -151,6 +165,9 @@ int cmd_compress(int argc, char** argv) {
     else if (a == "--tree" && next())
       p.tree = static_cast<EcqTree>(std::stoi(argv[i]));
     else if (a == "--no-sparse") p.allow_sparse = false;
+    else if (a == "--dict" && next()) p.dict = parse_dict_mode(argv[i]);
+    else if (a.rfind("--dict=", 0) == 0)
+      p.dict = parse_dict_mode(a.substr(7));
     else if (a == "--chunk" && next())
       chunk_bytes = std::stoull(argv[i]);
     else if (a == "--threads" && next()) p.num_threads = std::stoi(argv[i]);
@@ -207,6 +224,13 @@ int cmd_compress(int argc, char** argv) {
                st.blocks_by_type[0], st.blocks_by_type[1],
                st.blocks_by_type[2], st.blocks_by_type[3], st.num_outliers,
                st.sparse_blocks);
+  if (p.dict != DictMode::Off) {
+    std::fprintf(rpt,
+                 "dictionary: %zu entries, %zu exact + %zu delta refs, "
+                 "%zu bytes (incl. tags)\n",
+                 st.dict_entries, st.dict_exact_refs, st.dict_delta_refs,
+                 st.dict_bits / 8);
+  }
   return 0;
 }
 
@@ -327,6 +351,89 @@ int cmd_extract(const char* in, const char* first_s, const char* count_s) {
   return 0;
 }
 
+int cmd_inspect(const char* in) {
+  const auto bytes = read_file(in);
+  bitio::BitReader r(bytes);
+  if (r.read_bits(32) != kToolMagic) {
+    throw std::runtime_error("not a pastri_tool container");
+  }
+  const auto label_len = static_cast<std::uint32_t>(r.read_bits(32));
+  if (label_len > (1u << 20)) throw std::runtime_error("corrupt label");
+  std::string label(label_len, '\0');
+  for (auto& ch : label) ch = static_cast<char>(r.read_bits(8));
+  r.skip_bits(4 * 16);
+  r.align_to_byte();
+  const auto stream =
+      std::span<const std::uint8_t>(bytes).subspan(r.bit_position() / 8);
+
+  // Probe through the C API first: a malformed or truncated container
+  // reports its status code and the thread's error message instead of an
+  // unwound exception.  Decoding block 0 walks the whole frame -- header,
+  // index footer, offset table, and (v4) the dictionary section.
+  size_t nsb = 0, sbs = 0, nb = 0;
+  pastri_status st =
+      pastri_peek(stream.data(), stream.size(), nullptr, &nsb, &sbs, &nb);
+  if (st == PASTRI_OK && nb > 0) {
+    std::vector<double> probe(nsb * sbs);
+    st = pastri_decompress_block(stream.data(), stream.size(), 0,
+                                 probe.data(), probe.size());
+  }
+  if (st != PASTRI_OK) {
+    std::fprintf(stderr, "error: %s: %s\n", pastri_status_name(st),
+                 pastri_last_error_message());
+    return 1;
+  }
+
+  const BlockReader reader(stream);
+  const StreamInfo& info = reader.info();
+  std::printf("%s: container v%u, %zu blocks of %zux%zu (EB=%.0e, %s, "
+              "%s)\n",
+              label.c_str(), info.version, reader.num_blocks(),
+              info.spec.num_sub_blocks, info.spec.sub_block_size,
+              info.error_bound, scaling_metric_name(info.metric),
+              ecq_tree_name(info.tree));
+
+  const BlockIndex& idx = reader.index();
+  std::size_t payload_bytes = 0, min_len = SIZE_MAX, max_len = 0;
+  for (std::size_t b = 0; b < idx.num_blocks(); ++b) {
+    const std::size_t len = idx.extent(b).length;
+    payload_bytes += len;
+    min_len = std::min(min_len, len);
+    max_len = std::max(max_len, len);
+  }
+  if (idx.num_blocks() == 0) min_len = 0;
+  std::printf("index: %zu entries, %zu table bytes; payloads %zu bytes "
+              "(min %zu / avg %.1f / max %zu per block)\n",
+              idx.num_blocks(), idx.serialized_bytes(), payload_bytes,
+              min_len,
+              idx.num_blocks()
+                  ? static_cast<double>(payload_bytes) /
+                        static_cast<double>(idx.num_blocks())
+                  : 0.0,
+              max_len);
+
+  if (const CodecContext* ctx = reader.dict_context()) {
+    const PatternDict& dict = ctx->dict();
+    std::printf("dictionary: %zu entries, %zu section bytes",
+                dict.size(), dict.section_bytes());
+    if (dict.size() > 0) {
+      std::size_t pattern_values = 0;
+      for (std::size_t id = 0; id < dict.size(); ++id) {
+        pattern_values += dict.entry(id).pq.size();
+      }
+      std::printf(" (first defined by block %llu, %zu pattern values "
+                  "shared)",
+                  static_cast<unsigned long long>(
+                      dict.entry(0).defining_block),
+                  pattern_values);
+    }
+    std::printf("\n");
+  } else {
+    std::printf("dictionary: none (v%u container)\n", info.version);
+  }
+  return 0;
+}
+
 /// Strip --metrics[=json|prom] from argv (any position, any subcommand)
 /// and record the requested mode.  Returns the new argc, or -1 on a bad
 /// value.
@@ -376,6 +483,7 @@ int main(int argc, char** argv) {
       rc = cmd_verify(argv[2], argv[3]);
     else if (cmd == "extract" && argc >= 4)
       rc = cmd_extract(argv[2], argv[3], argc >= 5 ? argv[4] : nullptr);
+    else if (cmd == "inspect" && argc >= 3) rc = cmd_inspect(argv[2]);
     else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,162 @@
+// pattern_dict.cpp - Cross-block pattern dictionary: lookup, commit, and
+// the v4 trailer section (see pattern_dict.h for the design).
+#include "core/pattern_dict.h"
+
+#include <cstring>
+
+#include "bitio/varint.h"
+
+namespace pastri {
+
+void PatternDict::clear() {
+  entries_.clear();
+  by_hash_.clear();
+  for (Ring& r : recent_) r = Ring{};
+}
+
+std::uint64_t PatternDict::hash_(std::span<const std::int64_t> pq,
+                                 unsigned pattern_bits) {
+  // FNV-1a folding whole 64-bit words; the width is mixed in so patterns
+  // with equal values but different P_b never alias.
+  std::uint64_t h = 1469598103934665603ull ^
+                    (static_cast<std::uint64_t>(pattern_bits) *
+                     0x9E3779B97F4A7C15ull);
+  for (std::int64_t v : pq) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool PatternDict::equals_(const Entry& e, std::span<const std::int64_t> pq,
+                          unsigned pattern_bits) const {
+  return e.pattern_bits == pattern_bits && e.pq.size() == pq.size() &&
+         std::memcmp(e.pq.data(), pq.data(),
+                     pq.size() * sizeof(std::int64_t)) == 0;
+}
+
+void PatternDict::commit_(std::span<const std::int64_t> pq,
+                          unsigned pattern_bits, std::uint64_t block_ordinal,
+                          std::uint64_t hash) {
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  Entry e;
+  e.pq.assign(pq.begin(), pq.end());
+  e.pattern_bits = pattern_bits;
+  e.defining_block = block_ordinal;
+  entries_.push_back(std::move(e));
+  by_hash_.emplace(hash, id);  // collisions keep the first entry
+  Ring& ring = recent_[pattern_bits & 63];
+  ring.ids[ring.next] = id;
+  ring.next = (ring.next + 1) % kNearCandidates;
+  if (ring.count < kNearCandidates) ++ring.count;
+}
+
+PatternDecision PatternDict::decide_and_commit(
+    std::span<const std::int64_t> pq, unsigned pattern_bits,
+    std::uint64_t block_ordinal) {
+  const std::uint64_t h = hash_(pq, pattern_bits);
+  const auto it = by_hash_.find(h);
+  if (it != by_hash_.end() && equals_(entries_[it->second], pq,
+                                      pattern_bits)) {
+    return {PatternCode::ExactRef, it->second, 0};
+  }
+
+  // Near match: best-of-K over the most recent entries of this width.
+  // The literal cost baseline excludes the shared tag bits.
+  const std::size_t len = pq.size();
+  const std::size_t literal_bits = len * pattern_bits;
+  std::size_t best_bits = literal_bits;
+  std::uint32_t best_id = 0;
+  unsigned best_dev = 0;
+  const Ring& ring = recent_[pattern_bits & 63];
+  for (std::size_t k = 0; k < ring.count; ++k) {
+    const std::uint32_t id = ring.ids[k];
+    const Entry& e = entries_[id];
+    if (e.pattern_bits != pattern_bits || e.pq.size() != len) continue;
+    // Widest deviation decides the run width; bail out as soon as this
+    // candidate cannot beat the best so far.
+    const std::size_t fixed_bits =
+        8 * bitio::varint_width(id) + 6;  // ref varint + dev-width field
+    if (fixed_bits >= best_bits) continue;
+    const unsigned dev_cap = static_cast<unsigned>(
+        (best_bits - fixed_bits) / (len ? len : 1));
+    unsigned dev_bits = 1;
+    bool viable = true;
+    for (std::size_t i = 0; i < len; ++i) {
+      const unsigned wbits = signed_width(pq[i] - e.pq[i]);
+      if (wbits > dev_bits) {
+        dev_bits = wbits;
+        if (dev_bits > dev_cap) {
+          viable = false;
+          break;
+        }
+      }
+    }
+    if (!viable) continue;
+    const std::size_t bits = fixed_bits + len * dev_bits;
+    if (bits < best_bits) {
+      best_bits = bits;
+      best_id = id;
+      best_dev = dev_bits;
+    }
+  }
+  if (best_bits < literal_bits) {
+    return {PatternCode::DeltaRef, best_id, best_dev, false};
+  }
+
+  const bool define = !full();
+  if (define) commit_(pq, pattern_bits, block_ordinal, h);
+  return {PatternCode::Literal, 0, 0, define};
+}
+
+bool PatternDict::add_decoded(std::span<const std::int64_t> pq,
+                              unsigned pattern_bits,
+                              std::uint64_t block_ordinal) {
+  if (full()) return false;
+  commit_(pq, pattern_bits, block_ordinal, hash_(pq, pattern_bits));
+  return true;
+}
+
+void PatternDict::serialize_section(bitio::BitWriter& w) const {
+  bitio::write_varint(w, entries_.size());
+  for (const Entry& e : entries_) {
+    bitio::write_varint(w, e.defining_block);
+  }
+}
+
+std::size_t PatternDict::section_bytes() const {
+  std::size_t bytes = bitio::varint_width(entries_.size());
+  for (const Entry& e : entries_) {
+    bytes += bitio::varint_width(e.defining_block);
+  }
+  return bytes;
+}
+
+std::vector<std::uint64_t> PatternDict::parse_section(
+    std::span<const std::uint8_t> section, std::uint64_t num_blocks) {
+  bitio::BitReader r(section);
+  std::uint64_t count = 0;
+  try {
+    count = bitio::read_varint(r);
+    if (count > kMaxEntries) {
+      throw std::runtime_error("PaSTRI: dictionary entry count too large");
+    }
+    std::vector<std::uint64_t> ordinals;
+    ordinals.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t ordinal = bitio::read_varint(r);
+      if (ordinal >= num_blocks) {
+        throw std::runtime_error(
+            "PaSTRI: dictionary defining block out of range");
+      }
+      ordinals.push_back(ordinal);
+    }
+    return ordinals;
+  } catch (const std::out_of_range&) {
+    // BitReader/varint overruns surface as out_of_range; a truncated
+    // dictionary section is stream corruption, not a caller bug.
+    throw std::runtime_error("PaSTRI: truncated dictionary section");
+  }
+}
+
+}  // namespace pastri

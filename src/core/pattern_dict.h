@@ -1,0 +1,158 @@
+// pattern_dict.h - Cross-block pattern dictionary (container format v4).
+//
+// PaSTRI exploits self-similarity *inside* a shell block: sub-blocks are
+// near scalar multiples of one pattern.  The physics goes further --
+// blocks of the same shell class share near-identical scaled patterns
+// across the whole tensor (the global low-rank structure THC builds on).
+// This module is the container-level dedup layer for that redundancy:
+// each quantized pattern (PQ array) is fingerprinted by its bit width
+// and content hash; an exact match is replaced by a reference to the
+// matching dictionary entry, and a near match by a base reference plus a
+// narrow signed deviation run (the same fixed-width signed-run machinery
+// the ECQ sparse path uses).
+//
+// The dictionary is *adaptive*: entries are defined by the literal
+// blocks themselves, in block append order, so a sequential decoder
+// (StreamConsumer, works on a pipe) reconstructs it with a cheap
+// pattern-prefix scan and never needs to read ahead.  For O(1) random
+// access the v4 container trailer additionally records which block
+// defined each entry (ordinals only -- the pattern bytes are never
+// stored twice), letting BlockReader pre-decode all bases via the block
+// index before serving reads.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+
+namespace pastri {
+
+/// Dictionary policy for a container (Params::dict).  `Auto` enables the
+/// dictionary when sub-blocks are large enough that pattern references
+/// robustly beat the 2-bit per-block tag overhead.
+enum class DictMode : std::uint8_t {
+  Off = 0,   ///< v3 container, bytes bit-identical to previous releases
+  On = 1,    ///< v4 container with the pattern dictionary
+  Auto = 2,  ///< On iff spec.sub_block_size >= 8
+};
+
+/// How one block's pattern section is represented in a v4 payload (the
+/// 2-bit tag following P_b; value 3 is reserved).
+enum class PatternCode : std::uint8_t {
+  Literal = 0,   ///< PQ stored inline (and defines the next entry)
+  ExactRef = 1,  ///< varint entry id, PQ equals the entry verbatim
+  DeltaRef = 2,  ///< varint entry id + 6-bit dev width + signed dev run
+};
+
+/// Encoder-side outcome of the dictionary lookup for one block.
+struct PatternDecision {
+  PatternCode code = PatternCode::Literal;
+  std::uint32_t ref = 0;  ///< entry id for ExactRef/DeltaRef
+  unsigned dev_bits = 0;  ///< DeltaRef: two's-complement deviation width
+  bool defined = false;   ///< Literal: this block defined a new entry
+};
+
+/// Smallest two's-complement width that represents `v` (1..64).
+inline unsigned signed_width(std::int64_t v) {
+  // v ^ (v >> 63) folds negatives onto their ones-complement magnitude;
+  // countl_zero(0) == 64 gives width 1 for v in {0, -1}.
+  return 65 - static_cast<unsigned>(std::countl_zero(
+                  static_cast<std::uint64_t>(v ^ (v >> 63))));
+}
+
+/// The dictionary proper: committed pattern entries plus the lookup
+/// structures (content-hash map for exact matches, per-width recency
+/// ring for near matches).  One instance per container, owned by
+/// CodecContext.  Not thread-safe for mutation; read-only access
+/// (entry(), size()) is safe concurrently once population is done.
+class PatternDict {
+ public:
+  struct Entry {
+    std::vector<std::int64_t> pq;
+    unsigned pattern_bits = 0;
+    std::uint64_t defining_block = 0;  ///< ordinal of the literal block
+  };
+
+  /// Entry-count cap, mirrored exactly by encoder and decoder: a literal
+  /// block defines an entry iff the dictionary is not full when the
+  /// block is appended.
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
+
+  /// Pattern-section tag width in v4 payloads.
+  static constexpr unsigned kTagBits = 2;
+
+  /// Near-match candidates probed per block (most recent entries of the
+  /// same pattern width).
+  static constexpr unsigned kNearCandidates = 8;
+
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= kMaxEntries; }
+
+  const Entry& entry(std::size_t id) const {
+    if (id >= entries_.size()) {
+      throw std::runtime_error("PaSTRI: dictionary reference out of range");
+    }
+    return entries_[id];
+  }
+
+  /// Drop all entries (a context reused for a new container).
+  void clear();
+
+  /// Encoder: pick the cheapest representation of `pq` against entries
+  /// committed by *earlier* blocks, then -- when the choice is Literal
+  /// and the dictionary has room -- commit this pattern as the next
+  /// entry.  Serial with respect to block append order.
+  PatternDecision decide_and_commit(std::span<const std::int64_t> pq,
+                                    unsigned pattern_bits,
+                                    std::uint64_t block_ordinal);
+
+  /// Decoder: append the entry a literal block defines.  Returns false
+  /// when the dictionary is full (the encoder stopped defining entries
+  /// at exactly the same point, so the id assignment stays in lockstep).
+  bool add_decoded(std::span<const std::int64_t> pq, unsigned pattern_bits,
+                   std::uint64_t block_ordinal);
+
+  /// Serialize the v4 trailer dictionary section: varint entry count,
+  /// then one varint defining-block ordinal per entry (id order).  The
+  /// pattern bytes live only in the defining payloads.
+  void serialize_section(bitio::BitWriter& w) const;
+
+  /// Parse the trailer section written by serialize_section.  Throws
+  /// std::runtime_error on a count over kMaxEntries or an ordinal at or
+  /// past `num_blocks` (dangling defining reference).
+  static std::vector<std::uint64_t> parse_section(
+      std::span<const std::uint8_t> section, std::uint64_t num_blocks);
+
+  /// Exact serialized size of the trailer section in bytes.
+  std::size_t section_bytes() const;
+
+ private:
+  struct Ring {
+    std::array<std::uint32_t, kNearCandidates> ids{};
+    std::size_t count = 0;
+    std::size_t next = 0;
+  };
+
+  static std::uint64_t hash_(std::span<const std::int64_t> pq,
+                             unsigned pattern_bits);
+  bool equals_(const Entry& e, std::span<const std::int64_t> pq,
+               unsigned pattern_bits) const;
+  void commit_(std::span<const std::int64_t> pq, unsigned pattern_bits,
+               std::uint64_t block_ordinal, std::uint64_t hash);
+
+  std::vector<Entry> entries_;
+  /// First entry id per content hash (collisions keep the first; a
+  /// false-negative dedup costs ratio, never correctness).
+  std::unordered_map<std::uint64_t, std::uint32_t> by_hash_;
+  /// Recency ring per pattern width (P_b <= 54, see quantize.h).
+  std::array<Ring, 64> recent_{};
+};
+
+}  // namespace pastri

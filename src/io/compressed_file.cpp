@@ -63,7 +63,12 @@ std::vector<double> read_shard_blocks(const std::string& dir,
       local_first + local_count > info.num_blocks) {
     throw std::out_of_range("read_shard_blocks: range out of range");
   }
-  if (info.version < kStreamVersionIndexed) {
+  if (info.version != kStreamVersionIndexed) {
+    // v2 shards have no offset table; v4 shards carry a pattern
+    // dictionary whose defining payloads may live anywhere in the shard,
+    // so a contiguous payload span is not self-contained.  Both fall
+    // back to one full read + the in-memory random-access path
+    // (BlockReader scans v2 / pre-decodes the v4 dictionary bases).
     const auto bytes = read_rank_file(dir, basename, shard);
     return BlockReader(bytes).read_range(local_first, local_count);
   }
@@ -151,6 +156,11 @@ ShardWriter::ShardWriter(const std::string& dir, const std::string& basename,
   if (info.version < kStreamVersionIndexed) {
     throw std::runtime_error(
         "ShardWriter: cannot append to an unindexed (v2) shard");
+  }
+  if (info.version >= kStreamVersionDict) {
+    throw std::runtime_error(
+        "ShardWriter: cannot append to a dictionary (v4) shard; its "
+        "dictionary was sealed at finish()");
   }
   if (fsize < detail::kGlobalHeaderBytes + detail::kIndexFooterBytes) {
     throw std::runtime_error("shard too short for index footer");

@@ -31,6 +31,10 @@ constexpr StdMetric kStandardMetrics[] = {
     {kCoreEcqDenseSymbols, StdType::Counter},
     {kCoreEncodeBytes, StdType::Counter},
     {kCoreSimdBackend, StdType::Gauge},
+    {kCoreDictLiterals, StdType::Counter},
+    {kCoreDictExactRefs, StdType::Counter},
+    {kCoreDictDeltaRefs, StdType::Counter},
+    {kCoreDictBytes, StdType::Gauge},
     {kStreamEncodeBatchNs, StdType::Histogram},
     {kStreamDecodeBatchNs, StdType::Histogram},
     {kStreamEncodeBatchBlocks, StdType::Histogram},

@@ -1,5 +1,8 @@
 #include "qc/compressed_eri_store.h"
 
+#include <cstring>
+#include <set>
+
 #include "core/stream.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -20,6 +23,21 @@ struct StoreMetrics {
 const StoreMetrics& store_metrics() {
   static const StoreMetrics m;
   return m;
+}
+
+/// FNV-1a over the decoded doubles, keyed on exact bit patterns (the
+/// decoder is deterministic, so equal blocks decode bit-identically).
+std::uint64_t value_hash(const std::vector<double>& values) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const double v : values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
 }
 
 }  // namespace
@@ -102,8 +120,19 @@ std::shared_ptr<const std::vector<double>> CompressedEriStore::shell_block(
   ++cache_misses_;
   store_metrics().cache_misses.inc();
   const auto& [cls, ordinal] = ref->second;
-  auto value = std::make_shared<const std::vector<double>>(
-      cls->reader->read_block(ordinal));
+  std::vector<double> decoded = cls->reader->read_block(ordinal);
+  const std::uint64_t h = value_hash(decoded);
+  CacheValue value;
+  if (const auto shared = by_value_.find(h); shared != by_value_.end()) {
+    if (auto alive = shared->second.lock();
+        alive && *alive == decoded) {  // guard against hash collisions
+      value = std::move(alive);
+    }
+  }
+  if (!value) {
+    value = std::make_shared<const std::vector<double>>(std::move(decoded));
+    by_value_[h] = value;
+  }
   if (cache_capacity_ > 0) {
     lru_.push_front(key);
     cache_[key] = {lru_.begin(), value};
@@ -132,6 +161,25 @@ std::size_t CompressedEriStore::cache_hits() const {
 std::size_t CompressedEriStore::cache_misses() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_misses_;
+}
+
+std::size_t CompressedEriStore::cache_bytes() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::set<const void*> seen;
+  std::size_t bytes = 0;
+  for (const auto& [key, entry] : cache_) {
+    if (seen.insert(entry.second.get()).second) {
+      bytes += entry.second->size() * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+std::size_t CompressedEriStore::cache_unique_blocks() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::set<const void*> seen;
+  for (const auto& [key, entry] : cache_) seen.insert(entry.second.get());
+  return seen.size();
 }
 
 EriTensor CompressedEriStore::materialize() const {

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "core/pastri.h"
 #include "qc/scf.h"
@@ -52,6 +54,19 @@ class CompressedEriStore {
 
   std::size_t cache_hits() const;
   std::size_t cache_misses() const;
+
+  /// Bytes of decoded values the cache holds, counting each shared
+  /// vector once.  Decoded blocks are deduplicated by content: cache
+  /// entries whose values are identical (common for symmetry-equivalent
+  /// or pattern-repetitive quartets, precisely the redundancy the v4
+  /// dictionary exploits on the compressed side) share one vector, so
+  /// warm-cache memory grows with the number of *distinct* blocks, not
+  /// the number of cached quartets.
+  std::size_t cache_bytes() const;
+
+  /// Distinct decoded vectors currently shared by the cache entries
+  /// (<= the number of cached quartets).
+  std::size_t cache_unique_blocks() const;
 
   std::size_t compressed_bytes() const;
   std::size_t uncompressed_bytes() const;
@@ -98,6 +113,13 @@ class CompressedEriStore {
   std::size_t cache_capacity_ = 64;
   mutable std::size_t cache_hits_ = 0;
   mutable std::size_t cache_misses_ = 0;
+
+  // Value dedup: content hash of a decoded block -> the live vector that
+  // holds it.  Consulted on every cache miss so identical decoded blocks
+  // share one allocation (weak_ptr, so dedup never extends lifetimes).
+  mutable std::unordered_map<std::uint64_t,
+                             std::weak_ptr<const std::vector<double>>>
+      by_value_;
 };
 
 }  // namespace pastri::qc

@@ -1,0 +1,509 @@
+// Cross-block pattern dictionary (container v4) tests: round-trip and
+// error bounds, the cross-version decode matrix (v2/v3/v4 all decode,
+// dict-off bytes stay bit-identical to the v3 golden digest), byte
+// determinism across thread counts and batch sizes, random access and
+// pipe decode of v4 containers, stats accounting, the C API context
+// handles, decoded-value sharing in CompressedEriStore -- plus a fuzz
+// suite for the new trailer section (truncations, corrupt footers,
+// dangling defining ordinals).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "core/pastri.h"
+#include "core/pastri_capi.h"
+#include "core/pattern_dict.h"
+#include "core/stream.h"
+#include "qc/compressed_eri_store.h"
+#include "test_util.h"
+
+namespace pastri {
+namespace {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The format-stability golden input (same recipe as
+/// test_format_stability.cpp): 4 noisy 6x6 pattern blocks.
+std::vector<double> golden_input() {
+  const BlockSpec spec{6, 6};
+  std::vector<double> data;
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    auto block = testutil::noisy_pattern_block(spec, 1e-7, b + 1);
+    for (double& v : block) v *= 1e-5;
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  return data;
+}
+
+/// Blocks with deliberate cross-block redundancy: a few base patterns
+/// recur (exactly rescaled or slightly perturbed), modelling shell-class
+/// self-similarity across a tensor.  Zero blocks are mixed in so the
+/// ordinal bookkeeping sees non-literal gaps.
+std::vector<double> repetitive_blocks(const BlockSpec& spec,
+                                      std::size_t num_blocks,
+                                      std::uint64_t seed = 1234) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::array<std::vector<double>, 3> bases;
+  for (auto& base : bases) {
+    base.resize(spec.block_size());
+    for (auto& x : base) x = 1e-5 * dist(gen);
+  }
+  std::vector<double> data;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    if (b % 7 == 5) {  // occasional all-zero block
+      data.insert(data.end(), spec.block_size(), 0.0);
+      continue;
+    }
+    const auto& base = bases[b % bases.size()];
+    const double scale = std::ldexp(1.0, static_cast<int>(b / 3 % 4) - 2);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      double v = base[i] * scale;
+      if (b % 5 == 4) v += 1e-9 * dist(gen);  // near match, not exact
+      data.push_back(v);
+    }
+  }
+  return data;
+}
+
+/// Rewrite an indexed (v3) stream as its legacy unindexed (v2) twin.
+std::vector<std::uint8_t> to_legacy(std::vector<std::uint8_t> stream) {
+  EXPECT_GE(stream.size(), 20u);
+  std::uint64_t index_offset = 0;
+  std::memcpy(&index_offset, stream.data() + stream.size() - 20, 8);
+  stream.resize(index_offset);
+  stream[4] = 2;  // kStreamVersionUnindexed
+  return stream;
+}
+
+Params dict_params(DictMode mode) {
+  Params p;
+  p.dict = mode;
+  return p;
+}
+
+TEST(PatternDict, V4RoundTripWithinBound) {
+  const BlockSpec spec{8, 12};
+  const auto data = repetitive_blocks(spec, 24);
+  Stats st;
+  const auto v4 = compress(data, spec, dict_params(DictMode::On), &st);
+  ASSERT_GE(v4.size(), 5u);
+  EXPECT_EQ(v4[4], kStreamVersionDict);
+  EXPECT_GT(st.dict_entries, 0u);
+  const auto back = decompress(v4);
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_LE(testutil::max_abs_diff(data, back), 1e-10 * (1 + 1e-12));
+}
+
+TEST(PatternDict, CrossVersionDecodeMatrix) {
+  // One dataset, three container generations; every version must decode,
+  // and since the dictionary only changes the *representation* of the
+  // quantized pattern (never its values), all three decodes are equal.
+  const BlockSpec spec{8, 12};
+  const auto data = repetitive_blocks(spec, 18);
+  const auto v3 = compress(data, spec, dict_params(DictMode::Off));
+  const auto v2 = to_legacy(v3);
+  const auto v4 = compress(data, spec, dict_params(DictMode::On));
+  ASSERT_EQ(v2[4], 2u);
+  ASSERT_EQ(v3[4], 3u);
+  ASSERT_EQ(v4[4], 4u);
+  const auto d2 = decompress(v2);
+  const auto d3 = decompress(v3);
+  const auto d4 = decompress(v4);
+  EXPECT_EQ(d2, d3);
+  EXPECT_EQ(d3, d4);
+  EXPECT_LE(testutil::max_abs_diff(data, d4), 1e-10 * (1 + 1e-12));
+}
+
+TEST(PatternDict, DictOffKeepsGoldenDigest) {
+  // The PR 5 golden digest: with the dictionary off (the default), the
+  // bytes must remain bit-identical to the v3 format.
+  const BlockSpec spec{6, 6};
+  const auto def = compress(golden_input(), spec, Params{});
+  EXPECT_EQ(def.size(), 183u);
+  EXPECT_EQ(fnv1a(def), 0x4caa9961110d33c5ull);
+  EXPECT_EQ(compress(golden_input(), spec, dict_params(DictMode::Off)),
+            def);
+}
+
+TEST(PatternDict, RatioImprovesOnRepetitiveBlocks) {
+  const BlockSpec spec{10, 16};
+  const auto data = repetitive_blocks(spec, 60);
+  Stats off_st, on_st;
+  const auto v3 = compress(data, spec, dict_params(DictMode::Off), &off_st);
+  const auto v4 = compress(data, spec, dict_params(DictMode::On), &on_st);
+  EXPECT_LT(v4.size(), v3.size());
+  EXPECT_GT(on_st.dict_exact_refs + on_st.dict_delta_refs, 0u);
+  // Dict accounting only exists on the v4 side.
+  EXPECT_EQ(off_st.dict_bits, 0u);
+  EXPECT_EQ(off_st.dict_entries, 0u);
+  EXPECT_GT(on_st.dict_bits, 0u);
+}
+
+TEST(PatternDict, AutoModeResolvesAgainstSubBlockSize) {
+  const auto data_wide = repetitive_blocks({4, 16}, 8);
+  const auto wide = compress(data_wide, {4, 16}, dict_params(DictMode::Auto));
+  EXPECT_EQ(wide[4], kStreamVersionDict);  // sub_block_size >= 8
+
+  const auto data_narrow = repetitive_blocks({16, 4}, 8);
+  const auto narrow =
+      compress(data_narrow, {16, 4}, dict_params(DictMode::Auto));
+  EXPECT_EQ(narrow[4], kStreamVersionIndexed);  // tags would outweigh refs
+  EXPECT_EQ(narrow, compress(data_narrow, {16, 4}, Params{}));
+}
+
+TEST(PatternDict, BytesDeterministicAcrossThreadsAndBatches) {
+  const BlockSpec spec{8, 12};
+  const auto data = repetitive_blocks(spec, 30);
+  const std::size_t nb = 30;
+  const auto reference = compress(data, spec, dict_params(DictMode::On));
+  for (const int threads : {1, 4}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{0}}) {
+      Params p = dict_params(DictMode::On);
+      p.num_threads = threads;
+      VectorSink sink;
+      StreamWriter writer(
+          sink, spec, p,
+          StreamWriterOptions{.batch_blocks = batch, .expected_blocks = nb});
+      // Feed in uneven slices so batch boundaries never align with blocks.
+      std::size_t off = 0;
+      const std::size_t bs = spec.block_size();
+      while (off < data.size()) {
+        const std::size_t n = std::min<std::size_t>(bs + 5, data.size() - off);
+        writer.put_values(std::span(data).subspan(off, n));
+        off += n;
+      }
+      writer.finish();
+      EXPECT_EQ(sink.take(), reference)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+TEST(PatternDict, ContextReuseAcrossContainers) {
+  // One CodecContext, two containers: begin_container must reset the
+  // dictionary, so both containers come out byte-identical.
+  const BlockSpec spec{8, 12};
+  const auto data = repetitive_blocks(spec, 12);
+  CodecContext ctx(spec, dict_params(DictMode::On));
+  EXPECT_TRUE(ctx.dict_enabled());
+  std::vector<std::uint8_t> first;
+  for (int round = 0; round < 2; ++round) {
+    VectorSink sink;
+    StreamWriter writer(sink, ctx,
+                        StreamWriterOptions{.expected_blocks = 12});
+    writer.put_values(data);
+    writer.finish();
+    if (round == 0) first = sink.take();
+    else EXPECT_EQ(sink.take(), first);
+  }
+  EXPECT_EQ(first, compress(data, spec, dict_params(DictMode::On)));
+}
+
+TEST(PatternDict, RandomAccessMatchesFullDecode) {
+  const BlockSpec spec{8, 12};
+  const std::size_t nb = 21;
+  const auto data = repetitive_blocks(spec, nb);
+  const auto v4 = compress(data, spec, dict_params(DictMode::On));
+  const auto full = decompress(v4);
+  const BlockReader reader(v4);
+  ASSERT_EQ(reader.num_blocks(), nb);
+  ASSERT_NE(reader.dict_context(), nullptr);
+  EXPECT_GT(reader.dict_context()->dict().size(), 0u);
+  const std::size_t bs = spec.block_size();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const auto one = reader.read_block(b);
+    for (std::size_t i = 0; i < bs; ++i) {
+      ASSERT_EQ(one[i], full[b * bs + i]) << "block " << b;
+    }
+  }
+  const auto range = reader.read_range(5, 9);
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    ASSERT_EQ(range[i], full[5 * bs + i]);
+  }
+  // v2/v3 readers expose no dictionary context.
+  const auto v3 = compress(data, spec, Params{});
+  EXPECT_EQ(BlockReader(v3).dict_context(), nullptr);
+}
+
+TEST(PatternDict, StreamConsumerDecodesV4OverSmallChunks) {
+  const BlockSpec spec{8, 12};
+  const auto data = repetitive_blocks(spec, 17);
+  const auto v4 = compress(data, spec, dict_params(DictMode::On));
+  const auto full = decompress(v4);
+  SpanSource source(v4);
+  StreamConsumer consumer(source,
+                          StreamConsumerOptions{.chunk_bytes = 64,
+                                                .batch_blocks = 3});
+  std::vector<double> out;
+  std::vector<double> buf(41);
+  for (;;) {
+    const std::size_t n = consumer.read_values(buf);
+    if (n == 0) break;
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(out, full);
+}
+
+TEST(PatternDict, StatsAccountingIsExact) {
+  const BlockSpec spec{8, 12};
+  const auto data = repetitive_blocks(spec, 24);
+  Stats st;
+  const auto v4 = compress(data, spec, dict_params(DictMode::On), &st);
+  // Every written field is accounted to exactly one bucket; the only
+  // unaccounted bits are the per-payload byte-alignment padding (at most
+  // 7 bits per block).
+  EXPECT_EQ(st.output_bytes, v4.size());
+  const std::size_t accounted = st.header_bits + st.pattern_bits +
+                                st.scale_bits + st.ecq_bits + st.dict_bits;
+  EXPECT_LE(accounted, 8 * st.output_bytes);
+  EXPECT_LE(8 * st.output_bytes - accounted, 7 * st.num_blocks);
+  EXPECT_EQ(st.dict_entries + st.dict_exact_refs + st.dict_delta_refs +
+                st.blocks_by_type[0],
+            st.num_blocks);
+  const std::string json = st.to_json();
+  EXPECT_NE(json.find("\"dict_bits\""), std::string::npos);
+  EXPECT_NE(json.find("\"dict_entries\""), std::string::npos);
+}
+
+TEST(PatternDict, EriStoreSharesIdenticalDecodedBlocks) {
+  // Two identical shells at the same center: quartets (0,0,0,0) and
+  // (1,1,1,1) decode to identical values, so the store's value dedup
+  // must hand out one shared vector for both cache entries.
+  qc::BasisSet basis;
+  qc::Shell sh;
+  sh.l = 1;
+  sh.center = {0, 0, 0};
+  sh.primitives = {{1.2, 0.7}, {0.4, 0.5}};
+  sh.normalize();
+  qc::Shell other = sh;  // same class, different radial part
+  other.primitives = {{0.9, 1.0}};
+  other.normalize();
+  basis.shells = {sh, sh, other};
+  Params p;
+  const qc::CompressedEriStore store(basis, p);
+  const auto a = store.shell_block(0, 0, 0, 0);
+  const auto b = store.shell_block(1, 1, 1, 1);
+  ASSERT_EQ(*a, *b);
+  EXPECT_EQ(a.get(), b.get()) << "identical decoded blocks not shared";
+  EXPECT_EQ(store.cache_unique_blocks(), 1u);
+  EXPECT_EQ(store.cache_bytes(), a->size() * sizeof(double));
+  // A genuinely different quartet gets its own storage.
+  const auto c = store.shell_block(2, 2, 2, 2);
+  ASSERT_NE(*c, *a);
+  EXPECT_NE(c.get(), a.get());
+  EXPECT_EQ(store.cache_unique_blocks(), 2u);
+  EXPECT_EQ(store.cache_bytes(), 2 * a->size() * sizeof(double));
+}
+
+TEST(PatternDict, CApiContextRoundTrip) {
+  const BlockSpec spec{8, 12};
+  const auto data = repetitive_blocks(spec, 12);
+  pastri_params cp;
+  pastri_params_init(&cp);
+  EXPECT_EQ(cp.dict_mode, 0);
+  cp.dict_mode = 1;
+  pastri_ctx* ctx = nullptr;
+  ASSERT_EQ(pastri_ctx_create(spec.num_sub_blocks, spec.sub_block_size, &cp,
+                              &ctx),
+            PASTRI_OK);
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_EQ(pastri_ctx_dict_enabled(ctx), 1);
+  unsigned char* out = nullptr;
+  size_t out_size = 0;
+  ASSERT_EQ(pastri_ctx_compress_buffer(ctx, data.data(), data.size(), &out,
+                                       &out_size),
+            PASTRI_OK);
+  ASSERT_GE(out_size, 5u);
+  EXPECT_EQ(out[4], kStreamVersionDict);
+  // Matches the C++ compressor byte for byte.
+  const auto cxx = compress(data, spec, dict_params(DictMode::On));
+  ASSERT_EQ(out_size, cxx.size());
+  EXPECT_EQ(std::memcmp(out, cxx.data(), out_size), 0);
+  // And the generic C decompressor reads it back.
+  double* values = nullptr;
+  size_t count = 0;
+  ASSERT_EQ(pastri_decompress_buffer(out, out_size, &values, &count),
+            PASTRI_OK);
+  ASSERT_EQ(count, data.size());
+  EXPECT_LE(testutil::max_abs_diff(std::span(values, count), data),
+            1e-10 * (1 + 1e-12));
+  pastri_free(values);
+  pastri_free(out);
+  pastri_ctx_destroy(ctx);
+}
+
+TEST(PatternDict, CApiStatusNamesAndValidation) {
+  EXPECT_STREQ(pastri_status_name(PASTRI_OK), "PASTRI_OK");
+  EXPECT_STREQ(pastri_status_name(PASTRI_ERR_CORRUPT_STREAM),
+               "PASTRI_ERR_CORRUPT_STREAM");
+  EXPECT_STREQ(pastri_status_name(static_cast<pastri_status>(-99)),
+               "PASTRI_ERR_UNKNOWN");
+  pastri_params cp;
+  pastri_params_init(&cp);
+  cp.dict_mode = 7;  // out of range
+  pastri_ctx* ctx = nullptr;
+  EXPECT_EQ(pastri_ctx_create(4, 8, &cp, &ctx),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(ctx, nullptr);
+  EXPECT_NE(std::string(pastri_last_error_message()), "");
+}
+
+// ---- Fuzz / corruption suite -------------------------------------------
+
+/// A v4 stream where every non-zero block has the same pattern: exactly
+/// one dictionary entry, defined by block 0, so the trailer section is
+/// two bytes (count varint + one ordinal varint) at a known offset.
+std::vector<std::uint8_t> single_entry_v4(const BlockSpec& spec,
+                                          std::size_t num_blocks) {
+  std::vector<double> data;
+  std::vector<double> base(spec.block_size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = 1e-5 * std::sin(0.7 * static_cast<double>(i + 1));
+  }
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    data.insert(data.end(), base.begin(), base.end());
+  }
+  return compress(data, spec, dict_params(DictMode::On));
+}
+
+struct DictLayout {
+  std::uint64_t dict_offset = 0;
+  std::uint64_t index_offset = 0;
+};
+
+DictLayout footer_of(const std::vector<std::uint8_t>& v4) {
+  DictLayout l;
+  std::memcpy(&l.dict_offset, v4.data() + v4.size() - 28, 8);
+  std::memcpy(&l.index_offset, v4.data() + v4.size() - 20, 8);
+  return l;
+}
+
+TEST(DictFuzz, TruncatedEverywhereNeverCrashes) {
+  const auto v4 = single_entry_v4({6, 10}, 9);
+  for (std::size_t len = 0; len < v4.size(); ++len) {
+    const std::vector<std::uint8_t> cut(v4.begin(), v4.begin() + len);
+    EXPECT_THROW((void)decompress(cut), std::exception) << "len " << len;
+    EXPECT_THROW(BlockReader{cut}, std::exception) << "len " << len;
+  }
+  // The untouched stream still decodes (the loop above cannot pass
+  // vacuously).
+  EXPECT_EQ(decompress(v4).size(), 9u * 60u);
+}
+
+TEST(DictFuzz, DanglingDefiningOrdinalRejected) {
+  const BlockSpec spec{6, 10};
+  const std::size_t nb = 9;
+  auto v4 = single_entry_v4(spec, nb);
+  const DictLayout l = footer_of(v4);
+  // Section layout: varint count (1) + varint defining ordinal (0).
+  ASSERT_EQ(l.index_offset - l.dict_offset, 2u);
+  ASSERT_EQ(v4[l.dict_offset], 1u);
+  ASSERT_EQ(v4[l.dict_offset + 1], 0u);
+  v4[l.dict_offset + 1] = static_cast<std::uint8_t>(nb);  // >= num_blocks
+  EXPECT_THROW(BlockReader{v4}, std::runtime_error);
+  EXPECT_THROW((void)decompress(v4), std::runtime_error);
+}
+
+TEST(DictFuzz, NonLiteralDefiningOrdinalRejected) {
+  // Block 1 is an ExactRef, not a Literal -- claiming it defined the
+  // entry must be rejected, not chased into a reference cycle.
+  auto v4 = single_entry_v4({6, 10}, 9);
+  const DictLayout l = footer_of(v4);
+  ASSERT_EQ(v4[l.dict_offset + 1], 0u);
+  v4[l.dict_offset + 1] = 1;
+  EXPECT_THROW(BlockReader{v4}, std::runtime_error);
+}
+
+TEST(DictFuzz, OverstatedEntryCountRejected) {
+  auto v4 = single_entry_v4({6, 10}, 9);
+  const DictLayout l = footer_of(v4);
+  v4[l.dict_offset] = 0x7f;  // claims 127 entries, section holds 1
+  EXPECT_THROW(BlockReader{v4}, std::runtime_error);
+}
+
+TEST(DictFuzz, CorruptFooterRejected) {
+  const auto good = single_entry_v4({6, 10}, 9);
+  {  // bad magic
+    auto bad = good;
+    bad[bad.size() - 1] ^= 0xff;
+    EXPECT_THROW(BlockReader{bad}, std::runtime_error);
+  }
+  {  // dict_offset beyond index_offset
+    auto bad = good;
+    const DictLayout l = footer_of(bad);
+    const std::uint64_t off = l.index_offset + 1;
+    std::memcpy(bad.data() + bad.size() - 28, &off, 8);
+    EXPECT_THROW(BlockReader{bad}, std::runtime_error);
+  }
+  {  // footer block count disagrees with the header
+    auto bad = good;
+    const std::uint64_t nb = 1000;
+    std::memcpy(bad.data() + bad.size() - 12, &nb, 8);
+    EXPECT_THROW(BlockReader{bad}, std::runtime_error);
+  }
+}
+
+/// Mutants whose *declared* decoded size is absurd are skipped (the
+/// same malloc-limit mimicry as test_fuzz_robustness.cpp: under ASan a
+/// giant allocation aborts instead of throwing std::bad_alloc).
+bool decode_in_budget(std::span<const std::uint8_t> s) {
+  constexpr std::size_t kMaxDecodedDoubles = std::size_t{1} << 22;
+  try {
+    const StreamInfo info = peek_info(s);
+    const std::size_t bs = info.spec.block_size();
+    return bs == 0 || info.num_blocks <= kMaxDecodedDoubles / bs;
+  } catch (const std::exception&) {
+    return true;  // corrupt header: decoding throws before allocating
+  }
+}
+
+TEST(DictFuzz, RandomMutationsNeverCrash) {
+  const auto v4 = single_entry_v4({8, 12}, 12);
+  std::mt19937_64 gen(0xD1C7);
+  for (int t = 0; t < 120; ++t) {
+    auto mutated = v4;
+    const int flips = 1 + static_cast<int>(gen() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[gen() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (gen() % 8));
+    }
+    if (gen() % 4 == 0) {
+      mutated.resize(5 + gen() % mutated.size());
+    }
+    if (!decode_in_budget(mutated)) continue;
+    // Success or a clean std::exception are both fine; crashes and
+    // sanitizer reports are not.
+    try {
+      (void)decompress(mutated);
+    } catch (const std::exception&) {
+    }
+    try {
+      const BlockReader reader(mutated);
+      (void)reader.read_range(0, std::min<std::size_t>(reader.num_blocks(),
+                                                       12));
+    } catch (const std::exception&) {
+    }
+    try {
+      SpanSource source(mutated);
+      StreamConsumer consumer(source,
+                              StreamConsumerOptions{.chunk_bytes = 32});
+      std::vector<double> buf(96);
+      while (consumer.read_values(buf) != 0) {
+      }
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pastri
