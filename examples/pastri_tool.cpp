@@ -31,6 +31,7 @@
 
 #include "core/pastri.h"
 #include "core/pastri_capi.h"
+#include "core/simd/simd.h"
 #include "core/stream.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -431,6 +432,19 @@ int cmd_inspect(const char* in) {
   } else {
     std::printf("dictionary: none (v%u container)\n", info.version);
   }
+
+  // Resolved SIMD tier (what the probe decode above actually ran on)
+  // plus per-tier availability, so a mis-dispatch -- e.g. AVX-512
+  // silently falling back to scalar on an OS without ZMM state saving
+  // -- is visible here and in the pastri_core_simd_decode_backend
+  // gauge of --metrics.
+  std::printf("simd: decode backend %s; tiers",
+              simd::backend_name(simd::active_backend()));
+  for (simd::Backend b : simd::kAllBackends) {
+    std::printf(" %s=%s", simd::backend_name(b),
+                simd::backend_supported(b) ? "yes" : "no");
+  }
+  std::printf("\n");
   return 0;
 }
 

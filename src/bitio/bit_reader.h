@@ -179,6 +179,17 @@ class BitReader {
   /// unaligned load per several symbols) instead of peeking per symbol.
   std::span<const std::uint8_t> data() const { return data_; }
 
+  /// Checked bounds probe for bulk kernel unpacks: verify that `nbits`
+  /// more bits exist from the cursor, throwing exactly like a checked
+  /// read on truncation.  Callers then hand `data()`/`bit_position()`
+  /// to a bulk decode kernel (core/simd) and `seek_unchecked` past the
+  /// run -- one check for the whole run, like `read_signed_run`.
+  void require_bits(std::size_t nbits) const {
+    if (pos_ + nbits > 8 * data_.size()) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+  }
+
   /// Unchecked absolute cursor move (speculative family; may land
   /// logically past the end -- pair with `check_overrun`).
   void seek_unchecked(std::size_t bitpos) { pos_ = bitpos; }

@@ -471,6 +471,18 @@ void compress_block(CodecContext& ctx, std::span<const double> block,
 
 namespace {
 
+// Two-stage decode (see DESIGN.md §9): the serial entropy stage walks
+// the payload header and the variable-length ECQ symbols, while every
+// fixed-width array -- PQ, SQ, DeltaRef deviations, sparse-ECQ records
+// -- is bounds-checked once (`require_bits`) and then unpacked in bulk
+// by the active simd::DecodeKernels, which also run the dictionary
+// base apply, the sparse scatter, and the final reconstruction
+// multiply-add.  All backends are bit-exact, and every corrupt-stream
+// exception of the serial decoder is preserved: truncation throws
+// std::out_of_range from the hoisted bounds check, domain corruption
+// ("corrupt P_b", "corrupt outlier index", ...) throws from the same
+// validations as before, just after the bulk read instead of inside a
+// per-value loop.
 void decompress_block_impl(const BlockSpec& spec, const Params& params,
                            bool dict_stream, const PatternDict* dict,
                            bitio::BitReader& r, std::span<double> out,
@@ -482,6 +494,18 @@ void decompress_block_impl(const BlockSpec& spec, const Params& params,
     std::fill(out.begin(), out.end(), 0.0);
     return;
   }
+  const simd::DecodeKernels& dk = simd::decode_kernels();
+  // Bulk fixed-width run: one hoisted bounds check, then the kernel
+  // windows/gathers straight off the payload bytes.
+  const auto bulk_signed_run = [&r, &dk](unsigned nbits,
+                                         std::span<std::int64_t> dst) {
+    const std::size_t run_bits =
+        static_cast<std::size_t>(nbits) * dst.size();
+    r.require_bits(run_bits);
+    dk.unpack_signed(r.data().data(), r.data().size(), r.bit_position(),
+                     nbits, dst.data(), dst.size());
+    r.seek_unchecked(r.bit_position() + run_bits);
+  };
   double eb = params.error_bound;
   if (params.bound_mode == BoundMode::BlockRelative) {
     const int e = static_cast<int>(r.read_bits(12)) - kEbExpBias;
@@ -503,7 +527,7 @@ void decompress_block_impl(const BlockSpec& spec, const Params& params,
         static_cast<PatternCode>(r.read_bits(PatternDict::kTagBits));
     switch (tag) {
       case PatternCode::Literal:
-        r.read_signed_run(qb.spec.pattern_bits, qb.pq);
+        bulk_signed_run(qb.spec.pattern_bits, qb.pq);
         break;
       case PatternCode::ExactRef: {
         const std::uint64_t id = bitio::read_varint(r);
@@ -530,40 +554,48 @@ void decompress_block_impl(const BlockSpec& spec, const Params& params,
               "PaSTRI: dictionary reference mismatch");
         }
         // The deviations land in pq, then the base is added in place.
-        r.read_signed_run(dev_bits, qb.pq);
-        for (std::size_t i = 0; i < qb.pq.size(); ++i) {
-          qb.pq[i] += e.pq[i];
-        }
+        bulk_signed_run(dev_bits, qb.pq);
+        dk.apply_base_i64(qb.pq.data(), e.pq.data(), qb.pq.size());
         break;
       }
       default:
         throw std::runtime_error("PaSTRI: corrupt pattern tag");
     }
   } else {
-    // Fixed-width PQ run: one hoisted bounds check, then unchecked word
-    // loads (bit_reader.h).
-    r.read_signed_run(qb.spec.pattern_bits, qb.pq);
+    // Fixed-width PQ run: one hoisted bounds check, then the bulk
+    // unpack kernel.
+    bulk_signed_run(qb.spec.pattern_bits, qb.pq);
   }
   qb.sq.resize(spec.num_sub_blocks);
-  r.read_signed_run(qb.spec.scale_bits, qb.sq);
+  bulk_signed_run(qb.spec.scale_bits, qb.sq);
 
   qb.ecb_max = static_cast<unsigned>(r.read_bits(6));
   if (qb.ecb_max >= 2) {
     obs::ScopedTimer timer(metrics.ecq_decode_ns);
     const bool sparse = r.read_bit();
     if (sparse) {
-      qb.ecq.assign(spec.block_size(), 0);
       const std::uint64_t nol = bitio::read_varint(r);
       if (nol > spec.block_size()) {
         throw std::runtime_error("PaSTRI: corrupt outlier count");
       }
+      // Bulk (index, value) record unpack into workspace arrays, then
+      // a validating zero-fill + scatter; an out-of-range index makes
+      // the scatter kernel bail before storing anything.
       const unsigned idx_bits = bitio::bits_for_count(spec.block_size());
-      for (std::uint64_t k = 0; k < nol; ++k) {
-        const std::uint64_t idx = r.read_bits(idx_bits);
-        if (idx >= spec.block_size()) {
-          throw std::runtime_error("PaSTRI: corrupt outlier index");
-        }
-        qb.ecq[idx] = r.read_signed(qb.ecb_max);
+      ws.sparse_idx.resize(nol);
+      ws.sparse_val.resize(nol);
+      const std::size_t rec_bits =
+          static_cast<std::size_t>(idx_bits + qb.ecb_max) * nol;
+      r.require_bits(rec_bits);
+      dk.unpack_pairs(r.data().data(), r.data().size(), r.bit_position(),
+                      idx_bits, qb.ecb_max, ws.sparse_idx.data(),
+                      ws.sparse_val.data(), nol);
+      r.seek_unchecked(r.bit_position() + rec_bits);
+      qb.ecq.resize(spec.block_size());
+      if (!dk.scatter_ecq(qb.ecq.data(), spec.block_size(),
+                          ws.sparse_idx.data(), ws.sparse_val.data(),
+                          nol)) {
+        throw std::runtime_error("PaSTRI: corrupt outlier index");
       }
     } else {
       // Dense ECQ: table-driven decode with speculative reads; the
@@ -581,7 +613,14 @@ void decompress_block_impl(const BlockSpec& spec, const Params& params,
   } else {
     qb.ecq.assign(spec.block_size(), 0);
   }
-  dequantize_block(qb, spec, out);
+  // Bulk reconstruct: pattern x scale multiply-add with the ECQ
+  // correction, through the active backend (bit-exact on every tier).
+  ws.p_hat.resize(spec.sub_block_size);
+  dk.reconstruct(qb.pq.data(), qb.sq.data(), qb.ecq.data(),
+                 spec.num_sub_blocks, spec.sub_block_size,
+                 qb.spec.pattern_binsize, qb.spec.scale_binsize,
+                 qb.spec.ec_binsize, qb.spec.pattern_bits, qb.ecb_max,
+                 ws.p_hat.data(), out.data());
 }
 
 }  // namespace

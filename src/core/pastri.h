@@ -279,9 +279,11 @@ BlockIndex read_block_index(std::span<const std::uint8_t> stream);
 struct CodecWorkspace {
   PatternSelection selection;             ///< encode: pattern + scales
   QuantizedBlock quantized;               ///< both sides: PQ/SQ/ECQ
-  std::vector<double> p_hat;              ///< encode: reconstructed pattern
+  std::vector<double> p_hat;              ///< both: reconstructed pattern
   std::vector<double> s_hat;              ///< encode: reconstructed scales
   std::vector<double> metric_scratch;     ///< encode: select_pattern values
+  std::vector<std::uint64_t> sparse_idx;  ///< decode: sparse-ECQ indices
+  std::vector<std::int64_t> sparse_val;   ///< decode: sparse-ECQ values
   bitio::BitWriter writer;                ///< drivers: per-block bit staging
   std::vector<std::uint8_t> arena;        ///< drivers: batch payload staging
   Stats stats;                            ///< drivers: per-thread accounting

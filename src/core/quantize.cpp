@@ -129,17 +129,15 @@ void dequantize_block(const QuantizedBlock& qb, const BlockSpec& spec,
   const std::size_t nsb = spec.num_sub_blocks;
   const std::size_t sbs = spec.sub_block_size;
   assert(qb.pq.size() == sbs && qb.sq.size() == nsb);
-  for (std::size_t j = 0; j < nsb; ++j) {
-    const double s_hat =
-        static_cast<double>(qb.sq[j]) * qb.spec.scale_binsize;
-    for (std::size_t i = 0; i < sbs; ++i) {
-      const double p_hat =
-          static_cast<double>(qb.pq[i]) * qb.spec.pattern_binsize;
-      out[j * sbs + i] = s_hat * p_hat +
-                         static_cast<double>(qb.ecq[j * sbs + i]) *
-                             qb.spec.ec_binsize;
-    }
-  }
+  // One canonical reconstruction, shared with decompress_block: the
+  // active decode kernel (bit-exact on every backend).  Thread-local
+  // scratch keeps repeated calls allocation-free.
+  static thread_local std::vector<double> p_hat;
+  p_hat.resize(sbs);
+  simd::decode_kernels().reconstruct(
+      qb.pq.data(), qb.sq.data(), qb.ecq.data(), nsb, sbs,
+      qb.spec.pattern_binsize, qb.spec.scale_binsize, qb.spec.ec_binsize,
+      qb.spec.pattern_bits, qb.ecb_max, p_hat.data(), out.data());
 }
 
 }  // namespace pastri

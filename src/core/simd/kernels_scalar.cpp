@@ -1,10 +1,13 @@
-// kernels_scalar.cpp - Portable backend of the encode kernel table.
+// kernels_scalar.cpp - Portable backend of the kernel tables.
 //
 // These loops are the pre-SIMD hot-path code, verbatim in semantics:
-// the AVX2 backend is verified bit-identical against them (SimdDiff
+// every vector backend is verified bit-identical against them (SimdDiff
 // suite), and they are what PASTRI_SIMD=scalar selects on any CPU.
+// The decode bodies live in kernels_common.h so the vector TUs can
+// reuse them (internal-linkage copies) for tails and width fallbacks.
 #include <cmath>
 
+#include "core/simd/kernels_common.h"
 #include "core/simd/simd.h"
 
 namespace pastri::simd {
@@ -94,6 +97,12 @@ void ecq_residual_scalar(const double* block, std::size_t nsb,
 const EncodeKernels kScalarKernels = {
     abs_max_scalar,      find_first_abs_eq_scalar, any_abs_above_scalar,
     quantize_signed_scalar, ecq_residual_scalar,
+};
+
+const DecodeKernels kScalarDecode = {
+    detail::unpack_signed_scalar, detail::unpack_pairs_scalar,
+    detail::apply_base_i64_scalar, detail::scatter_ecq_scalar,
+    detail::reconstruct_scalar,
 };
 
 }  // namespace pastri::simd

@@ -1,11 +1,19 @@
-// simd.cpp - Runtime backend dispatch for the encode kernel table.
+// simd.cpp - Runtime backend dispatch for the codec kernel tables.
 //
-// Selection runs once, at the first encode_kernels() call: the widest
-// backend both the build and the CPU support wins, unless PASTRI_SIMD
-// names one explicitly (unsupported or unknown names fall back to
-// scalar -- a forced-off path must never crash on an old CPU).  The
-// choice is published through an atomic pointer so steady-state access
-// is one relaxed load; force_backend()/refresh_backend_from_env() are
+// Selection runs once, at the first encode_kernels()/decode_kernels()
+// call: the widest backend both the build and the CPU support wins
+// (avx512 > avx2 > scalar on x86-64, neon on aarch64), unless
+// PASTRI_SIMD names one explicitly (unsupported or unknown names fall
+// back to scalar -- a forced-off path must never crash on an old CPU).
+// Encode and decode tables always switch together, so a stream is
+// encoded and decoded by the same tier unless the user re-forces in
+// between -- which is safe, because every tier is bit-identical.
+//
+// AVX-512 needs more than a CPUID feature bit: the OS must have enabled
+// ZMM state saving (XCR0 bits 1|2|5|6|7 via XGETBV), otherwise the
+// first EVEX instruction faults.  cpu_has_avx512() checks both.  The
+// choice is published through atomic pointers so steady-state access is
+// one relaxed load; force_backend()/refresh_backend_from_env() are
 // testing hooks that republish it.
 #include "core/simd/simd.h"
 
@@ -16,10 +24,15 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#include <cpuid.h>
+#endif
+
 namespace pastri::simd {
 namespace {
 
 std::atomic<const EncodeKernels*> g_active{nullptr};
+std::atomic<const DecodeKernels*> g_active_decode{nullptr};
 std::atomic<Backend> g_backend{Backend::Scalar};
 
 bool cpu_has_avx2() {
@@ -30,25 +43,85 @@ bool cpu_has_avx2() {
 #endif
 }
 
-const EncodeKernels& table_for(Backend b) {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+// XGETBV via inline asm: the _xgetbv intrinsic needs -mxsave, which
+// this (deliberately flag-free) dispatch TU does not use.  Only called
+// after CPUID confirmed OSXSAVE, so the instruction itself is legal.
+std::uint64_t xgetbv0() {
+  unsigned lo = 0, hi = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0u));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+#endif
+
+bool cpu_has_avx512() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  // Feature bits alone are not enough: a kernel that does not save ZMM
+  // state leaves the bits set in CPUID leaf 7 while the first EVEX
+  // instruction faults.  Check OSXSAVE, then ask XGETBV whether the OS
+  // saves SSE|AVX|opmask|ZMM_hi256|hi16_ZMM state, then the F+DQ
+  // feature bits the kernels actually use (cvtepi64_pd is DQ).
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  constexpr unsigned kOsxsave = 1u << 27;
+  if ((ecx & kOsxsave) == 0) return false;
+  constexpr std::uint64_t kAvx512State = 0xE6;  // XCR0 bits 1,2,5,6,7
+  if ((xgetbv0() & kAvx512State) != kAvx512State) return false;
+  if (__get_cpuid_max(0, nullptr) < 7) return false;
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  constexpr unsigned kAvx512F = 1u << 16;
+  constexpr unsigned kAvx512Dq = 1u << 17;
+  return (ebx & kAvx512F) != 0 && (ebx & kAvx512Dq) != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_neon() {
+#if defined(__aarch64__)
+  return true;  // Advanced SIMD is baseline on AArch64.
+#else
+  return false;
+#endif
+}
+
+const EncodeKernels& encode_table_for(Backend b) {
   switch (b) {
     case Backend::Scalar: return kScalarKernels;
     case Backend::Avx2: return kAvx2Kernels;
+    case Backend::Avx512: return kAvx512Kernels;
+    case Backend::Neon: return kNeonKernels;
   }
   return kScalarKernels;
 }
 
+const DecodeKernels& decode_table_for(Backend b) {
+  switch (b) {
+    case Backend::Scalar: return kScalarDecode;
+    case Backend::Avx2: return kAvx2Decode;
+    case Backend::Avx512: return kAvx512Decode;
+    case Backend::Neon: return kNeonDecode;
+  }
+  return kScalarDecode;
+}
+
+Backend best_backend() {
+  if (backend_supported(Backend::Avx512)) return Backend::Avx512;
+  if (backend_supported(Backend::Avx2)) return Backend::Avx2;
+  if (backend_supported(Backend::Neon)) return Backend::Neon;
+  return Backend::Scalar;
+}
+
 Backend select_backend() {
-  Backend b = backend_supported(Backend::Avx2) ? Backend::Avx2
-                                               : Backend::Scalar;
+  Backend b = best_backend();
   if (const char* env = std::getenv("PASTRI_SIMD")) {
-    if (std::strcmp(env, "scalar") == 0) {
-      b = Backend::Scalar;
-    } else if (std::strcmp(env, "avx2") == 0 &&
-               backend_supported(Backend::Avx2)) {
-      b = Backend::Avx2;
-    } else if (std::strcmp(env, "avx2") != 0 && env[0] != '\0') {
-      b = Backend::Scalar;  // unknown name: the safe backend
+    if (env[0] == '\0') return b;
+    b = Backend::Scalar;  // any explicit name starts from the safe tier
+    for (Backend cand : kAllBackends) {
+      if (std::strcmp(env, backend_name(cand)) == 0 &&
+          backend_supported(cand)) {
+        b = cand;
+      }
     }
   }
   return b;
@@ -56,10 +129,16 @@ Backend select_backend() {
 
 void publish(Backend b) {
   g_backend.store(b, std::memory_order_relaxed);
-  g_active.store(&table_for(b), std::memory_order_release);
-  // Observability: which backend the encode path dispatches to
-  // (0 = scalar, 1 = avx2), settable-once gauges are fine to re-set.
-  obs::registry().gauge(obs::kCoreSimdBackend).set(static_cast<double>(b));
+  g_active.store(&encode_table_for(b), std::memory_order_release);
+  g_active_decode.store(&decode_table_for(b), std::memory_order_release);
+  // Observability: which backend the codec dispatches to (0 = scalar,
+  // 1 = avx2, 2 = avx512, 3 = neon).  Encode and decode switch
+  // together, but both gauges exist so a mis-dispatch (e.g. a triage
+  // force to scalar that only one consumer noticed) is visible per
+  // path; settable-once gauges are fine to re-set.
+  const double tier = static_cast<double>(b);
+  obs::registry().gauge(obs::kCoreSimdBackend).set(tier);
+  obs::registry().gauge(obs::kCoreSimdDecodeBackend).set(tier);
 }
 
 }  // namespace
@@ -68,6 +147,8 @@ const char* backend_name(Backend b) {
   switch (b) {
     case Backend::Scalar: return "scalar";
     case Backend::Avx2: return "avx2";
+    case Backend::Avx512: return "avx512";
+    case Backend::Neon: return "neon";
   }
   return "?";
 }
@@ -76,6 +157,8 @@ bool backend_supported(Backend b) {
   switch (b) {
     case Backend::Scalar: return true;
     case Backend::Avx2: return avx2_compiled_in() && cpu_has_avx2();
+    case Backend::Avx512: return avx512_compiled_in() && cpu_has_avx512();
+    case Backend::Neon: return neon_compiled_in() && cpu_has_neon();
   }
   return false;
 }
@@ -84,9 +167,18 @@ const EncodeKernels& encode_kernels() {
   const EncodeKernels* k = g_active.load(std::memory_order_acquire);
   if (k == nullptr) [[unlikely]] {
     // Selection is idempotent; a racing first call publishes the same
-    // table twice.
+    // tables twice.
     publish(select_backend());
     k = g_active.load(std::memory_order_acquire);
+  }
+  return *k;
+}
+
+const DecodeKernels& decode_kernels() {
+  const DecodeKernels* k = g_active_decode.load(std::memory_order_acquire);
+  if (k == nullptr) [[unlikely]] {
+    publish(select_backend());
+    k = g_active_decode.load(std::memory_order_acquire);
   }
   return *k;
 }

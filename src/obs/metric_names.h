@@ -31,6 +31,8 @@ inline constexpr std::string_view kCoreEncodeBytes =
     "pastri_core_encode_bytes_total";
 inline constexpr std::string_view kCoreSimdBackend =
     "pastri_core_simd_backend";
+inline constexpr std::string_view kCoreSimdDecodeBackend =
+    "pastri_core_simd_decode_backend";
 inline constexpr std::string_view kCoreDictLiterals =
     "pastri_core_dict_literals_total";
 inline constexpr std::string_view kCoreDictExactRefs =

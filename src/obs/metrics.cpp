@@ -31,6 +31,7 @@ constexpr StdMetric kStandardMetrics[] = {
     {kCoreEcqDenseSymbols, StdType::Counter},
     {kCoreEncodeBytes, StdType::Counter},
     {kCoreSimdBackend, StdType::Gauge},
+    {kCoreSimdDecodeBackend, StdType::Gauge},
     {kCoreDictLiterals, StdType::Counter},
     {kCoreDictExactRefs, StdType::Counter},
     {kCoreDictDeltaRefs, StdType::Counter},

@@ -15,6 +15,7 @@
 #include "bitio/bit_reader.h"
 #include "bitio/bit_writer.h"
 #include "core/pastri.h"
+#include "core/simd/simd.h"
 #include "core/stream.h"
 
 namespace {
@@ -126,6 +127,83 @@ TEST(AllocFree, DecompressBlockSteadyStateAllocatesNothing) {
       << "decompress_block allocated in steady state";
 }
 
+/// Backends this binary can actually execute (scalar + every supported
+/// vector tier); the alloc contract must hold on all of them.
+std::vector<simd::Backend> runnable_backends() {
+  std::vector<simd::Backend> v{simd::Backend::Scalar};
+  for (simd::Backend b : {simd::Backend::Avx2, simd::Backend::Avx512,
+                          simd::Backend::Neon}) {
+    if (simd::backend_supported(b)) v.push_back(b);
+  }
+  return v;
+}
+
+/// Blocks whose ECQ payload is a handful of large outliers in an
+/// otherwise exact scaled pattern -- the geometry that makes the
+/// planner pick the sparse (index,value) representation, so decode
+/// exercises unpack_pairs + scatter_ecq and the workspace sparse_idx /
+/// sparse_val arrays.
+std::vector<double> make_sparse_blocks(std::size_t count,
+                                       std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::vector<double> data(count * kSpec.block_size());
+  for (std::size_t b = 0; b < count; ++b) {
+    double pattern[36];
+    for (double& p : pattern) p = 1e-6 * (1.0 + 0.5 * unit(gen));
+    for (std::size_t j = 0; j < kSpec.num_sub_blocks; ++j) {
+      const double scale = 0.25 + 0.5 * (static_cast<double>(j) / 36.0);
+      for (std::size_t i = 0; i < kSpec.sub_block_size; ++i) {
+        double v = scale * pattern[i];
+        if ((j * 36 + i + b) % 331 == 0) v += 1e-3 * unit(gen);
+        data[b * kSpec.block_size() + j * kSpec.sub_block_size + i] = v;
+      }
+    }
+  }
+  return data;
+}
+
+/// Steady-state decompress_block allocates nothing on ANY backend, for
+/// dense-ECQ and sparse-ECQ payloads alike (the sparse path's
+/// (idx,val) scratch lives in the workspace and is warmed by the first
+/// pass, like every other array).
+TEST(AllocFree, DecompressBlockAllocFreeOnEveryBackendBothEcqPaths) {
+  const std::size_t n = 32;
+  Params params;
+  CodecWorkspace ws;
+  bitio::BitWriter w;
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (const auto& data : {make_blocks(n, 21), make_sparse_blocks(n, 22)}) {
+    for (std::size_t b = 0; b < n; ++b) {
+      w.restart();
+      compress_block(std::span<const double>(data).subspan(
+                         b * kSpec.block_size(), kSpec.block_size()),
+                     kSpec, params, w, nullptr, ws);
+      const auto view = w.finish_view();
+      payloads.emplace_back(view.begin(), view.end());
+    }
+  }
+
+  std::vector<double> out(kSpec.block_size());
+  for (simd::Backend backend : runnable_backends()) {
+    simd::force_backend(backend);
+    for (const auto& payload : payloads) {  // warm pass
+      bitio::BitReader r(payload);
+      decompress_block(r, kSpec, params, out, ws);
+    }
+    const std::size_t mark = g_alloc_count.load();
+    for (const auto& payload : payloads) {
+      bitio::BitReader r(payload);
+      decompress_block(r, kSpec, params, out, ws);
+    }
+    EXPECT_EQ(allocations_since(mark), 0u)
+        << "decompress_block allocated in steady state on backend "
+        << simd::backend_name(backend);
+  }
+  simd::refresh_backend_from_env();
+}
+
 TEST(AllocFree, StreamWriterSteadyStateBatchesAllocateFarBelowPerBlock) {
   const std::size_t batch = 16;
   const std::size_t n = 8 * batch;
@@ -186,6 +264,41 @@ TEST(AllocFree, StreamConsumerSteadyStateBatchesAllocateFarBelowPerBlock) {
       << allocs << " allocations over " << measured << " blocks";
   // Decode is deterministic: the chunked path must equal the one-shot.
   EXPECT_EQ(out, decompress(stream));
+}
+
+/// The consumer chunk loop keeps the amortized-allocation contract on
+/// every backend tier (the bulk decode kernels draw all their scratch
+/// from the per-thread workspaces).
+TEST(AllocFree, StreamConsumerChunkLoopAllocLeanOnEveryBackend) {
+  const std::size_t batch = 16;
+  const std::size_t n = 4 * batch;
+  const auto data = make_blocks(n, 15);
+  Params params;
+  params.num_threads = 2;
+  const auto stream = compress(data, kSpec, params);
+  const auto want = decompress(stream);
+
+  for (simd::Backend backend : runnable_backends()) {
+    simd::force_backend(backend);
+    SpanSource source(stream);
+    StreamConsumer consumer(source,
+                            {.batch_blocks = batch, .num_threads = 2});
+    std::vector<double> out(n * kSpec.block_size());
+    ASSERT_EQ(consumer.read_blocks(std::span<double>(out).first(
+                  batch * kSpec.block_size())),
+              batch);
+    const std::size_t mark = g_alloc_count.load();
+    ASSERT_EQ(consumer.read_blocks(std::span<double>(out).subspan(
+                  batch * kSpec.block_size())),
+              n - batch);
+    const std::size_t measured = n - batch;
+    const std::size_t allocs = allocations_since(mark);
+    EXPECT_LT(allocs, measured / 4)
+        << allocs << " allocations over " << measured << " blocks on "
+        << simd::backend_name(backend);
+    EXPECT_EQ(out, want) << simd::backend_name(backend);
+  }
+  simd::refresh_backend_from_env();
 }
 
 }  // namespace
