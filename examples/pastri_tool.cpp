@@ -36,6 +36,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "qc/eri_engine.h"
+#include "serve/client.h"
 
 namespace {
 
@@ -65,6 +66,11 @@ int usage() {
       "  pastri_tool verify     IN.eri IN.pastri\n"
       "  pastri_tool extract    IN.pastri FIRST [COUNT]\n"
       "  pastri_tool inspect    IN.pastri\n"
+      "  pastri_tool serve-client HOST:PORT ping\n"
+      "  pastri_tool serve-client HOST:PORT get-block STORE FIRST [COUNT]\n"
+      "  pastri_tool serve-client HOST:PORT stats STORE\n"
+      "  pastri_tool serve-client HOST:PORT put-stream IN.eri OUT.pastri"
+      " [--eb E]\n"
       "\n"
       "every subcommand also accepts --metrics[=json|prom]: dump the\n"
       "telemetry snapshot (counters, gauges, latency histograms) to\n"
@@ -448,6 +454,108 @@ int cmd_inspect(const char* in) {
   return 0;
 }
 
+/// serve-client: drive a running pastri_serve daemon.
+///
+///   serve-client HOST:PORT ping
+///   serve-client HOST:PORT get-block STORE_PATH FIRST [COUNT]
+///   serve-client HOST:PORT stats STORE_PATH
+///   serve-client HOST:PORT put-stream IN.eri OUT.pastri [--eb E]
+///
+/// STORE_PATH and OUT.pastri name files on the daemon's host (it opens
+/// them server-side); IN.eri is read locally and streamed over the
+/// wire.  put-stream writes a raw PaSTRI container (no tool header),
+/// which open_store/get-block read back directly.
+std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& arg) {
+  const std::size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= arg.size()) {
+    throw std::invalid_argument("expected HOST:PORT, got: " + arg);
+  }
+  return {arg.substr(0, colon),
+          static_cast<std::uint16_t>(std::stoul(arg.substr(colon + 1)))};
+}
+
+int cmd_serve_client(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const auto [host, port] = parse_host_port(argv[0]);
+  const std::string verb = argv[1];
+  serve::Client client(host, port);
+
+  if (verb == "ping") {
+    client.ping();
+    std::printf("ok\n");
+    return 0;
+  }
+  if (verb == "get-block" && argc >= 4) {
+    const serve::StoreInfo info = client.open_store(argv[2]);
+    const std::size_t first = std::stoull(argv[3]);
+    const std::size_t count = argc >= 5 ? std::stoull(argv[4]) : 1;
+    const auto values = client.get_range(info.id, first, count);
+    std::printf("# %zu block(s) from %zu of %llu (block size %llu)\n",
+                count, first,
+                static_cast<unsigned long long>(info.num_blocks),
+                static_cast<unsigned long long>(info.block_size));
+    for (const double v : values) std::printf("%.17g\n", v);
+    return 0;
+  }
+  if (verb == "stats" && argc >= 3) {
+    const serve::StoreInfo info = client.open_store(argv[2]);
+    const CacheStats st = client.stats(info.id);
+    std::printf("store %u: %llu blocks, cache hits %llu misses %llu "
+                "bytes %llu unique %llu\n",
+                info.id,
+                static_cast<unsigned long long>(info.num_blocks),
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.bytes),
+                static_cast<unsigned long long>(st.unique_blocks));
+    return 0;
+  }
+  if (verb == "put-stream" && argc >= 4) {
+    double eb = 0.0;
+    for (int i = 4; i < argc; ++i) {
+      if (std::string(argv[i]) == "--eb" && i + 1 < argc) {
+        eb = std::stod(argv[++i]);
+      }
+    }
+    std::ifstream fin;
+    std::istream& is = open_input(argv[2], fin);
+    const qc::EriDatasetHeader hdr = qc::read_dataset_header(is);
+    const std::uint32_t session = client.put_open(
+        argv[3],
+        static_cast<std::uint16_t>(hdr.shape.num_sub_blocks()),
+        static_cast<std::uint16_t>(hdr.shape.sub_block_size()), eb);
+    const std::size_t block_size =
+        hdr.shape.num_sub_blocks() * hdr.shape.sub_block_size();
+    std::vector<double> buf(block_size * 64);
+    std::size_t left = hdr.num_blocks * block_size;
+    while (left > 0) {
+      const std::size_t want = std::min(buf.size(), left);
+      is.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(want * sizeof(double)));
+      const auto got_bytes = static_cast<std::size_t>(is.gcount());
+      if (got_bytes == 0 || got_bytes % sizeof(double) != 0) {
+        throw std::runtime_error("truncated .eri input");
+      }
+      buf.resize(got_bytes / sizeof(double));
+      client.put_chunk(session, buf);
+      left -= buf.size();
+      buf.resize(block_size * 64);
+    }
+    const serve::PutResult res = client.put_close(session);
+    std::printf("%s: %llu blocks, %llu -> %llu bytes (%.2fx)\n", argv[3],
+                static_cast<unsigned long long>(res.num_blocks),
+                static_cast<unsigned long long>(res.input_bytes),
+                static_cast<unsigned long long>(res.output_bytes),
+                res.output_bytes
+                    ? static_cast<double>(res.input_bytes) /
+                          static_cast<double>(res.output_bytes)
+                    : 0.0);
+    return 0;
+  }
+  return usage();
+}
+
 /// Strip --metrics[=json|prom] from argv (any position, any subcommand)
 /// and record the requested mode.  Returns the new argc, or -1 on a bad
 /// value.
@@ -498,6 +606,7 @@ int main(int argc, char** argv) {
     else if (cmd == "extract" && argc >= 4)
       rc = cmd_extract(argv[2], argv[3], argc >= 5 ? argv[4] : nullptr);
     else if (cmd == "inspect" && argc >= 3) rc = cmd_inspect(argv[2]);
+    else if (cmd == "serve-client") rc = cmd_serve_client(argc - 2, argv + 2);
     else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -6,14 +6,18 @@
 #include <memory>
 #include <string>
 
+#include "core/capi_detail.h"
 #include "core/pastri.h"
 #include "core/stream.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
+namespace pastri::capi {
 namespace {
 
 thread_local std::string g_last_error;
+
+}  // namespace
 
 pastri_status fail(pastri_status code, const char* what) noexcept {
   try {
@@ -24,7 +28,7 @@ pastri_status fail(pastri_status code, const char* what) noexcept {
   return code;
 }
 
-pastri::Params to_cpp(const pastri_params& p) {
+pastri::Params to_cpp_params(const pastri_params& p) {
   pastri::Params out;
   out.error_bound = p.error_bound;
   out.bound_mode = static_cast<pastri::BoundMode>(p.bound_mode);
@@ -38,6 +42,18 @@ pastri::Params to_cpp(const pastri_params& p) {
   }
   out.dict = static_cast<pastri::DictMode>(p.dict_mode);
   return out;
+}
+
+const char* last_error_cstr() { return g_last_error.c_str(); }
+
+}  // namespace pastri::capi
+
+namespace {
+
+using pastri::capi::fail;
+
+pastri::Params to_cpp(const pastri_params& p) {
+  return pastri::capi::to_cpp_params(p);
 }
 
 /// Copy a vector into a malloc-owned buffer the C caller frees with
@@ -98,6 +114,7 @@ const char* pastri_status_name(pastri_status status) {
     case PASTRI_ERR_CORRUPT_STREAM: return "PASTRI_ERR_CORRUPT_STREAM";
     case PASTRI_ERR_INTERNAL: return "PASTRI_ERR_INTERNAL";
     case PASTRI_ERR_IO: return "PASTRI_ERR_IO";
+    case PASTRI_ERR_BUSY: return "PASTRI_ERR_BUSY";
   }
   return "PASTRI_ERR_UNKNOWN";
 }
@@ -386,7 +403,9 @@ void pastri_metrics_reset(void) { pastri::obs::registry().reset(); }
 
 void pastri_free(void* ptr) { std::free(ptr); }
 
-const char* pastri_last_error_message(void) { return g_last_error.c_str(); }
+const char* pastri_last_error_message(void) {
+  return pastri::capi::last_error_cstr();
+}
 
 const char* pastri_last_error(void) { return pastri_last_error_message(); }
 

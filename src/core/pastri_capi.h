@@ -24,6 +24,9 @@ typedef enum pastri_status {
   PASTRI_ERR_CORRUPT_STREAM = -2,   /* malformed or truncated container */
   PASTRI_ERR_INTERNAL = -3,         /* allocation failure or library bug */
   PASTRI_ERR_IO = -4,               /* file open/write/close failed */
+  PASTRI_ERR_BUSY = -5,             /* admission control shed the request
+                                     * (pastri_serve: connection/session
+                                     * caps reached; retry later) */
 } pastri_status;
 
 /* Mirrors pastri::Params; initialize with pastri_params_init. */
@@ -152,6 +155,114 @@ pastri_status pastri_ctx_compress_buffer(pastri_ctx* ctx,
 
 /* Release the context. */
 void pastri_ctx_destroy(pastri_ctx* ctx);
+
+/* ---- Compressed block stores ----------------------------------------
+ *
+ * A store is a long-lived, read-mostly handle over compressed data with
+ * a sharded LRU cache of decoded blocks in front of it -- the server
+ * surface of the library: pastri_serve's OPEN_STORE/GET_BLOCK RPCs map
+ * 1:1 onto these calls.  Three backings:
+ *
+ *   - pastri_store_open(path):  a single PaSTRI container (raw stream
+ *     as written by pastri_stream_* / the C++ StreamWriter, or a
+ *     pastri_tool "TSCP" file -- sniffed from the magic), or a sharded
+ *     dataset when `path` is its manifest file
+ *     ("<dir>/<basename>.manifest"); shards are concatenated in dataset
+ *     block order.  Blocks are addressed by index via
+ *     pastri_store_get_block / pastri_store_get_range.
+ *
+ *   - pastri_store_open_eri(molecule): computes and compresses the ERI
+ *     tensor of a named built-in molecule (STO-3G) and serves
+ *     shell-quartet blocks via pastri_store_shell_block.
+ *
+ * Thread safety: all get/stats calls on one store are safe to call
+ * concurrently (the decoded-block cache is mutex-striped and the decode
+ * itself runs outside any lock); open/set-cache/close must not race
+ * with gets on the same handle. */
+
+typedef struct pastri_store pastri_store;
+
+/* Decoded-block cache geometry.  capacity_blocks is the total cache
+ * size across shards (0 disables caching); num_shards is the number of
+ * independently locked stripes (0 = library default). */
+typedef struct pastri_store_cache_config {
+  size_t capacity_blocks;
+  size_t num_shards;
+} pastri_store_cache_config;
+
+/* Aggregated cache accounting.  hits/misses are lifetime counters;
+ * bytes/unique_blocks count each distinct decoded vector once (entries
+ * with identical decoded values share one vector). */
+typedef struct pastri_store_cache_stats {
+  size_t hits;
+  size_t misses;
+  size_t bytes;
+  size_t unique_blocks;
+} pastri_store_cache_stats;
+
+/* Fill with the library defaults (capacity 1024 blocks, 8 shards). */
+void pastri_store_cache_config_init(pastri_store_cache_config* config);
+
+/* Open a block store over a container file, a pastri_tool file, or a
+ * sharded dataset manifest (see above).  `cache` may be NULL for the
+ * defaults.  On success *out receives the handle (release with
+ * pastri_store_close). */
+pastri_status pastri_store_open(const char* path,
+                                const pastri_store_cache_config* cache,
+                                pastri_store** out);
+
+/* Open an ERI store for a named built-in molecule ("benzene",
+ * "glutamine", "alanine"): computes all shell-quartet blocks, compresses them
+ * one stream per quartet class, and serves them via
+ * pastri_store_shell_block.  `params` may be NULL for the paper
+ * defaults. */
+pastri_status pastri_store_open_eri(const char* molecule,
+                                    const pastri_params* params,
+                                    const pastri_store_cache_config* cache,
+                                    pastri_store** out);
+
+/* Total blocks (file-backed: container blocks; ERI-backed: shell
+ * quartets). */
+pastri_status pastri_store_num_blocks(const pastri_store* store,
+                                      size_t* out);
+
+/* Values per block (file-backed stores; ERI-backed stores have
+ * per-quartet sizes -- see pastri_store_shell_block). */
+pastri_status pastri_store_block_size(const pastri_store* store,
+                                      size_t* out);
+
+/* Decode block `block` into `out` (>= out_capacity values, which must
+ * be >= the store's block size).  Served from the decoded-block cache
+ * when warm.  File-backed stores only. */
+pastri_status pastri_store_get_block(pastri_store* store, size_t block,
+                                     double* out, size_t out_capacity);
+
+/* Decode blocks [first, first+count) into `out` (capacity
+ * count * block_size values).  Bypasses the cache and batches into the
+ * block-parallel range decoder.  File-backed stores only. */
+pastri_status pastri_store_get_range(pastri_store* store, size_t first,
+                                     size_t count, double* out,
+                                     size_t out_capacity);
+
+/* Decode the (p q | u v) shell-quartet block of an ERI store into
+ * `out`; *out_count (may be NULL) receives the number of values
+ * written.  Returns PASTRI_ERR_INVALID_ARGUMENT for shell indices
+ * outside the basis or a too-small buffer.  ERI-backed stores only. */
+pastri_status pastri_store_shell_block(pastri_store* store, size_t p,
+                                       size_t q, size_t u, size_t v,
+                                       double* out, size_t out_capacity,
+                                       size_t* out_count);
+
+/* Replace the cache geometry (changing the shard count drops cached
+ * entries; counters persist). */
+pastri_status pastri_store_set_cache(
+    pastri_store* store, const pastri_store_cache_config* cache);
+
+pastri_status pastri_store_get_cache_stats(const pastri_store* store,
+                                           pastri_store_cache_stats* out);
+
+/* Release the handle (NULL is a no-op). */
+void pastri_store_close(pastri_store* store);
 
 /* ---- Telemetry -------------------------------------------------------
  *

@@ -90,4 +90,24 @@ inline constexpr std::string_view kQcEriGenerateBatchNs =
 inline constexpr std::string_view kQcEriGenerateRate =
     "pastri_qc_eri_generate_rate_qps";
 
+// ---- serve: the pastri_serve daemon ------------------------------------
+inline constexpr std::string_view kServeRequests =
+    "pastri_serve_requests_total";
+inline constexpr std::string_view kServeRequestNs =
+    "pastri_serve_request_ns";
+inline constexpr std::string_view kServeBytesIn =
+    "pastri_serve_bytes_in_total";
+inline constexpr std::string_view kServeBytesOut =
+    "pastri_serve_bytes_out_total";
+inline constexpr std::string_view kServeShed =
+    "pastri_serve_shed_total";
+inline constexpr std::string_view kServeErrors =
+    "pastri_serve_errors_total";
+inline constexpr std::string_view kServeActiveConnections =
+    "pastri_serve_active_connections";
+inline constexpr std::string_view kServeOpenStores =
+    "pastri_serve_open_stores";
+inline constexpr std::string_view kServePutQueueDepth =
+    "pastri_serve_put_queue_depth";
+
 }  // namespace pastri::obs

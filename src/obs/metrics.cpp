@@ -57,6 +57,15 @@ constexpr StdMetric kStandardMetrics[] = {
     {kQcEriQuartets, StdType::Counter},
     {kQcEriGenerateBatchNs, StdType::Histogram},
     {kQcEriGenerateRate, StdType::Gauge},
+    {kServeRequests, StdType::Counter},
+    {kServeRequestNs, StdType::Histogram},
+    {kServeBytesIn, StdType::Counter},
+    {kServeBytesOut, StdType::Counter},
+    {kServeShed, StdType::Counter},
+    {kServeErrors, StdType::Counter},
+    {kServeActiveConnections, StdType::Gauge},
+    {kServeOpenStores, StdType::Gauge},
+    {kServePutQueueDepth, StdType::Gauge},
 };
 
 }  // namespace

@@ -1,8 +1,5 @@
 #include "qc/compressed_eri_store.h"
 
-#include <cstring>
-#include <set>
-
 #include "core/stream.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -23,21 +20,6 @@ struct StoreMetrics {
 const StoreMetrics& store_metrics() {
   static const StoreMetrics m;
   return m;
-}
-
-/// FNV-1a over the decoded doubles, keyed on exact bit patterns (the
-/// decoder is deterministic, so equal blocks decode bit-identically).
-std::uint64_t value_hash(const std::vector<double>& values) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const double v : values) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    for (int i = 0; i < 8; ++i) {
-      h ^= (bits >> (8 * i)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
 }
 
 }  // namespace
@@ -110,76 +92,18 @@ std::shared_ptr<const std::vector<double>> CompressedEriStore::shell_block(
   if (ref == block_of_.end()) {
     throw std::out_of_range("shell_block: shell quartet out of range");
   }
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (const auto hit = cache_.find(key); hit != cache_.end()) {
-    ++cache_hits_;
+  if (auto hit = cache_.lookup(key)) {
     store_metrics().cache_hits.inc();
-    lru_.splice(lru_.begin(), lru_, hit->second.first);
-    return hit->second.second;
+    return hit;
   }
-  ++cache_misses_;
   store_metrics().cache_misses.inc();
+  // Decode outside any lock: concurrent misses on distinct quartets
+  // decode in parallel (BlockReader reads are const and thread-safe);
+  // concurrent misses on the *same* quartet both decode but converge on
+  // one shared vector through the cache's content dedup.
   const auto& [cls, ordinal] = ref->second;
   std::vector<double> decoded = cls->reader->read_block(ordinal);
-  const std::uint64_t h = value_hash(decoded);
-  CacheValue value;
-  if (const auto shared = by_value_.find(h); shared != by_value_.end()) {
-    if (auto alive = shared->second.lock();
-        alive && *alive == decoded) {  // guard against hash collisions
-      value = std::move(alive);
-    }
-  }
-  if (!value) {
-    value = std::make_shared<const std::vector<double>>(std::move(decoded));
-    by_value_[h] = value;
-  }
-  if (cache_capacity_ > 0) {
-    lru_.push_front(key);
-    cache_[key] = {lru_.begin(), value};
-    while (cache_.size() > cache_capacity_) {
-      cache_.erase(lru_.back());
-      lru_.pop_back();
-    }
-  }
-  return value;
-}
-
-void CompressedEriStore::set_cache_capacity(std::size_t blocks) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_capacity_ = blocks;
-  while (cache_.size() > cache_capacity_) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
-  }
-}
-
-std::size_t CompressedEriStore::cache_hits() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_hits_;
-}
-
-std::size_t CompressedEriStore::cache_misses() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_misses_;
-}
-
-std::size_t CompressedEriStore::cache_bytes() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  std::set<const void*> seen;
-  std::size_t bytes = 0;
-  for (const auto& [key, entry] : cache_) {
-    if (seen.insert(entry.second.get()).second) {
-      bytes += entry.second->size() * sizeof(double);
-    }
-  }
-  return bytes;
-}
-
-std::size_t CompressedEriStore::cache_unique_blocks() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  std::set<const void*> seen;
-  for (const auto& [key, entry] : cache_) seen.insert(entry.second.get());
-  return seen.size();
+  return cache_.insert(key, std::move(decoded));
 }
 
 EriTensor CompressedEriStore::materialize() const {

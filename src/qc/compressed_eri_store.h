@@ -16,13 +16,11 @@
 
 #include <array>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
 #include "core/pastri.h"
+#include "core/sharded_cache.h"
 #include "qc/scf.h"
 
 namespace pastri::qc {
@@ -42,31 +40,50 @@ class CompressedEriStore {
   /// Decompress only the (p q | u v) shell-quartet block (shell
   /// indices, in the basis's shell order).  The returned values are laid
   /// out exactly like compute_eri_block's output for those shells, each
-  /// within the error bound of the exact integral.  A small LRU cache
+  /// within the error bound of the exact integral.  A sharded LRU cache
   /// makes repeated quartet access cheap; the shared_ptr stays valid
-  /// after eviction.  Thread-safe.  Throws std::out_of_range for shell
-  /// indices outside the basis.
+  /// after eviction.  Thread-safe, and scalable across concurrent
+  /// readers: the cache lock is held only for the O(1) lookup/insert,
+  /// never across the decode, and the key space is mutex-striped
+  /// (CacheConfig::num_shards), so warm hits on different quartets do
+  /// not contend.  Two threads missing the same quartet may both
+  /// decode, but the results are deduplicated by content into one
+  /// shared vector, and both misses are counted (hit+miss accounting
+  /// stays exact).  Throws std::out_of_range for shell indices outside
+  /// the basis.
   std::shared_ptr<const std::vector<double>> shell_block(
       std::size_t p, std::size_t q, std::size_t u, std::size_t v) const;
 
-  /// Resize the block cache (in blocks; 0 disables caching).
-  void set_cache_capacity(std::size_t blocks);
+  /// Replace the cache geometry (total capacity in blocks -- 0 disables
+  /// caching -- and the number of mutex-striped shards).
+  void set_cache(const CacheConfig& config) { cache_.configure(config); }
+  CacheConfig cache_config() const { return cache_.config(); }
 
-  std::size_t cache_hits() const;
-  std::size_t cache_misses() const;
-
-  /// Bytes of decoded values the cache holds, counting each shared
-  /// vector once.  Decoded blocks are deduplicated by content: cache
-  /// entries whose values are identical (common for symmetry-equivalent
-  /// or pattern-repetitive quartets, precisely the redundancy the v4
+  /// Aggregated cache accounting: lifetime hit/miss counters, plus the
+  /// bytes and count of *distinct* decoded vectors currently held.
+  /// Decoded blocks are deduplicated by content: cache entries whose
+  /// values are identical (common for symmetry-equivalent or
+  /// pattern-repetitive quartets, precisely the redundancy the v4
   /// dictionary exploits on the compressed side) share one vector, so
   /// warm-cache memory grows with the number of *distinct* blocks, not
   /// the number of cached quartets.
-  std::size_t cache_bytes() const;
+  CacheStats cache_stats() const { return cache_.stats(); }
 
-  /// Distinct decoded vectors currently shared by the cache entries
-  /// (<= the number of cached quartets).
-  std::size_t cache_unique_blocks() const;
+  // -- Deprecated cache accessors (pre-CacheConfig API) ---------------
+  // Thin wrappers kept so existing callers compile; new code should use
+  // set_cache / cache_config / cache_stats.
+
+  /// Deprecated: set_cache({blocks, 1}).  Keeps the single-shard exact
+  /// global LRU semantics the original API promised.
+  void set_cache_capacity(std::size_t blocks) {
+    cache_.configure(CacheConfig{blocks, 1});
+  }
+  std::size_t cache_hits() const { return cache_.stats().hits; }
+  std::size_t cache_misses() const { return cache_.stats().misses; }
+  std::size_t cache_bytes() const { return cache_.stats().bytes; }
+  std::size_t cache_unique_blocks() const {
+    return cache_.stats().unique_blocks;
+  }
 
   std::size_t compressed_bytes() const;
   std::size_t uncompressed_bytes() const;
@@ -94,7 +111,17 @@ class CompressedEriStore {
     const ClassData* cls = nullptr;
     std::size_t ordinal = 0;  ///< block number within the class stream
   };
-  using CacheValue = std::shared_ptr<const std::vector<double>>;
+
+  struct QuartetHash {
+    std::size_t operator()(const QuartetKey& k) const {
+      std::size_t h = 1469598103934665603ull;
+      for (const std::size_t v : k) {
+        h ^= v;
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
 
   std::size_t n_ = 0;  ///< number of basis functions
   std::vector<std::size_t> shell_offset_;
@@ -103,23 +130,10 @@ class CompressedEriStore {
   std::map<QuartetKey, BlockRef> block_of_;
   std::size_t uncompressed_bytes_ = 0;
 
-  // LRU block cache: most-recent at lru_.front(); cache_ maps a quartet
-  // to its recency position and decoded values.
-  mutable std::mutex cache_mutex_;
-  mutable std::list<QuartetKey> lru_;
-  mutable std::map<QuartetKey,
-                   std::pair<std::list<QuartetKey>::iterator, CacheValue>>
-      cache_;
-  std::size_t cache_capacity_ = 64;
-  mutable std::size_t cache_hits_ = 0;
-  mutable std::size_t cache_misses_ = 0;
-
-  // Value dedup: content hash of a decoded block -> the live vector that
-  // holds it.  Consulted on every cache miss so identical decoded blocks
-  // share one allocation (weak_ptr, so dedup never extends lifetimes).
-  mutable std::unordered_map<std::uint64_t,
-                             std::weak_ptr<const std::vector<double>>>
-      by_value_;
+  /// Sharded LRU of decoded quartet blocks with content dedup (see
+  /// core/sharded_cache.h); block_of_/streams_ are immutable after
+  /// construction, so shell_block takes no other lock.
+  mutable ShardedBlockCache<QuartetKey, QuartetHash> cache_;
 };
 
 }  // namespace pastri::qc

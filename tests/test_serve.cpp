@@ -1,0 +1,598 @@
+// Tests for the service layer: the pastri_store_* C API, the
+// pastri_serve daemon (binary protocol + HTTP /metrics), admission
+// control, and the sharded ERI block cache under concurrency.
+//
+// Every network test binds 127.0.0.1:0 (ephemeral port) so parallel
+// ctest runs never collide.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/pastri.h"
+#include "core/pastri_capi.h"
+#include "core/stream.h"
+#include "io/block_store.h"
+#include "qc/compressed_eri_store.h"
+#include "qc/sto3g.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace pastri {
+namespace {
+
+class Serve : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("pastri_serve_") + info->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Write a small container of deterministic blocks; returns its path
+  /// and the exact uncompressed input.
+  std::string write_container(std::size_t num_blocks,
+                              std::vector<double>* input = nullptr) {
+    const std::string path = dir_ + "/blocks.pastri";
+    BlockSpec spec;
+    spec.num_sub_blocks = 4;
+    spec.sub_block_size = 16;
+    Params params;
+    std::ofstream f(path, std::ios::binary);
+    OstreamSink sink(f);
+    StreamWriter writer(sink, spec, params);
+    std::vector<double> block(spec.block_size());
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        block[i] = (static_cast<double>(b) + 1.0) * 1e-3 *
+                   (static_cast<double>(i) - 30.0);
+      }
+      writer.put_block(block);
+      if (input != nullptr) {
+        input->insert(input->end(), block.begin(), block.end());
+      }
+    }
+    writer.finish();
+    return path;
+  }
+
+  std::string dir_;
+};
+
+qc::Molecule water() {
+  qc::Molecule m;
+  m.name = "H2O";
+  m.atoms = {{"O", 8, {0, 0, 0}},
+             {"H", 1, {0, 1.4305, 1.1093}},
+             {"H", 1, {0, -1.4305, 1.1093}}};
+  return m;
+}
+
+// ---- pastri_store_* C API ------------------------------------------------
+
+TEST_F(Serve, StoreCApiRoundTrip) {
+  std::vector<double> input;
+  const std::string path = write_container(10, &input);
+
+  pastri_store* store = nullptr;
+  ASSERT_EQ(pastri_store_open(path.c_str(), nullptr, &store), PASTRI_OK);
+  std::size_t num_blocks = 0, block_size = 0;
+  ASSERT_EQ(pastri_store_num_blocks(store, &num_blocks), PASTRI_OK);
+  ASSERT_EQ(pastri_store_block_size(store, &block_size), PASTRI_OK);
+  EXPECT_EQ(num_blocks, 10u);
+  EXPECT_EQ(block_size, 64u);
+
+  Params params;
+  std::vector<double> out(block_size);
+  for (std::size_t b : {std::size_t{0}, std::size_t{7}, std::size_t{7}}) {
+    ASSERT_EQ(pastri_store_get_block(store, b, out.data(), out.size()),
+              PASTRI_OK);
+    for (std::size_t i = 0; i < block_size; ++i) {
+      EXPECT_NEAR(out[i], input[b * block_size + i], params.error_bound);
+    }
+  }
+
+  std::vector<double> range(block_size * 4);
+  ASSERT_EQ(
+      pastri_store_get_range(store, 2, 4, range.data(), range.size()),
+      PASTRI_OK);
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    EXPECT_NEAR(range[i], input[2 * block_size + i], params.error_bound);
+  }
+
+  pastri_store_cache_stats stats;
+  ASSERT_EQ(pastri_store_get_cache_stats(store, &stats), PASTRI_OK);
+  EXPECT_EQ(stats.hits, 1u);    // the repeated block 7
+  EXPECT_EQ(stats.misses, 2u);  // blocks 0 and 7 (ranges bypass)
+  EXPECT_EQ(stats.unique_blocks, 2u);
+  pastri_store_close(store);
+}
+
+TEST_F(Serve, StoreCApiStatusDiscipline) {
+  pastri_store* store = nullptr;
+  EXPECT_EQ(pastri_store_open(nullptr, nullptr, &store),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_store_open((dir_ + "/missing").c_str(), nullptr, &store),
+            PASTRI_ERR_CORRUPT_STREAM);
+
+  // A non-PaSTRI file must be refused, not crash.
+  const std::string junk = dir_ + "/junk";
+  std::ofstream(junk, std::ios::binary) << "definitely not a container";
+  EXPECT_EQ(pastri_store_open(junk.c_str(), nullptr, &store),
+            PASTRI_ERR_CORRUPT_STREAM);
+
+  // A truncated container must be refused, not crash.
+  std::vector<double> input;
+  const std::string path = write_container(10, &input);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  const std::string cut = dir_ + "/truncated.pastri";
+  std::ofstream(cut, std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  EXPECT_NE(pastri_store_open(cut.c_str(), nullptr, &store), PASTRI_OK);
+
+  ASSERT_EQ(pastri_store_open(path.c_str(), nullptr, &store), PASTRI_OK);
+  std::vector<double> out(64);
+  EXPECT_EQ(pastri_store_get_block(store, 99, out.data(), out.size()),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_store_get_block(store, 0, out.data(), 3),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_store_get_range(store, 8, 4, out.data(), out.size()),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pastri_store_get_block(store, 0, nullptr, 64),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  std::size_t count = 0;
+  EXPECT_EQ(
+      pastri_store_shell_block(store, 0, 0, 0, 0, out.data(), 64, &count),
+      PASTRI_ERR_INVALID_ARGUMENT);  // not an ERI store
+  EXPECT_NE(pastri_last_error_message(), nullptr);
+  pastri_store_close(store);
+  pastri_store_close(nullptr);  // must be a no-op
+}
+
+TEST_F(Serve, StoreCApiEri) {
+  pastri_store* store = nullptr;
+  pastri_store_cache_config cache;
+  pastri_store_cache_config_init(&cache);
+  EXPECT_EQ(cache.capacity_blocks, 1024u);
+  EXPECT_EQ(cache.num_shards, 8u);
+  ASSERT_EQ(pastri_store_open_eri("benzene", nullptr, &cache, &store),
+            PASTRI_OK);
+
+  // Cross-check a few quartets against the C++ store.
+  const qc::BasisSet basis =
+      qc::make_sto3g_basis(qc::make_molecule("benzene"));
+  Params params;
+  const qc::CompressedEriStore ref(basis, params);
+  std::vector<double> out(4096);
+  for (const auto& quartet :
+       {std::array<std::size_t, 4>{0, 0, 0, 0},
+        std::array<std::size_t, 4>{1, 2, 3, 4},
+        std::array<std::size_t, 4>{5, 5, 2, 2}}) {
+    std::size_t count = 0;
+    ASSERT_EQ(pastri_store_shell_block(store, quartet[0], quartet[1],
+                                       quartet[2], quartet[3], out.data(),
+                                       out.size(), &count),
+              PASTRI_OK);
+    const auto expect =
+        ref.shell_block(quartet[0], quartet[1], quartet[2], quartet[3]);
+    ASSERT_EQ(count, expect->size());
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i], (*expect)[i]);
+    }
+  }
+  std::size_t count = 0;
+  EXPECT_EQ(pastri_store_shell_block(store, 9999, 0, 0, 0, out.data(),
+                                     out.size(), &count),
+            PASTRI_ERR_INVALID_ARGUMENT);
+
+  EXPECT_EQ(pastri_store_open_eri("no-such-molecule", nullptr, nullptr,
+                                  &store),
+            PASTRI_ERR_INVALID_ARGUMENT);
+  pastri_store_close(store);
+}
+
+TEST_F(Serve, CacheConfigStructs) {
+  const qc::BasisSet basis = qc::make_sto3g_basis(water());
+  Params params;
+  qc::CompressedEriStore store(basis, params);
+  store.set_cache(CacheConfig{16, 4});
+  EXPECT_EQ(store.cache_config().capacity_blocks, 16u);
+  EXPECT_EQ(store.cache_config().num_shards, 4u);
+
+  (void)store.shell_block(0, 0, 0, 0);
+  (void)store.shell_block(0, 0, 0, 0);
+  const CacheStats stats = store.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.unique_blocks, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // The deprecated accessors are thin views of the same stats.
+  EXPECT_EQ(store.cache_hits(), stats.hits);
+  EXPECT_EQ(store.cache_misses(), stats.misses);
+  EXPECT_EQ(store.cache_bytes(), stats.bytes);
+  EXPECT_EQ(store.cache_unique_blocks(), stats.unique_blocks);
+
+  // Shard counts are clamped to the capacity (a 1-block cache cannot
+  // stripe 8 ways without losing exact LRU accounting).
+  store.set_cache(CacheConfig{2, 64});
+  EXPECT_LE(store.cache_config().num_shards, 2u);
+}
+
+// ---- daemon: protocol round trips ---------------------------------------
+
+TEST_F(Serve, ProtocolRoundTrip) {
+  std::vector<double> input;
+  const std::string path = write_container(12, &input);
+  serve::Server server;
+  server.start();
+
+  serve::Client client("127.0.0.1", server.port());
+  client.ping();
+  const serve::StoreInfo info = client.open_store(path);
+  EXPECT_EQ(info.num_blocks, 12u);
+  EXPECT_EQ(info.block_size, 64u);
+
+  Params params;
+  const std::vector<double> blk = client.get_block(info.id, 5);
+  ASSERT_EQ(blk.size(), 64u);
+  for (std::size_t i = 0; i < blk.size(); ++i) {
+    EXPECT_NEAR(blk[i], input[5 * 64 + i], params.error_bound);
+  }
+  const std::vector<double> rng = client.get_range(info.id, 0, 12);
+  ASSERT_EQ(rng.size(), input.size());
+  for (std::size_t i = 0; i < rng.size(); ++i) {
+    EXPECT_NEAR(rng[i], input[i], params.error_bound);
+  }
+
+  // A second client opening the same path shares the store (same id,
+  // shared cache counters).
+  serve::Client other("127.0.0.1", server.port());
+  const serve::StoreInfo again = other.open_store(path);
+  EXPECT_EQ(again.id, info.id);
+  (void)other.get_block(info.id, 5);  // warm: decoded once by `client`
+  const CacheStats stats = other.stats(info.id);
+  EXPECT_GE(stats.hits, 1u);
+
+  server.stop();
+}
+
+TEST_F(Serve, PutStreamRoundTrip) {
+  serve::Server server;
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+
+  const std::string path = dir_ + "/put.pastri";
+  const std::uint32_t session = client.put_open(path, 4, 16, 1e-6);
+  std::vector<double> input;
+  std::vector<double> chunk(96);  // deliberately not block-aligned
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      chunk[i] = 1e-4 * static_cast<double>(c * chunk.size() + i);
+    }
+    client.put_chunk(session, chunk);
+    input.insert(input.end(), chunk.begin(), chunk.end());
+  }
+  const serve::PutResult result = client.put_close(session);
+  EXPECT_EQ(result.num_blocks, 12u);  // 8 * 96 / 64
+  EXPECT_EQ(result.input_bytes, input.size() * sizeof(double));
+  EXPECT_GT(result.output_bytes, 0u);
+  EXPECT_LT(result.output_bytes, result.input_bytes);
+
+  // Read the container back through the same daemon.
+  const serve::StoreInfo info = client.open_store(path);
+  EXPECT_EQ(info.num_blocks, 12u);
+  const std::vector<double> rng = client.get_range(info.id, 0, 12);
+  ASSERT_EQ(rng.size(), input.size());
+  for (std::size_t i = 0; i < rng.size(); ++i) {
+    EXPECT_NEAR(rng[i], input[i], 1e-6);
+  }
+
+  // Unknown session ids are rejected, not fatal.
+  EXPECT_THROW(client.put_close(session), serve::RpcError);
+  server.stop();
+}
+
+TEST_F(Serve, EriOverProtocol) {
+  serve::Server server;
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+  const serve::StoreInfo info = client.open_eri("benzene");
+  EXPECT_EQ(info.block_size, 0u);
+  const std::vector<double> blk = client.shell_block(info.id, 0, 0, 0, 0);
+  EXPECT_FALSE(blk.empty());
+  EXPECT_THROW(client.shell_block(info.id, 9999, 0, 0, 0),
+               serve::RpcError);
+  EXPECT_THROW(client.open_eri("no-such-molecule"), serve::RpcError);
+  server.stop();
+}
+
+// ---- daemon: robustness and admission control ---------------------------
+
+TEST_F(Serve, MalformedFramesDontCrash) {
+  const std::string path = write_container(4);
+  serve::Server server;
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+  const serve::StoreInfo info = client.open_store(path);
+
+  // Unknown opcode.
+  EXPECT_EQ(client.raw_frame(0x6F, {}).first,
+            PASTRI_ERR_INVALID_ARGUMENT);
+  // Truncated payloads for every opcode.
+  for (std::uint8_t opcode = 0x01; opcode <= 0x09; ++opcode) {
+    const auto [status, body] = client.raw_frame(opcode, {0x01});
+    if (opcode != 0x07) {  // PUT_CHUNK tolerates any tail length
+      EXPECT_EQ(status, PASTRI_ERR_INVALID_ARGUMENT)
+          << "opcode " << int(opcode);
+    }
+  }
+  // Trailing garbage after a valid GET_BLOCK payload.
+  std::vector<std::uint8_t> long_payload(40, 0xEE);
+  EXPECT_EQ(client.raw_frame(0x02, long_payload).first,
+            PASTRI_ERR_INVALID_ARGUMENT);
+  // Unknown store / session ids in well-formed frames.
+  serve::WireWriter w;
+  w.u32(4242);
+  w.u64(0);
+  EXPECT_EQ(client.raw_frame(0x02, w.data()).first,
+            PASTRI_ERR_INVALID_ARGUMENT);
+  // Deterministic pseudo-random fuzz payloads.
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  for (int round = 0; round < 64; ++round) {
+    std::vector<std::uint8_t> payload(round * 3 % 61);
+    for (auto& b : payload) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      b = static_cast<std::uint8_t>(rng >> 56);
+    }
+    const std::uint8_t opcode = static_cast<std::uint8_t>(rng % 16);
+    (void)client.raw_frame(opcode, payload);  // must answer, not crash
+  }
+
+  // The connection survived all of it.
+  client.ping();
+  const std::vector<double> blk = client.get_block(info.id, 0);
+  EXPECT_EQ(blk.size(), 64u);
+  server.stop();
+}
+
+TEST_F(Serve, OversizedFrameRejected) {
+  serve::Server server;
+  server.start();
+  // Hand-rolled socket: claim a 1 GiB frame, send nothing else.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::vector<std::uint8_t> wire(serve::kHello,
+                                 serve::kHello + sizeof(serve::kHello));
+  const std::uint32_t huge = 1u << 30;
+  wire.resize(wire.size() + 4);
+  std::memcpy(wire.data() + 4, &huge, 4);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  // The server must answer a status frame, then close.
+  std::uint8_t head[9];
+  std::size_t got = 0;
+  while (got < sizeof(head)) {
+    const ssize_t r = ::recv(fd, head + got, sizeof(head) - got, 0);
+    if (r <= 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  ASSERT_EQ(got, sizeof(head));
+  std::int32_t status;
+  std::memcpy(&status, head + 5, 4);
+  EXPECT_EQ(status, PASTRI_ERR_INVALID_ARGUMENT);
+  char extra;
+  EXPECT_EQ(::recv(fd, &extra, 1, 0), 0);  // orderly close
+  ::close(fd);
+  server.stop();
+}
+
+TEST_F(Serve, BusySheddingWhenFull) {
+  serve::ServerConfig config;
+  config.num_workers = 1;
+  config.accept_queue_depth = 0;  // every connection sheds
+  serve::Server server(config);
+  server.start();
+
+  // Connect without sending a byte: the shed response must arrive
+  // unprompted (admission control acts before any request).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::uint8_t head[9];
+  std::size_t got = 0;
+  while (got < sizeof(head)) {
+    const ssize_t r = ::recv(fd, head + got, sizeof(head) - got, 0);
+    if (r <= 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  ASSERT_EQ(got, sizeof(head));
+  std::int32_t status;
+  std::memcpy(&status, head + 5, 4);
+  EXPECT_EQ(status, PASTRI_ERR_BUSY);
+  ::close(fd);
+  server.stop();
+}
+
+TEST_F(Serve, PutSessionCapSheds) {
+  serve::ServerConfig config;
+  config.max_put_sessions = 1;
+  serve::Server server(config);
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+  const std::uint32_t sid = client.put_open(dir_ + "/a.pastri", 4, 16);
+  try {
+    (void)client.put_open(dir_ + "/b.pastri", 4, 16);
+    FAIL() << "second PUT session must shed";
+  } catch (const serve::RpcError& e) {
+    EXPECT_EQ(e.status, PASTRI_ERR_BUSY);
+  }
+  // Closing the first session frees the slot.
+  std::vector<double> chunk(64, 0.25);
+  client.put_chunk(sid, chunk);
+  (void)client.put_close(sid);
+  const std::uint32_t sid2 = client.put_open(dir_ + "/b.pastri", 4, 16);
+  client.put_chunk(sid2, chunk);
+  (void)client.put_close(sid2);
+  server.stop();
+}
+
+TEST_F(Serve, PutBackpressureBoundedQueue) {
+  serve::ServerConfig config;
+  config.put_queue_depth = 1;  // tightest legal queue
+  serve::Server server(config);
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+  const std::string path = dir_ + "/bp.pastri";
+  const std::uint32_t sid = client.put_open(path, 4, 16);
+  std::vector<double> input;
+  std::vector<double> chunk(64);
+  for (std::size_t c = 0; c < 32; ++c) {
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      chunk[i] = std::sin(static_cast<double>(c * 64 + i) * 0.01);
+    }
+    client.put_chunk(sid, chunk);  // must block, never fail or drop
+    input.insert(input.end(), chunk.begin(), chunk.end());
+  }
+  const serve::PutResult result = client.put_close(sid);
+  EXPECT_EQ(result.num_blocks, 32u);
+  const serve::StoreInfo info = client.open_store(path);
+  const std::vector<double> rng = client.get_range(info.id, 0, 32);
+  Params params;
+  ASSERT_EQ(rng.size(), input.size());
+  for (std::size_t i = 0; i < rng.size(); ++i) {
+    EXPECT_NEAR(rng[i], input[i], params.error_bound);
+  }
+  server.stop();
+}
+
+// ---- daemon: HTTP metrics ------------------------------------------------
+
+TEST_F(Serve, HttpMetricsEndpoint) {
+  const std::string path = write_container(4);
+  serve::Server server;
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+  const serve::StoreInfo info = client.open_store(path);
+  (void)client.get_block(info.id, 0);
+
+  const std::string response =
+      serve::Client::http_get("127.0.0.1", server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("pastri_serve_requests_total"),
+            std::string::npos);
+  EXPECT_NE(response.find("pastri_serve_bytes_out_total"),
+            std::string::npos);
+  EXPECT_NE(response.find("pastri_core_blocks_decoded_total"),
+            std::string::npos);
+
+  const std::string missing =
+      serve::Client::http_get("127.0.0.1", server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  server.stop();
+}
+
+// ---- sharded ERI cache under concurrency ---------------------------------
+
+TEST_F(Serve, ShellBlockConcurrentStress) {
+  const qc::BasisSet basis = qc::make_sto3g_basis(water());
+  Params params;
+  params.error_bound = 1e-10;
+  const qc::CompressedEriStore ref(basis, params);
+  qc::CompressedEriStore store(basis, params);
+  store.set_cache(CacheConfig{8, 4});  // small: force eviction races
+
+  const std::size_t ns = store.num_shells();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 300;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t rng = 0xDEADBEEF + t;
+      for (std::size_t it = 0; it < kIters; ++it) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const std::size_t a = (rng >> 12) % ns;
+        const std::size_t b = (rng >> 24) % ns;
+        const std::size_t c = (rng >> 36) % ns;
+        const std::size_t d = (rng >> 48) % ns;
+        const auto got = store.shell_block(a, b, c, d);
+        const auto want = ref.shell_block(a, b, c, d);
+        if (*got != *want) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Exact accounting: every lookup is exactly one hit or one miss,
+  // even under contention and eviction.
+  const CacheStats stats = store.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(stats.unique_blocks, 8u);
+}
+
+TEST_F(Serve, BlockStoreConcurrentReaders) {
+  std::vector<double> input;
+  const std::string path = write_container(16, &input);
+  io::BlockStore store(path, CacheConfig{8, 4});
+  Params params;
+  constexpr std::size_t kThreads = 8;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t rng = 17 * (t + 1);
+      for (std::size_t it = 0; it < 200; ++it) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const std::size_t b = (rng >> 33) % store.num_blocks();
+        const auto blk = store.block(b);
+        for (std::size_t i = 0; i < blk->size(); ++i) {
+          if (std::abs((*blk)[i] - input[b * 64 + i]) >
+              params.error_bound) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const CacheStats stats = store.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * 200u);
+}
+
+}  // namespace
+}  // namespace pastri
