@@ -36,6 +36,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "qc/eri_engine.h"
+#include "qc/eri_pipeline.h"
+#include "qc/molecule.h"
 #include "serve/client.h"
 
 namespace {
@@ -66,6 +68,9 @@ int usage() {
       "  pastri_tool verify     IN.eri IN.pastri\n"
       "  pastri_tool extract    IN.pastri FIRST [COUNT]\n"
       "  pastri_tool inspect    IN.pastri\n"
+      "  pastri_tool generate   MOLECULE CONFIG DIR BASENAME"
+      " [--shards N] [--resume] [--sequential] [--eb E]"
+      " [--dict on|off|auto] [--blocks N] [--batch N] [--seed S]\n"
       "  pastri_tool serve-client HOST:PORT ping\n"
       "  pastri_tool serve-client HOST:PORT get-block STORE FIRST [COUNT]\n"
       "  pastri_tool serve-client HOST:PORT stats STORE\n"
@@ -454,6 +459,72 @@ int cmd_inspect(const char* in) {
   return 0;
 }
 
+/// generate: the fused compute->compress->io pipeline from the shell.
+/// Plans MOLECULE's sampled CONFIG dataset, computes quartet blocks on
+/// a producer thread, encodes on the main thread, drains shard bytes on
+/// io threads, and writes `DIR/BASENAME.manifest` + shards -- the same
+/// files a dense generate-then-compress run produces, byte for byte.
+/// --resume continues an interrupted dump; --sequential is the
+/// no-overlap baseline (identical output, for timing comparisons).
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string molecule = argv[0], config = argv[1];
+  const std::string dir = argv[2], basename = argv[3];
+  Params p;
+  qc::DatasetOptions dopt;
+  dopt.config = qc::parse_config(config);
+  qc::EriDumpOptions dump;
+  qc::EriPipelineOptions popt;
+  for (int i = 4; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--shards" && next()) dump.num_shards = std::stoi(argv[i]);
+    else if (a == "--resume") dump.resume = true;
+    else if (a == "--sequential") {
+      popt.pipelined = false;
+      popt.async_io = false;
+    }
+    else if (a == "--eb" && next()) p.error_bound = std::stod(argv[i]);
+    else if (a == "--dict" && next()) p.dict = parse_dict_mode(argv[i]);
+    else if (a == "--blocks" && next())
+      dopt.max_blocks = std::stoull(argv[i]);
+    else if (a == "--batch" && next())
+      popt.batch_blocks = std::stoull(argv[i]);
+    else if (a == "--seed" && next()) dopt.seed = std::stoull(argv[i]);
+    else return usage();
+  }
+
+  const qc::Molecule mol = qc::make_molecule(molecule);
+  const qc::EriDumpResult res =
+      qc::dump_eri_sharded(mol, dopt, p, dir, basename, dump, popt);
+  const qc::EriPipelineResult& pl = res.pipeline;
+
+  std::printf("%s: %zu blocks -> %zu shards, %zu compressed bytes"
+              " (%zu shards / %zu blocks reused)\n",
+              pl.meta.label.c_str(), pl.meta.num_blocks, res.shards_total,
+              res.bytes_total, res.shards_reused, res.blocks_reused);
+  std::printf("wall %.3f s; stage busy compute %.3f / encode %.3f / io "
+              "%.3f s\n",
+              static_cast<double>(pl.wall_ns) / 1e9,
+              static_cast<double>(pl.compute_ns) / 1e9,
+              static_cast<double>(pl.encode_ns) / 1e9,
+              static_cast<double>(pl.io_ns) / 1e9);
+  std::printf("stalls compute %.3f / encode %.3f / io %.3f s; overlap "
+              "efficiency %.0f%%\n",
+              static_cast<double>(pl.compute_stall_ns) / 1e9,
+              static_cast<double>(pl.encode_stall_ns) / 1e9,
+              static_cast<double>(pl.io_stall_ns) / 1e9,
+              100.0 * pl.overlap_efficiency);
+  if (pl.stats.output_bytes > 0) {
+    std::printf("codec: %zu -> %zu bytes, ratio %.2fx (EB=%.0e)\n",
+                pl.stats.input_bytes, pl.stats.output_bytes,
+                pl.stats.ratio(), p.error_bound);
+  }
+  return 0;
+}
+
 /// serve-client: drive a running pastri_serve daemon.
 ///
 ///   serve-client HOST:PORT ping
@@ -606,6 +677,7 @@ int main(int argc, char** argv) {
     else if (cmd == "extract" && argc >= 4)
       rc = cmd_extract(argv[2], argv[3], argc >= 5 ? argv[4] : nullptr);
     else if (cmd == "inspect" && argc >= 3) rc = cmd_inspect(argv[2]);
+    else if (cmd == "generate") rc = cmd_generate(argc - 2, argv + 2);
     else if (cmd == "serve-client") rc = cmd_serve_client(argc - 2, argv + 2);
     else return usage();
   } catch (const std::exception& e) {

@@ -264,6 +264,46 @@ pastri_status pastri_store_get_cache_stats(const pastri_store* store,
 /* Release the handle (NULL is a no-op). */
 void pastri_store_close(pastri_store* store);
 
+/* ---- Fused generate->compress->io pipeline ---------------------------
+ *
+ * One call drives the whole front half of the paper's workflow: ERI
+ * quartet generation, PaSTRI compression, and sharded container io,
+ * with the three stages overlapped on separate threads (double-buffered
+ * bounded queues in between).  The shard bytes are identical to the
+ * sequential path whatever the pipeline settings. */
+
+typedef struct pastri_eri_dump_options {
+  int num_shards;      /* shard files to write (>= 1) */
+  int resume;          /* nonzero: keep complete shards of a prior
+                          interrupted dump, regenerate the rest */
+  int pipelined;       /* nonzero: overlap compute/encode/io stages */
+  size_t batch_blocks; /* blocks per pipeline chunk (0 = auto) */
+} pastri_eri_dump_options;
+
+/* Fill with the defaults (1 shard, no resume, pipelined, auto batch). */
+void pastri_eri_dump_options_init(pastri_eri_dump_options* options);
+
+typedef struct pastri_eri_dump_result {
+  size_t num_blocks;         /* dataset blocks (reused + generated) */
+  size_t bytes_written;      /* compressed bytes actually generated */
+  size_t shards_total;
+  size_t shards_reused;      /* complete shards kept by resume */
+  unsigned long long wall_ns;
+  double overlap_efficiency; /* 0 = sequential .. 1 = perfect overlap */
+} pastri_eri_dump_result;
+
+/* Generate the sampled ERI dataset of a named built-in molecule
+ * ("benzene", "glutamine", "alanine") for BF configuration `config`
+ * (e.g. "(dd|dd)") and compress it into the sharded dataset
+ * `<dir>/<basename>.manifest` + `<dir>/<basename>.<shard>`.  The output
+ * loads with pastri_store_open on the manifest path.  `params`,
+ * `options`, and `result` may each be NULL (defaults / ignored). */
+pastri_status pastri_eri_dump(const char* molecule, const char* config,
+                              const pastri_params* params,
+                              const char* dir, const char* basename,
+                              const pastri_eri_dump_options* options,
+                              pastri_eri_dump_result* result);
+
 /* ---- Telemetry -------------------------------------------------------
  *
  * The library keeps process-wide counters, gauges, and latency

@@ -23,6 +23,53 @@ struct ShardLayout {
   std::vector<std::size_t> blocks_per_shard;  ///< one entry per shard
 };
 
+/// The contiguous layout every sharded writer/reader in this module
+/// uses: blocks are dealt round-down with the remainder spread over the
+/// leading shards.  Exposed so out-of-process producers (the pipeline's
+/// resume path, the fork-based bench ranks) can address "shard s holds
+/// dataset blocks [first_block(s), first_block(s)+count)" without a
+/// ShardedDatasetWriter instance.
+ShardLayout make_shard_layout(std::size_t num_blocks, int num_shards);
+
+/// Dataset block index of shard `s`'s first block under `layout`.
+std::size_t shard_first_block(const ShardLayout& layout, std::size_t s);
+
+/// Write the dataset manifest for shards produced outside
+/// ShardedDatasetWriter (per-rank dumps, resumed dumps).  The layout
+/// must describe the shard files actually on disk.
+void write_dataset_manifest(const std::string& dir,
+                            const std::string& basename,
+                            const std::string& label,
+                            const qc::BlockShape& shape,
+                            std::size_t num_blocks,
+                            const ShardLayout& layout);
+
+/// True iff `<dir>/<basename>.<shard>` exists and parses as a finished
+/// container holding exactly `expected_blocks`: header block count
+/// final, trailing index/dict footer intact, offset table consistent.
+/// Any parse failure (missing file, mid-dump truncation, stale partial
+/// shard) returns false rather than throwing -- this is the resume
+/// probe, and an unreadable shard just means "redo it".
+bool shard_is_complete(const std::string& dir, const std::string& basename,
+                       int shard, std::size_t expected_blocks);
+
+/// io-stage knobs shared by ShardWriter/ShardedDatasetWriter: when
+/// `async` is set the shard bytes drain to disk on a background thread
+/// through core AsyncSink, overlapping file io with the encode stage.
+/// Shard bytes are identical either way.
+struct ShardIo {
+  bool async = false;
+  std::size_t queue_depth = 4;           ///< chunks in flight per shard
+  std::size_t chunk_bytes = 256 * 1024;  ///< io coalescing granularity
+};
+
+/// Cumulative AsyncSink telemetry, all zero when io was synchronous.
+struct ShardIoStats {
+  std::uint64_t backpressure_wait_ns = 0;  ///< encode blocked on io
+  std::uint64_t idle_wait_ns = 0;          ///< io waiting for encode
+  std::uint64_t apply_ns = 0;              ///< io busy in write/patch
+};
+
 /// Streams blocks into one shard file (`<dir>/<basename>.<shard>`) as
 /// they arrive -- the shard is one PaSTRI container written through a
 /// core StreamWriter, so peak memory is O(batch), not O(shard), and the
@@ -34,7 +81,8 @@ class ShardWriter {
   /// back-filled at finish() (shard files are seekable, so both work).
   ShardWriter(const std::string& dir, const std::string& basename,
               int shard, const BlockSpec& spec, const Params& params,
-              std::uint64_t expected_blocks = kUnknownBlockCount);
+              std::uint64_t expected_blocks = kUnknownBlockCount,
+              const ShardIo& io = {});
 
   /// Reopen an existing shard and append blocks after the ones it holds:
   /// the old offset table and footer are overwritten and re-emitted at
@@ -42,7 +90,7 @@ class ShardWriter {
   /// shard -- it has no table to extend -- and std::invalid_argument if
   /// `params` disagree with the shard header's bound/metric/tree.
   ShardWriter(const std::string& dir, const std::string& basename,
-              int shard, const Params& params);
+              int shard, const Params& params, const ShardIo& io = {});
 
   ~ShardWriter();
   ShardWriter(const ShardWriter&) = delete;
@@ -61,11 +109,16 @@ class ShardWriter {
 
   const Stats& stats() const { return writer_->stats(); }
 
+  /// AsyncSink telemetry, final once finish() returned (zeros when sync).
+  const ShardIoStats& io_stats() const { return io_stats_; }
+
  private:
   std::string path_;
   std::fstream file_;
   std::unique_ptr<OstreamSink> sink_;
+  std::unique_ptr<AsyncSink> async_;  ///< only when ShardIo::async
   std::unique_ptr<StreamWriter> writer_;
+  ShardIoStats io_stats_;
   bool appending_ = false;
 };
 
@@ -81,7 +134,7 @@ class ShardedDatasetWriter {
   ShardedDatasetWriter(const std::string& dir, const std::string& basename,
                        std::string label, const qc::BlockShape& shape,
                        std::size_t num_blocks, const Params& params,
-                       int num_shards);
+                       int num_shards, const ShardIo& io = {});
   ~ShardedDatasetWriter();
   ShardedDatasetWriter(const ShardedDatasetWriter&) = delete;
   ShardedDatasetWriter& operator=(const ShardedDatasetWriter&) = delete;
@@ -90,6 +143,9 @@ class ShardedDatasetWriter {
   void put_values(std::span<const double> values);
 
   std::size_t blocks_written() const { return blocks_written_; }
+
+  /// Summed over finished shards (zeros when io is synchronous).
+  const ShardIoStats& io_stats() const { return io_stats_; }
 
   /// Finish the open shard, write the manifest.  Throws
   /// std::runtime_error unless exactly the declared number of blocks
@@ -104,6 +160,8 @@ class ShardedDatasetWriter {
   std::size_t num_blocks_ = 0;
   Params params_;
   ShardLayout layout_;
+  ShardIo io_;
+  ShardIoStats io_stats_;
 
   std::unique_ptr<ShardWriter> cur_;
   std::size_t shard_ = 0;            // index of the open/next shard

@@ -13,6 +13,7 @@
 #include "core/pastri_capi.h"
 #include "io/block_store.h"
 #include "qc/compressed_eri_store.h"
+#include "qc/eri_pipeline.h"
 #include "qc/molecule.h"
 #include "qc/sto3g.h"
 
@@ -251,5 +252,68 @@ pastri_status pastri_store_get_cache_stats(const pastri_store* store,
 }
 
 void pastri_store_close(pastri_store* store) { delete store; }
+
+void pastri_eri_dump_options_init(pastri_eri_dump_options* options) {
+  if (options == nullptr) return;
+  options->num_shards = 1;
+  options->resume = 0;
+  options->pipelined = 1;
+  options->batch_blocks = 0;
+}
+
+pastri_status pastri_eri_dump(const char* molecule, const char* config,
+                              const pastri_params* params,
+                              const char* dir, const char* basename,
+                              const pastri_eri_dump_options* options,
+                              pastri_eri_dump_result* result) {
+  if (molecule == nullptr || config == nullptr || dir == nullptr ||
+      basename == nullptr) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    pastri::Params p;
+    if (params != nullptr) p = pastri::capi::to_cpp_params(*params);
+    pastri_eri_dump_options defaults;
+    pastri_eri_dump_options_init(&defaults);
+    const pastri_eri_dump_options& o =
+        options != nullptr ? *options : defaults;
+    if (o.num_shards < 1) {
+      return fail(PASTRI_ERR_INVALID_ARGUMENT, "num_shards must be >= 1");
+    }
+
+    const pastri::qc::Molecule mol = pastri::qc::make_molecule(molecule);
+    pastri::qc::DatasetOptions dopt;
+    dopt.config = pastri::qc::parse_config(config);
+
+    pastri::qc::EriDumpOptions dump;
+    dump.num_shards = o.num_shards;
+    dump.resume = o.resume != 0;
+    pastri::qc::EriPipelineOptions popt;
+    popt.pipelined = o.pipelined != 0;
+    popt.async_io = o.pipelined != 0;
+    popt.batch_blocks = o.batch_blocks;
+
+    const pastri::qc::EriDumpResult r =
+        pastri::qc::dump_eri_sharded(mol, dopt, p, dir, basename, dump,
+                                     popt);
+    if (result != nullptr) {
+      result->num_blocks = r.pipeline.meta.num_blocks;
+      result->bytes_written = r.pipeline.bytes_written;
+      result->shards_total = r.shards_total;
+      result->shards_reused = r.shards_reused;
+      result->wall_ns = r.pipeline.wall_ns;
+      result->overlap_efficiency = r.pipeline.overlap_efficiency;
+    }
+    return PASTRI_OK;
+  } catch (const std::invalid_argument& e) {
+    return fail(PASTRI_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const std::runtime_error& e) {
+    return fail(PASTRI_ERR_IO, e.what());
+  } catch (const std::exception& e) {
+    return fail(PASTRI_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(PASTRI_ERR_INTERNAL, "unknown exception");
+  }
+}
 
 }  // extern "C"

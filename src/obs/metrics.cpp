@@ -57,6 +57,12 @@ constexpr StdMetric kStandardMetrics[] = {
     {kQcEriQuartets, StdType::Counter},
     {kQcEriGenerateBatchNs, StdType::Histogram},
     {kQcEriGenerateRate, StdType::Gauge},
+    {kQcPipelineChunks, StdType::Counter},
+    {kQcPipelineQueueDepth, StdType::Gauge},
+    {kQcPipelineComputeStallNs, StdType::Counter},
+    {kQcPipelineEncodeStallNs, StdType::Counter},
+    {kQcPipelineIoStallNs, StdType::Counter},
+    {kQcPipelineOverlapPct, StdType::Gauge},
     {kServeRequests, StdType::Counter},
     {kServeRequestNs, StdType::Histogram},
     {kServeBytesIn, StdType::Counter},

@@ -210,56 +210,104 @@ EriDataset generate_eri_dataset(const Molecule& mol,
   return ds;
 }
 
+// ---- EriBlockGenerator --------------------------------------------------
+
+struct EriBlockGenerator::Impl {
+  EriPlan plan;
+};
+
+EriBlockGenerator::EriBlockGenerator(const Molecule& mol,
+                                     const DatasetOptions& opt)
+    : impl_(std::make_unique<Impl>(Impl{plan_eri(mol, opt)})) {}
+
+EriBlockGenerator::~EriBlockGenerator() = default;
+EriBlockGenerator::EriBlockGenerator(EriBlockGenerator&&) noexcept = default;
+EriBlockGenerator& EriBlockGenerator::operator=(
+    EriBlockGenerator&&) noexcept = default;
+
+const EriStreamMeta& EriBlockGenerator::meta() const {
+  return impl_->plan.meta;
+}
+
+void EriBlockGenerator::compute_range(std::size_t first, std::size_t count,
+                                      std::span<double> out) const {
+  const EriPlan& plan = impl_->plan;
+  if (first + count < first || first + count > plan.items.size()) {
+    throw std::out_of_range("EriBlockGenerator: block range out of range");
+  }
+  const std::size_t bs = plan.meta.shape.block_size();
+  if (out.size() != count * bs) {
+    throw std::invalid_argument(
+        "EriBlockGenerator: output span does not match range size");
+  }
+  const auto& s0 = plan.shells(0);
+  const auto& s1 = plan.shells(1);
+  const auto& s2 = plan.shells(2);
+  const auto& s3 = plan.shells(3);
+  std::fill(out.begin(), out.end(), 0.0);
+  const EngineMetrics& metrics = engine_metrics();
+  const bool timed = metrics.generate_batch_ns.active();
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(count); ++b) {
+    const Item& it = plan.items[first + static_cast<std::size_t>(b)];
+    if (it.screened) continue;  // stays all-zero
+    compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
+                      out.subspan(static_cast<std::size_t>(b) * bs, bs));
+  }
+  metrics.quartets.add(count);
+  if (timed) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    metrics.generate_batch_ns.record(static_cast<std::uint64_t>(ns));
+    if (ns > 0) {
+      metrics.generate_rate.set(static_cast<double>(count) * 1e9 /
+                                static_cast<double>(ns));
+    }
+  }
+}
+
+EriStreamMeta generate_eri_block_batches(
+    const Molecule& mol, const DatasetOptions& opt,
+    const std::function<void(const EriStreamMeta& meta,
+                             std::size_t first_block,
+                             std::span<const double> values)>& emit,
+    std::size_t batch_blocks) {
+  // Compute a batch of blocks in parallel into one reusable buffer, then
+  // hand the batch to the callback in dataset order -- the emitted
+  // sequence is exactly generate_eri_dataset's block order, with
+  // O(batch) memory.
+  const EriBlockGenerator gen(mol, opt);
+  const EriStreamMeta& meta = gen.meta();
+  const std::size_t bs = meta.shape.block_size();
+  const std::size_t batch = batch_blocks != 0 ? batch_blocks : 64;
+  std::vector<double> buf(batch * bs);
+  for (std::size_t b0 = 0; b0 < meta.num_blocks; b0 += batch) {
+    const std::size_t n = std::min(batch, meta.num_blocks - b0);
+    const auto chunk = std::span<double>(buf).first(n * bs);
+    gen.compute_range(b0, n, chunk);
+    emit(meta, b0, chunk);
+  }
+  return meta;
+}
+
 EriStreamMeta generate_eri_blocks(
     const Molecule& mol, const DatasetOptions& opt,
     const std::function<void(const EriStreamMeta& meta, std::size_t block,
                              std::span<const double> values)>& emit,
     std::size_t batch_blocks) {
-  const EriPlan plan = plan_eri(mol, opt);
-  const auto& s0 = plan.shells(0);
-  const auto& s1 = plan.shells(1);
-  const auto& s2 = plan.shells(2);
-  const auto& s3 = plan.shells(3);
-
-  // Compute a batch of blocks in parallel into one reusable buffer, then
-  // hand them to the callback in dataset order -- the emitted sequence is
-  // exactly generate_eri_dataset's block order, with O(batch) memory.
-  const std::size_t bs = plan.meta.shape.block_size();
-  const std::size_t batch = batch_blocks != 0 ? batch_blocks : 64;
-  std::vector<double> buf(batch * bs);
-  const EngineMetrics& metrics = engine_metrics();
-  const bool timed = metrics.generate_batch_ns.active();
-  for (std::size_t b0 = 0; b0 < plan.items.size(); b0 += batch) {
-    const std::size_t n = std::min(batch, plan.items.size() - b0);
-    std::fill(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n * bs),
-              0.0);
-    std::chrono::steady_clock::time_point t0;
-    if (timed) t0 = std::chrono::steady_clock::now();
-#pragma omp parallel for schedule(dynamic)
-    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(n); ++b) {
-      const Item& it = plan.items[b0 + static_cast<std::size_t>(b)];
-      if (it.screened) continue;  // stays all-zero
-      compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
-                        std::span<double>(buf).subspan(
-                            static_cast<std::size_t>(b) * bs, bs));
-    }
-    metrics.quartets.add(n);
-    if (timed) {
-      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-      metrics.generate_batch_ns.record(static_cast<std::uint64_t>(ns));
-      if (ns > 0) {
-        metrics.generate_rate.set(static_cast<double>(n) * 1e9 /
-                                  static_cast<double>(ns));
-      }
-    }
-    for (std::size_t b = 0; b < n; ++b) {
-      emit(plan.meta, b0 + b,
-           std::span<const double>(buf).subspan(b * bs, bs));
-    }
-  }
-  return plan.meta;
+  return generate_eri_block_batches(
+      mol, opt,
+      [&](const EriStreamMeta& meta, std::size_t first_block,
+          std::span<const double> values) {
+        const std::size_t bs = meta.shape.block_size();
+        for (std::size_t b = 0; b * bs < values.size(); ++b) {
+          emit(meta, first_block + b, values.subspan(b * bs, bs));
+        }
+      },
+      batch_blocks);
 }
 
 std::vector<double> compute_block(const Shell& A, const Shell& B,

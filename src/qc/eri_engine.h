@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <span>
 
 #include "qc/basis.h"
@@ -61,14 +62,59 @@ struct EriStreamMeta {
   std::size_t num_blocks = 0;
 };
 
-/// Block-callback twin of `generate_eri_dataset`: plans the identical
-/// sampled dataset, then computes quartet blocks in OpenMP batches of
-/// `batch_blocks` (0 = auto) and delivers them to `emit` one at a time,
-/// in dataset order -- so piping the emitted blocks into a StreamWriter
-/// yields byte-for-byte the stream `compress(generate_eri_dataset(...))`
-/// would, while peak memory stays O(batch): the dense ERI tensor is
-/// never built.  Screened quartets are emitted as all-zero blocks (or
-/// skipped entirely, per `opt.keep_screened`).  Returns the metadata.
+/// The planned generation behind `generate_eri_dataset`, reified: plans
+/// once (shells, Schwarz screen, deterministic sample), then computes
+/// any range of dataset blocks on demand.  The plan is a pure function
+/// of (mol, opt), so two generators -- or the same generator across
+/// process restarts -- produce identical blocks for identical indices.
+/// That random access is what the pipeline's shard-resume path and the
+/// fork-based per-rank benchmarks are built on: rank r computes exactly
+/// the block range its shard covers, nothing else.
+///
+/// compute_range() is OpenMP-parallel internally and safe to call from
+/// any one host thread at a time per generator (distinct generators are
+/// fully independent).
+class EriBlockGenerator {
+ public:
+  EriBlockGenerator(const Molecule& mol, const DatasetOptions& opt);
+  ~EriBlockGenerator();
+  EriBlockGenerator(EriBlockGenerator&&) noexcept;
+  EriBlockGenerator& operator=(EriBlockGenerator&&) noexcept;
+  EriBlockGenerator(const EriBlockGenerator&) = delete;
+  EriBlockGenerator& operator=(const EriBlockGenerator&) = delete;
+
+  const EriStreamMeta& meta() const;
+
+  /// Compute dataset blocks [first, first+count) into `out`, which must
+  /// hold exactly count * shape.block_size() doubles.  Screened quartets
+  /// come out all-zero.  Throws std::out_of_range past num_blocks.
+  void compute_range(std::size_t first, std::size_t count,
+                     std::span<double> out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Batched block-callback twin of `generate_eri_dataset`: plans the
+/// identical sampled dataset, computes quartet blocks in OpenMP batches
+/// of `batch_blocks` (0 = auto) and delivers each finished batch to
+/// `emit` as one contiguous span of whole blocks starting at dataset
+/// block `first_block`, in dataset order.  Piping the emitted values
+/// into a StreamWriter yields byte-for-byte the stream
+/// `compress(generate_eri_dataset(...))` would, while peak memory stays
+/// O(batch): the dense ERI tensor is never built.  Returns the metadata.
+EriStreamMeta generate_eri_block_batches(
+    const Molecule& mol, const DatasetOptions& opt,
+    const std::function<void(const EriStreamMeta& meta,
+                             std::size_t first_block,
+                             std::span<const double> values)>& emit,
+    std::size_t batch_blocks = 0);
+
+/// Per-block wrapper over `generate_eri_block_batches` (one callback per
+/// block, same order and bytes).  Kept for callers that want block
+/// granularity; small-block configs are cheaper through the batched
+/// entry point.
 EriStreamMeta generate_eri_blocks(
     const Molecule& mol, const DatasetOptions& opt,
     const std::function<void(const EriStreamMeta& meta, std::size_t block,

@@ -5,32 +5,18 @@
 #include "qc/sto3g.h"
 
 namespace pastri::qc {
+namespace {
 
-EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c) {
+/// Quarter transformations two to four, shared by the dense and the
+/// streaming-from-store paths.  `t1` is the first-quarter-transformed
+/// tensor t1[(p nu | la si)]; returns the full MO tensor.
+EriTensor transform_last_three(EriTensor t1, const Matrix& c) {
   const std::size_t n = c.size();
-  if (eri_ao.size() != n * n * n * n) {
-    throw std::invalid_argument("MP2: ERI tensor size mismatch");
-  }
-  // Four sequential quarter transformations, O(n^5) total.
   auto idx = [n](std::size_t a, std::size_t b, std::size_t d,
                  std::size_t e) {
     return ((a * n + b) * n + d) * n + e;
   };
-  EriTensor t1(eri_ao.size(), 0.0);
-  for (std::size_t p = 0; p < n; ++p) {
-    for (std::size_t mu = 0; mu < n; ++mu) {
-      const double cmu = c(mu, p);
-      if (cmu == 0.0) continue;
-      for (std::size_t nu = 0; nu < n; ++nu) {
-        for (std::size_t la = 0; la < n; ++la) {
-          for (std::size_t si = 0; si < n; ++si) {
-            t1[idx(p, nu, la, si)] += cmu * eri_ao[idx(mu, nu, la, si)];
-          }
-        }
-      }
-    }
-  }
-  EriTensor t2(eri_ao.size(), 0.0);
+  EriTensor t2(t1.size(), 0.0);
   for (std::size_t p = 0; p < n; ++p) {
     for (std::size_t q = 0; q < n; ++q) {
       for (std::size_t nu = 0; nu < n; ++nu) {
@@ -44,7 +30,7 @@ EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c) {
       }
     }
   }
-  t1.assign(eri_ao.size(), 0.0);
+  t1.assign(t2.size(), 0.0);
   for (std::size_t p = 0; p < n; ++p) {
     for (std::size_t q = 0; q < n; ++q) {
       for (std::size_t r = 0; r < n; ++r) {
@@ -58,7 +44,7 @@ EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c) {
       }
     }
   }
-  t2.assign(eri_ao.size(), 0.0);
+  t2.assign(t1.size(), 0.0);
   for (std::size_t p = 0; p < n; ++p) {
     for (std::size_t q = 0; q < n; ++q) {
       for (std::size_t r = 0; r < n; ++r) {
@@ -73,26 +59,14 @@ EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c) {
   return t2;
 }
 
-Mp2Result run_mp2(const Molecule& mol, const BasisSet& basis,
-                  const EriTensor& eri, const ScfResult& scf) {
-  if (!scf.converged) {
-    throw std::invalid_argument("MP2 requires a converged SCF reference");
-  }
-  const std::size_t n = basis.num_basis_functions();
-  const std::size_t nocc =
-      static_cast<std::size_t>(electron_count(mol) / 2);
-  if (scf.mo_coefficients.size() != n ||
-      scf.orbital_energies.size() != n) {
-    throw std::invalid_argument("MP2: SCF result does not match basis");
-  }
-
-  const EriTensor mo = transform_eri_to_mo(eri, scf.mo_coefficients);
+/// The closed-shell pair-energy sum over the MO tensor.
+double mp2_energy_sum(const EriTensor& mo,
+                      const std::vector<double>& e, std::size_t nocc,
+                      std::size_t n) {
   auto at = [n, &mo](std::size_t p, std::size_t q, std::size_t r,
                      std::size_t s) {
     return mo[((p * n + q) * n + r) * n + s];
   };
-  const auto& e = scf.orbital_energies;
-
   double corr = 0.0;
   for (std::size_t i = 0; i < nocc; ++i) {
     for (std::size_t j = 0; j < nocc; ++j) {
@@ -106,9 +80,134 @@ Mp2Result run_mp2(const Molecule& mol, const BasisSet& basis,
       }
     }
   }
+  return corr;
+}
+
+void check_scf_reference(const BasisSet& basis, const ScfResult& scf) {
+  if (!scf.converged) {
+    throw std::invalid_argument("MP2 requires a converged SCF reference");
+  }
+  const std::size_t n = basis.num_basis_functions();
+  if (scf.mo_coefficients.size() != n ||
+      scf.orbital_energies.size() != n) {
+    throw std::invalid_argument("MP2: SCF result does not match basis");
+  }
+}
+
+}  // namespace
+
+EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c) {
+  const std::size_t n = c.size();
+  if (eri_ao.size() != n * n * n * n) {
+    throw std::invalid_argument("MP2: ERI tensor size mismatch");
+  }
+  auto idx = [n](std::size_t a, std::size_t b, std::size_t d,
+                 std::size_t e) {
+    return ((a * n + b) * n + d) * n + e;
+  };
+  // First quarter transformation; the remaining three are shared with
+  // the streaming path.
+  EriTensor t1(eri_ao.size(), 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t mu = 0; mu < n; ++mu) {
+      const double cmu = c(mu, p);
+      if (cmu == 0.0) continue;
+      for (std::size_t nu = 0; nu < n; ++nu) {
+        for (std::size_t la = 0; la < n; ++la) {
+          for (std::size_t si = 0; si < n; ++si) {
+            t1[idx(p, nu, la, si)] += cmu * eri_ao[idx(mu, nu, la, si)];
+          }
+        }
+      }
+    }
+  }
+  return transform_last_three(std::move(t1), c);
+}
+
+Mp2Result run_mp2(const Molecule& mol, const BasisSet& basis,
+                  const EriTensor& eri, const ScfResult& scf) {
+  check_scf_reference(basis, scf);
+  const std::size_t n = basis.num_basis_functions();
+  const std::size_t nocc =
+      static_cast<std::size_t>(electron_count(mol) / 2);
+
+  const EriTensor mo = transform_eri_to_mo(eri, scf.mo_coefficients);
   Mp2Result res;
-  res.correlation_energy = corr;
-  res.total_energy = scf.total_energy + corr;
+  res.correlation_energy =
+      mp2_energy_sum(mo, scf.orbital_energies, nocc, n);
+  res.total_energy = scf.total_energy + res.correlation_energy;
+  return res;
+}
+
+Mp2Result run_mp2_from_store(const Molecule& mol, const BasisSet& basis,
+                             const CompressedEriStore& store,
+                             const ScfResult& scf) {
+  check_scf_reference(basis, scf);
+  const std::size_t n = basis.num_basis_functions();
+  const std::size_t nocc =
+      static_cast<std::size_t>(electron_count(mol) / 2);
+  if (store.num_shells() != basis.shells.size()) {
+    throw std::invalid_argument("MP2: store does not match basis");
+  }
+  const Matrix& c = scf.mo_coefficients;
+
+  // Shell -> first basis function, for scattering block values into the
+  // dense half-transformed tensor.
+  const std::size_t num_shells = basis.shells.size();
+  std::vector<std::size_t> off(num_shells + 1, 0);
+  std::vector<std::size_t> nf(num_shells, 0);
+  for (std::size_t s = 0; s < num_shells; ++s) {
+    nf[s] = static_cast<std::size_t>(num_cartesians(basis.shells[s].l));
+    off[s + 1] = off[s] + nf[s];
+  }
+  if (off[num_shells] != n) {
+    throw std::invalid_argument("MP2: basis function count mismatch");
+  }
+
+  auto idx = [n](std::size_t a, std::size_t b, std::size_t d,
+                 std::size_t e) {
+    return ((a * n + b) * n + d) * n + e;
+  };
+
+  // First quarter transformation, streamed: each AO shell-quartet block
+  // is decoded from the store once and scatter-accumulated over all MOs
+  // p -- the dense AO tensor never exists.  Same O(n^5) work as the
+  // dense first quarter, O(n^4 + block) memory.
+  EriTensor t1(n * n * n * n, 0.0);
+  for (std::size_t sp = 0; sp < num_shells; ++sp) {
+    for (std::size_t sq = 0; sq < num_shells; ++sq) {
+      for (std::size_t su = 0; su < num_shells; ++su) {
+        for (std::size_t sv = 0; sv < num_shells; ++sv) {
+          const auto block = store.shell_block(sp, sq, su, sv);
+          const auto& v = *block;
+          std::size_t e = 0;  // dense index within the block
+          for (std::size_t a = 0; a < nf[sp]; ++a) {
+            const std::size_t mu = off[sp] + a;
+            for (std::size_t b = 0; b < nf[sq]; ++b) {
+              const std::size_t nu = off[sq] + b;
+              for (std::size_t d = 0; d < nf[su]; ++d) {
+                const std::size_t la = off[su] + d;
+                for (std::size_t f = 0; f < nf[sv]; ++f, ++e) {
+                  const std::size_t si = off[sv] + f;
+                  const double val = v[e];
+                  if (val == 0.0) continue;
+                  for (std::size_t p = 0; p < n; ++p) {
+                    t1[idx(p, nu, la, si)] += c(mu, p) * val;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const EriTensor mo = transform_last_three(std::move(t1), c);
+  Mp2Result res;
+  res.correlation_energy =
+      mp2_energy_sum(mo, scf.orbital_energies, nocc, n);
+  res.total_energy = scf.total_energy + res.correlation_energy;
   return res;
 }
 

@@ -8,6 +8,7 @@
 // MO-basis integrals, so a compressed ERI store is consumed verbatim.
 #pragma once
 
+#include "qc/compressed_eri_store.h"
 #include "qc/scf.h"
 
 namespace pastri::qc {
@@ -28,5 +29,19 @@ Mp2Result run_mp2(const Molecule& mol, const BasisSet& basis,
 /// AO -> MO transformation of the full ERI tensor (exposed for tests):
 /// out[(p q| r s)] over MO indices, same n^4 layout as the input.
 EriTensor transform_eri_to_mo(const EriTensor& eri_ao, const Matrix& c);
+
+/// MP2 entirely off the compressed stream: the first quarter
+/// transformation consumes AO shell-quartet blocks straight from the
+/// store (each within the error bound), scatter-accumulating into the
+/// half-transformed tensor, so the dense AO ERI tensor is never
+/// materialized.  Quarters two to four and the energy sum are the same
+/// code `run_mp2` runs; with an exact store the two agree to within the
+/// compression error bound's propagation through the transform.
+/// Together with run_rhf_from_store this closes the paper's workflow:
+/// generate -> compress -> (SCF + MP2) with every ERI read decoded on
+/// demand.
+Mp2Result run_mp2_from_store(const Molecule& mol, const BasisSet& basis,
+                             const CompressedEriStore& store,
+                             const ScfResult& scf);
 
 }  // namespace pastri::qc
