@@ -69,7 +69,7 @@ int usage() {
       "  pastri_tool extract    IN.pastri FIRST [COUNT]\n"
       "  pastri_tool inspect    IN.pastri\n"
       "  pastri_tool generate   MOLECULE CONFIG DIR BASENAME"
-      " [--shards N] [--resume] [--sequential] [--eb E]"
+      " [--shards N] [--resume] [--sequential] [--producers N] [--eb E]"
       " [--dict on|off|auto] [--blocks N] [--batch N] [--seed S]\n"
       "  pastri_tool serve-client HOST:PORT ping\n"
       "  pastri_tool serve-client HOST:PORT get-block STORE FIRST [COUNT]\n"
@@ -492,6 +492,8 @@ int cmd_generate(int argc, char** argv) {
       dopt.max_blocks = std::stoull(argv[i]);
     else if (a == "--batch" && next())
       popt.batch_blocks = std::stoull(argv[i]);
+    else if (a == "--producers" && next())
+      popt.producers = std::stoull(argv[i]);
     else if (a == "--seed" && next()) dopt.seed = std::stoull(argv[i]);
     else return usage();
   }
@@ -517,6 +519,15 @@ int cmd_generate(int argc, char** argv) {
               static_cast<double>(pl.encode_stall_ns) / 1e9,
               static_cast<double>(pl.io_stall_ns) / 1e9,
               100.0 * pl.overlap_efficiency);
+  if (pl.producers.size() > 1) {
+    for (std::size_t i = 0; i < pl.producers.size(); ++i) {
+      std::printf("  producer %zu: %zu chunks, busy %.3f s, stalled %.3f "
+                  "s\n",
+                  i, pl.producers[i].chunks,
+                  static_cast<double>(pl.producers[i].compute_ns) / 1e9,
+                  static_cast<double>(pl.producers[i].stall_ns) / 1e9);
+    }
+  }
   if (pl.stats.output_bytes > 0) {
     std::printf("codec: %zu -> %zu bytes, ratio %.2fx (EB=%.0e)\n",
                 pl.stats.input_bytes, pl.stats.output_bytes,

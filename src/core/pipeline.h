@@ -37,13 +37,18 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Block until there is room, then enqueue.  Returns false (item
-  /// dropped) if the queue was closed before room appeared.
-  bool push(T item) {
+  /// dropped) if the queue was closed before room appeared.  When
+  /// `wait_ns` is non-null the time this call spent blocked is added to
+  /// it as well -- per-caller stall attribution for stages that share
+  /// one queue (e.g. the pipeline's N producers).
+  bool push(T item, std::uint64_t* wait_ns = nullptr) {
     std::unique_lock<std::mutex> lk(mu_);
     if (items_.size() >= capacity_ && !closed_) {
       const auto t0 = std::chrono::steady_clock::now();
       not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
-      producer_wait_ns_ += elapsed_ns_(t0);
+      const std::uint64_t w = elapsed_ns_(t0);
+      producer_wait_ns_ += w;
+      if (wait_ns != nullptr) *wait_ns += w;
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
@@ -53,13 +58,16 @@ class BoundedQueue {
   }
 
   /// Block until an item is available, then dequeue into `out`.
-  /// Returns false once the queue is closed AND drained.
-  bool pop(T& out) {
+  /// Returns false once the queue is closed AND drained.  `wait_ns` as
+  /// for push().
+  bool pop(T& out, std::uint64_t* wait_ns = nullptr) {
     std::unique_lock<std::mutex> lk(mu_);
     if (items_.empty() && !closed_) {
       const auto t0 = std::chrono::steady_clock::now();
       not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
-      consumer_wait_ns_ += elapsed_ns_(t0);
+      const std::uint64_t w = elapsed_ns_(t0);
+      consumer_wait_ns_ += w;
+      if (wait_ns != nullptr) *wait_ns += w;
     }
     if (items_.empty()) return false;  // closed and drained
     out = std::move(items_.front());

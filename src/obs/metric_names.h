@@ -89,6 +89,12 @@ inline constexpr std::string_view kQcEriGenerateBatchNs =
     "pastri_qc_eri_generate_batch_ns";
 inline constexpr std::string_view kQcEriGenerateRate =
     "pastri_qc_eri_generate_rate_qps";
+inline constexpr std::string_view kQcShellPairCacheHits =
+    "pastri_qc_shellpair_cache_hits_total";
+inline constexpr std::string_view kQcShellPairCacheMisses =
+    "pastri_qc_shellpair_cache_misses_total";
+inline constexpr std::string_view kQcBoysEvals =
+    "pastri_qc_boys_evals_total";
 
 // ---- qc: fused compute->compress->io pipeline --------------------------
 inline constexpr std::string_view kQcPipelineChunks =

@@ -57,6 +57,9 @@ constexpr StdMetric kStandardMetrics[] = {
     {kQcEriQuartets, StdType::Counter},
     {kQcEriGenerateBatchNs, StdType::Histogram},
     {kQcEriGenerateRate, StdType::Gauge},
+    {kQcShellPairCacheHits, StdType::Counter},
+    {kQcShellPairCacheMisses, StdType::Counter},
+    {kQcBoysEvals, StdType::Counter},
     {kQcPipelineChunks, StdType::Counter},
     {kQcPipelineQueueDepth, StdType::Gauge},
     {kQcPipelineComputeStallNs, StdType::Counter},

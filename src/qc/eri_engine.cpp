@@ -20,11 +20,24 @@ struct EngineMetrics {
   obs::Histogram generate_batch_ns =
       obs::registry().histogram(obs::kQcEriGenerateBatchNs);
   obs::Gauge generate_rate = obs::registry().gauge(obs::kQcEriGenerateRate);
+  obs::Counter pair_hits =
+      obs::registry().counter(obs::kQcShellPairCacheHits);
+  obs::Counter pair_misses =
+      obs::registry().counter(obs::kQcShellPairCacheMisses);
+  obs::Counter boys_evals = obs::registry().counter(obs::kQcBoysEvals);
 };
 
 const EngineMetrics& engine_metrics() {
   static const EngineMetrics m;
   return m;
+}
+
+/// One reusable quartet workspace per OS thread.  OpenMP teams spawned
+/// by different host threads run on disjoint OS threads, so concurrent
+/// compute_range calls (the multi-producer pipeline) never share one.
+EriWorkspace& tls_workspace() {
+  thread_local EriWorkspace ws;
+  return ws;
 }
 
 /// Sample `k` distinct values from [0, n) deterministically; returned
@@ -67,9 +80,26 @@ struct EriPlan {
   std::array<int, 4> slot_l{};
   std::vector<Item> items;
   EriStreamMeta meta;
+  BoysMode boys_mode = BoysMode::Exact;
+
+  // Shell-pair cache: every (bra i,j) and (ket k,l) pair's Hermite term
+  // data, built once at plan time and reused by every quartet and every
+  // Schwarz bound.  Pure configurations share one table (the ket simply
+  // indexes bra_pairs), mirroring the q_bra/q_ket sharing below.
+  std::vector<ShellPairData> bra_pairs;  // i * |s1| + j
+  std::vector<ShellPairData> ket_pairs;  // k * |s3| + l; empty when shared
+  bool ket_shares_bra = false;
 
   const std::vector<Shell>& shells(int s) const {
     return by_l[static_cast<std::size_t>(slot_l[s])].shells;
+  }
+
+  const ShellPairData& bra_pair(std::size_t i, std::size_t j) const {
+    return bra_pairs[i * shells(1).size() + j];
+  }
+  const ShellPairData& ket_pair(std::size_t k, std::size_t l) const {
+    const std::size_t idx = k * shells(3).size() + l;
+    return ket_shares_bra ? bra_pairs[idx] : ket_pairs[idx];
   }
 };
 
@@ -119,30 +149,57 @@ EriPlan plan_eri(const Molecule& mol, const DatasetOptions& opt) {
   const auto indices = sample_indices(total, std::min(total, max_blocks),
                                       opt.seed);
 
-  // Schwarz bounds per bra pair / ket pair (pure configurations share one
-  // table between bra and ket).
+  // Build the shell-pair cache and the Schwarz bounds off it in one
+  // pass: each pair is constructed exactly once (a cache miss), its
+  // bound computed from the cached data, and the pair kept for every
+  // quartet that will reference it.  Pure configurations share one
+  // table between bra and ket.
+  plan.boys_mode = opt.boys_mode;
+  const EngineMetrics& metrics = engine_metrics();
+  plan.bra_pairs.resize(s0.size() * s1.size());
   std::vector<double> q_bra(s0.size() * s1.size());
-#pragma omp parallel for schedule(dynamic)
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(s0.size());
-       ++i) {
-    for (std::size_t j = 0; j < s1.size(); ++j) {
-      q_bra[static_cast<std::size_t>(i) * s1.size() + j] =
-          schwarz_bound(s0[static_cast<std::size_t>(i)], s1[j]);
-    }
-  }
-  std::vector<double> q_ket;
-  if (&s2 == &s0 && &s3 == &s1) {
-    q_ket = q_bra;
-  } else {
-    q_ket.resize(s2.size() * s3.size());
-#pragma omp parallel for schedule(dynamic)
-    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(s2.size());
-         ++k) {
-      for (std::size_t l = 0; l < s3.size(); ++l) {
-        q_ket[static_cast<std::size_t>(k) * s3.size() + l] =
-            schwarz_bound(s2[static_cast<std::size_t>(k)], s3[l]);
+#pragma omp parallel
+  {
+    EriWorkspace ws;
+    ws.boys_mode = opt.boys_mode;
+#pragma omp for schedule(dynamic)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(s0.size());
+         ++i) {
+      for (std::size_t j = 0; j < s1.size(); ++j) {
+        const std::size_t idx = static_cast<std::size_t>(i) * s1.size() + j;
+        ShellPairData sp(s0[static_cast<std::size_t>(i)], s1[j]);
+        sp.set_r_stride(2 * sp.l_sum());
+        q_bra[idx] = schwarz_bound(sp, ws);
+        plan.bra_pairs[idx] = std::move(sp);
       }
     }
+  }
+  metrics.pair_misses.add(plan.bra_pairs.size());
+  std::vector<double> q_ket;
+  if (&s2 == &s0 && &s3 == &s1) {
+    plan.ket_shares_bra = true;
+    q_ket = q_bra;
+    metrics.pair_hits.add(plan.bra_pairs.size());
+  } else {
+    plan.ket_pairs.resize(s2.size() * s3.size());
+    q_ket.resize(s2.size() * s3.size());
+#pragma omp parallel
+    {
+      EriWorkspace ws;
+      ws.boys_mode = opt.boys_mode;
+#pragma omp for schedule(dynamic)
+      for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(s2.size());
+           ++k) {
+        for (std::size_t l = 0; l < s3.size(); ++l) {
+          const std::size_t idx = static_cast<std::size_t>(k) * s3.size() + l;
+          ShellPairData sp(s2[static_cast<std::size_t>(k)], s3[l]);
+          sp.set_r_stride(2 * sp.l_sum());
+          q_ket[idx] = schwarz_bound(sp, ws);
+          plan.ket_pairs[idx] = std::move(sp);
+        }
+      }
+    }
+    metrics.pair_misses.add(plan.ket_pairs.size());
   }
 
   // Decide which sampled quartets survive screening.
@@ -162,6 +219,14 @@ EriPlan plan_eri(const Molecule& mol, const DatasetOptions& opt) {
     plan.items.push_back(it);
   }
   plan.meta.num_blocks = plan.items.size();
+
+  // Re-linearize the cached term offsets for the quartet total momentum
+  // (Schwarz used 2 * pair momentum, which differs for mixed configs).
+  // After this the plan is immutable and safe for concurrent readers.
+  const int l_total =
+      plan.slot_l[0] + plan.slot_l[1] + plan.slot_l[2] + plan.slot_l[3];
+  for (ShellPairData& sp : plan.bra_pairs) sp.set_r_stride(l_total);
+  for (ShellPairData& sp : plan.ket_pairs) sp.set_r_stride(l_total);
   return plan;
 }
 
@@ -187,26 +252,17 @@ std::array<int, 4> parse_config(const std::string& name) {
 
 EriDataset generate_eri_dataset(const Molecule& mol,
                                 const DatasetOptions& opt) {
-  const EriPlan plan = plan_eri(mol, opt);
-  const auto& s0 = plan.shells(0);
-  const auto& s1 = plan.shells(1);
-  const auto& s2 = plan.shells(2);
-  const auto& s3 = plan.shells(3);
+  // The dense dataset is just compute_range over the whole plan -- one
+  // planning pass, then the cached-pair generation path.
+  const EriBlockGenerator gen(mol, opt);
+  const EriStreamMeta& meta = gen.meta();
 
   EriDataset ds;
-  ds.label = plan.meta.label;
-  ds.shape = plan.meta.shape;
-  ds.num_blocks = plan.meta.num_blocks;
+  ds.label = meta.label;
+  ds.shape = meta.shape;
+  ds.num_blocks = meta.num_blocks;
   ds.values.assign(ds.num_blocks * ds.shape.block_size(), 0.0);
-
-#pragma omp parallel for schedule(dynamic)
-  for (std::ptrdiff_t b = 0;
-       b < static_cast<std::ptrdiff_t>(plan.items.size()); ++b) {
-    const Item& it = plan.items[static_cast<std::size_t>(b)];
-    if (it.screened) continue;  // stays all-zero
-    compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
-                      ds.block(static_cast<std::size_t>(b)));
-  }
+  gen.compute_range(0, ds.num_blocks, ds.values);
   return ds;
 }
 
@@ -240,23 +296,32 @@ void EriBlockGenerator::compute_range(std::size_t first, std::size_t count,
     throw std::invalid_argument(
         "EriBlockGenerator: output span does not match range size");
   }
-  const auto& s0 = plan.shells(0);
-  const auto& s1 = plan.shells(1);
-  const auto& s2 = plan.shells(2);
-  const auto& s3 = plan.shells(3);
   std::fill(out.begin(), out.end(), 0.0);
   const EngineMetrics& metrics = engine_metrics();
   const bool timed = metrics.generate_batch_ns.active();
   std::chrono::steady_clock::time_point t0;
   if (timed) t0 = std::chrono::steady_clock::now();
-#pragma omp parallel for schedule(dynamic)
-  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(count); ++b) {
-    const Item& it = plan.items[first + static_cast<std::size_t>(b)];
-    if (it.screened) continue;  // stays all-zero
-    compute_eri_block(s0[it.i], s1[it.j], s2[it.k], s3[it.l],
-                      out.subspan(static_cast<std::size_t>(b) * bs, bs));
+  std::uint64_t boys_total = 0;
+  std::uint64_t computed = 0;
+#pragma omp parallel reduction(+ : boys_total, computed)
+  {
+    EriWorkspace& ws = tls_workspace();
+    ws.boys_mode = plan.boys_mode;
+    const std::uint64_t boys0 = ws.boys_evals;
+#pragma omp for schedule(dynamic)
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(count); ++b) {
+      const Item& it = plan.items[first + static_cast<std::size_t>(b)];
+      if (it.screened) continue;  // stays all-zero
+      compute_eri_block(plan.bra_pair(it.i, it.j), plan.ket_pair(it.k, it.l),
+                        ws,
+                        out.subspan(static_cast<std::size_t>(b) * bs, bs));
+      ++computed;
+    }
+    boys_total += ws.boys_evals - boys0;
   }
   metrics.quartets.add(count);
+  metrics.boys_evals.add(boys_total);
+  metrics.pair_hits.add(2 * computed);  // bra + ket cache use per quartet
   if (timed) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - t0)

@@ -42,6 +42,12 @@ struct DatasetOptions {
   /// If false, screened quartets are dropped from the sample instead of
   /// being stored as zero blocks.
   bool keep_screened = true;
+
+  /// Boys-function path for integral evaluation.  Exact (the default) is
+  /// the bit-pinned reference; Table swaps in the tabulated Taylor fast
+  /// path (<= ~1e-15 absolute agreement, so generated values -- and thus
+  /// compressed bytes -- may differ within that bound).
+  BoysMode boys_mode = BoysMode::Exact;
 };
 
 /// Parse "(dd|dd)"-style names ("dddd", "(fd|ff)", ...) into a config.
@@ -71,9 +77,12 @@ struct EriStreamMeta {
 /// fork-based per-rank benchmarks are built on: rank r computes exactly
 /// the block range its shard covers, nothing else.
 ///
-/// compute_range() is OpenMP-parallel internally and safe to call from
-/// any one host thread at a time per generator (distinct generators are
-/// fully independent).
+/// compute_range() is OpenMP-parallel internally and safe to call
+/// concurrently from multiple host threads on the same generator: the
+/// plan (shells, sample, cached shell-pair data) is immutable after
+/// construction and all per-quartet scratch lives in thread-local
+/// workspaces.  The multi-producer pipeline partitions one generator's
+/// chunk stream across N producer threads on exactly this guarantee.
 class EriBlockGenerator {
  public:
   EriBlockGenerator(const Molecule& mol, const DatasetOptions& opt);

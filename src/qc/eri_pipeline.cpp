@@ -6,8 +6,10 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -77,6 +79,7 @@ struct PumpStats {
   std::uint64_t encode_ns = 0;
   std::uint64_t compute_stall_ns = 0;
   std::uint64_t encode_stall_ns = 0;
+  std::vector<EriProducerStats> producers;
 };
 
 using PutFn =
@@ -112,11 +115,23 @@ PumpStats pump_blocks(const EriBlockGenerator& gen, std::size_t first,
     return st;
   }
 
-  // Double-buffered stage overlap: `depth` chunks may sit between the
-  // stages, plus one in flight in each stage -- so peak memory is
-  // (depth + 2) chunks however far compute runs ahead.
+  // Staged overlap, N compute producers feeding one encoder.  Producers
+  // claim chunk indices dynamically: each first acquires a free buffer,
+  // THEN claims the next index -- so the indices outstanding at any
+  // moment span fewer than nbuf positions, and the consumer can
+  // re-establish dataset order with a fixed ring of nbuf slots (slot =
+  // chunk_index % nbuf) without ever allocating or deadlocking.  The
+  // encoder therefore sees the identical in-order (first, values)
+  // sequence for every producer count, which keeps the bytes identical.
+  //
+  // Peak memory is nbuf = depth + producers + 1 chunks: `depth` queued
+  // between the stages, one in flight per producer, one in the encoder
+  // (the single-producer case reduces to the classic depth + 2 double
+  // buffering).
+  const std::size_t nprod = std::max<std::size_t>(1, popt.producers);
   const std::size_t depth = std::max<std::size_t>(1, popt.queue_depth);
-  const std::size_t nbuf = depth + 2;
+  const std::size_t nbuf = depth + nprod + 1;
+  const std::size_t nchunks = (count + batch - 1) / batch;
   BoundedQueue<Chunk> free_q(nbuf);
   BoundedQueue<Chunk> filled_q(depth);
   for (std::size_t i = 0; i < nbuf; ++i) {
@@ -125,56 +140,97 @@ PumpStats pump_blocks(const EriBlockGenerator& gen, std::size_t first,
     free_q.push(std::move(c));
   }
 
+  std::mutex err_mu;
   std::exception_ptr producer_error;
-  std::uint64_t compute_busy = 0;
-  std::thread producer([&] {
-    // This thread gets its own OpenMP team inside compute_range, so the
-    // quartet math stays parallel while the encode stage runs.
-    try {
-      for (std::size_t b0 = 0; b0 < count; b0 += batch) {
-        Chunk c;
-        if (!free_q.pop(c)) return;  // consumer failed and shut us down
-        const std::size_t n = std::min(batch, count - b0);
-        c.first = first + b0;
-        c.count = n;
-        c.values.resize(n * bs);
-        const auto t0 = std::chrono::steady_clock::now();
-        gen.compute_range(c.first, n, c.values);
-        compute_busy += since_ns(t0);
-        if (!filled_q.push(std::move(c))) return;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> live{nprod};
+  st.producers.resize(nprod);
+  std::vector<std::thread> workers;
+  workers.reserve(nprod);
+  for (std::size_t pi = 0; pi < nprod; ++pi) {
+    workers.emplace_back([&, pi] {
+      // Each producer thread gets its own OpenMP team inside
+      // compute_range (the generator is safe for concurrent ranges), so
+      // the quartet math stays parallel while the encode stage runs.
+      EriProducerStats& ps = st.producers[pi];
+      try {
+        for (;;) {
+          Chunk c;
+          if (!free_q.pop(c, &ps.stall_ns)) break;
+          const std::size_t ci =
+              next_chunk.fetch_add(1, std::memory_order_relaxed);
+          if (ci >= nchunks) {
+            free_q.push(std::move(c));
+            break;
+          }
+          const std::size_t b0 = ci * batch;
+          const std::size_t n = std::min(batch, count - b0);
+          c.first = first + b0;
+          c.count = n;
+          c.values.resize(n * bs);
+          const auto t0 = std::chrono::steady_clock::now();
+          gen.compute_range(c.first, n, c.values);
+          ps.compute_ns += since_ns(t0);
+          ++ps.chunks;
+          if (!filled_q.push(std::move(c), &ps.stall_ns)) break;
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!producer_error) producer_error = std::current_exception();
       }
-    } catch (...) {
-      producer_error = std::current_exception();
-    }
-    filled_q.close();  // end of stream (or error): let the consumer drain
-  });
+      if (live.fetch_sub(1) == 1) {
+        filled_q.close();  // last producer out: let the consumer drain
+      }
+    });
+  }
 
+  std::vector<Chunk> ring(nbuf);
+  std::vector<char> ring_full(nbuf, 0);
+  std::size_t expected = 0;
   try {
     Chunk c;
     while (filled_q.pop(c)) {
       pipeline_metrics().queue_depth.set(
           static_cast<double>(filled_q.size()));
-      const auto t0 = std::chrono::steady_clock::now();
-      put(c.first, std::span<const double>(c.values).first(c.count * bs));
-      st.encode_ns += since_ns(t0);
-      ++st.chunks;
-      pipeline_metrics().chunks.inc();
-      c.values.clear();
-      free_q.push(std::move(c));
+      const std::size_t ci = (c.first - first) / batch;
+      if (ci != expected) {
+        // Arrived ahead of a slower neighbour; park it in its ring slot.
+        ring[ci % nbuf] = std::move(c);
+        ring_full[ci % nbuf] = 1;
+        continue;
+      }
+      for (;;) {
+        const auto t0 = std::chrono::steady_clock::now();
+        put(c.first, std::span<const double>(c.values).first(c.count * bs));
+        st.encode_ns += since_ns(t0);
+        ++st.chunks;
+        pipeline_metrics().chunks.inc();
+        c.values.clear();
+        free_q.push(std::move(c));
+        ++expected;
+        const std::size_t slot = expected % nbuf;
+        if (!ring_full[slot]) break;
+        c = std::move(ring[slot]);
+        ring_full[slot] = 0;
+      }
     }
   } catch (...) {
-    // Unblock the producer wherever it is waiting, then re-raise.
+    // Unblock the producers wherever they are waiting, then re-raise.
     free_q.close();
     filled_q.close();
-    producer.join();
+    for (std::thread& w : workers) w.join();
     throw;
   }
-  producer.join();
+  for (std::thread& w : workers) w.join();
   if (producer_error) std::rethrow_exception(producer_error);
+  if (expected != nchunks) {
+    throw std::runtime_error("eri pipeline: chunk stream ended early");
+  }
 
-  st.compute_ns = compute_busy;
-  st.compute_stall_ns =
-      free_q.consumer_wait_ns() + filled_q.producer_wait_ns();
+  for (const EriProducerStats& ps : st.producers) {
+    st.compute_ns += ps.compute_ns;
+    st.compute_stall_ns += ps.stall_ns;
+  }
   st.encode_stall_ns =
       filled_q.consumer_wait_ns() + free_q.producer_wait_ns();
   pipeline_metrics().compute_stall.add(st.compute_stall_ns);
@@ -203,6 +259,7 @@ void finalize_result(EriPipelineResult& res, const PumpStats& ps,
   res.encode_ns += ps.encode_ns;
   res.compute_stall_ns = ps.compute_stall_ns;
   res.encode_stall_ns = ps.encode_stall_ns;
+  res.producers = ps.producers;
   res.wall_ns = wall_ns;
   res.overlap_efficiency = overlap_efficiency(wall_ns, res.compute_ns,
                                               res.encode_ns, res.io_ns);

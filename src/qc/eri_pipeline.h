@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/pastri.h"
 #include "core/stream.h"
@@ -46,8 +47,26 @@ struct EriPipelineOptions {
   /// benchmarks compare against; the bytes are identical either way.
   bool pipelined = true;
 
+  /// Number of compute producer threads when pipelined.  The chunk
+  /// stream is claimed dynamically (each producer grabs the next unowned
+  /// chunk index); a consumer-side reorder ring re-establishes dataset
+  /// order, so the encoded bytes are identical for every producer count.
+  /// Each producer runs its own OpenMP team inside compute_range, so on
+  /// many-core hosts 1 is usually right; >1 pays off when per-chunk
+  /// OpenMP scaling has flattened, and for `dump_eri_sharded` it
+  /// approximates one producer per shard's block range in flight.
+  std::size_t producers = 1;
+
   /// Drain container bytes through an AsyncSink worker thread.
   bool async_io = true;
+};
+
+/// Per-producer stage accounting (one entry per producer thread when
+/// pipelined; empty for the sequential path).
+struct EriProducerStats {
+  std::uint64_t compute_ns = 0;  ///< busy in compute_range
+  std::uint64_t stall_ns = 0;    ///< blocked on free buffers / filled queue
+  std::size_t chunks = 0;        ///< chunks this producer computed
 };
 
 /// Stage telemetry for one pipeline run.  Busy times are per stage;
@@ -72,6 +91,10 @@ struct EriPipelineResult {
   /// 1 = wall time equals the slowest stage (perfect overlap).  Zero
   /// when a single stage dominates outright (nothing to overlap).
   double overlap_efficiency = 0.0;
+
+  /// Per-producer breakdown of compute_ns / compute_stall_ns (their
+  /// sums).  Empty when the run was sequential (pipelined = false).
+  std::vector<EriProducerStats> producers;
 };
 
 /// Generate `mol`'s sampled ERI dataset under `opt` and compress it into

@@ -1,10 +1,9 @@
 #include "qc/md_eri.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <numbers>
-
-#include "qc/boys.h"
 
 namespace pastri::qc {
 
@@ -58,20 +57,28 @@ HermiteE::HermiteE(int imax, int jmax, double a, double b, double Ax,
 // HermiteR
 // ---------------------------------------------------------------------------
 
-HermiteR::HermiteR(int lmax_total)
-    : lmax_(lmax_total), stride_(static_cast<std::size_t>(lmax_total) + 1) {
+void HermiteR::ensure(int lmax_total) {
   assert(lmax_total >= 0 && lmax_total <= kMaxBoysOrder);
+  if (lmax_ == lmax_total) return;
+  lmax_ = lmax_total;
+  stride_ = static_cast<std::size_t>(lmax_total) + 1;
+  // compute() overwrites every cell it later reads or exports (the base
+  // case and raising recurrence write each (n,t,u,v) before use), so
+  // resizing never needs to re-zero on reuse -- results are identical to
+  // a freshly zeroed workspace.
   r0_.assign(stride_ * stride_ * stride_, 0.0);
-  work_.assign((lmax_ + 1) * stride_ * stride_ * stride_, 0.0);
+  work_.assign((static_cast<std::size_t>(lmax_) + 1) * stride_ * stride_ *
+                   stride_,
+               0.0);
 }
 
-void HermiteR::compute(double alpha, const Vec3& PQ, int L) {
+void HermiteR::compute(double alpha, const Vec3& PQ, int L, BoysMode mode) {
   assert(L <= lmax_);
   const double T =
       alpha * (PQ[0] * PQ[0] + PQ[1] * PQ[1] + PQ[2] * PQ[2]);
 
   double F[kMaxBoysOrder + 1];
-  boys(T, L, std::span<double>(F, L + 1));
+  boys(mode, T, L, std::span<double>(F, L + 1));
 
   const std::size_t nstride = stride_ * stride_ * stride_;
   auto R = [&](int n, int t, int u, int v) -> double& {
@@ -121,54 +128,38 @@ void HermiteR::compute(double alpha, const Vec3& PQ, int L) {
 }
 
 // ---------------------------------------------------------------------------
-// Block assembly
+// ShellPairData
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Per component-pair Hermite term list: flattened (t,u,v,coef) entries of
-/// the product E^x_t E^y_u E^z_v over one primitive pair.
-struct TermList {
-  struct Term {
-    int t, u, v;
-    double coef;
-  };
-  std::vector<Term> terms;
-};
-
-/// All term lists for one primitive pair of two shells, indexed by
-/// (component_a * nB + component_b).
-struct PrimPair {
-  double p = 0;             // a + b
-  Vec3 P{0, 0, 0};          // product center
-  double cc = 0;            // product of contraction coefficients
-  std::vector<TermList> lists;
-};
-
-std::vector<PrimPair> build_prim_pairs(const Shell& A, const Shell& B) {
+ShellPairData::ShellPairData(const Shell& A, const Shell& B)
+    : la_(A.l), lb_(B.l) {
   const auto compsA = cartesian_components(A.l);
   const auto compsB = cartesian_components(B.l);
-  std::vector<PrimPair> pairs;
-  pairs.reserve(A.primitives.size() * B.primitives.size());
+  ncomp_ = compsA.size() * compsB.size();
+  prims_.reserve(A.primitives.size() * B.primitives.size());
+  off_.reserve(A.primitives.size() * B.primitives.size() * ncomp_ + 1);
+  off_.push_back(0);
 
+  // Identical construction order and arithmetic to the historical
+  // per-quartet build: (pa, pb) in shell order, components ia-major,
+  // terms in (t, u, v) order with zero-coefficient skip.
   for (const auto& pa : A.primitives) {
     for (const auto& pb : B.primitives) {
-      PrimPair pp;
+      Prim pp;
       const double a = pa.exponent, b = pb.exponent;
       pp.p = a + b;
       for (int d = 0; d < 3; ++d) {
         pp.P[d] = (a * A.center[d] + b * B.center[d]) / pp.p;
       }
       pp.cc = pa.coefficient * pb.coefficient;
+      prims_.push_back(pp);
 
       const HermiteE Ex(A.l, B.l, a, b, A.center[0], B.center[0]);
       const HermiteE Ey(A.l, B.l, a, b, A.center[1], B.center[1]);
       const HermiteE Ez(A.l, B.l, a, b, A.center[2], B.center[2]);
 
-      pp.lists.resize(compsA.size() * compsB.size());
       for (std::size_t ia = 0; ia < compsA.size(); ++ia) {
         for (std::size_t ib = 0; ib < compsB.size(); ++ib) {
-          TermList& tl = pp.lists[ia * compsB.size() + ib];
           const auto& ca = compsA[ia];
           const auto& cb = compsB[ib];
           const double norm = component_norm_ratio(A.l, ca) *
@@ -182,61 +173,98 @@ std::vector<PrimPair> build_prim_pairs(const Shell& A, const Shell& B) {
               for (int v = 0; v <= ca.lz + cb.lz; ++v) {
                 const double ezv = Ez(ca.lz, cb.lz, v);
                 if (ezv == 0.0) continue;
-                tl.terms.push_back({t, u, v, norm * ext * eyu * ezv});
+                const double c = norm * ext * eyu * ezv;
+                t_.push_back(static_cast<std::uint8_t>(t));
+                u_.push_back(static_cast<std::uint8_t>(u));
+                v_.push_back(static_cast<std::uint8_t>(v));
+                coef_.push_back(c);
+                // Negating c is an exact sign flip, so pre-folding the
+                // ket-side (-1)^{t+u+v} preserves bit-identical sums.
+                coef_signed_.push_back(((t + u + v) & 1) ? -c : c);
               }
             }
           }
+          off_.push_back(static_cast<std::uint32_t>(coef_.size()));
         }
       }
-      pairs.push_back(std::move(pp));
     }
   }
-  return pairs;
+  roff_.resize(coef_.size());
 }
+
+void ShellPairData::set_r_stride(int l_total) {
+  assert(l_total >= la_ + lb_);
+  const int stride = l_total + 1;
+  if (stride_ == stride) return;
+  stride_ = stride;
+  const std::size_t s = static_cast<std::size_t>(stride);
+  for (std::size_t i = 0; i < roff_.size(); ++i) {
+    roff_[i] =
+        static_cast<std::uint32_t>((t_[i] * s + u_[i]) * s + v_[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Hoisted (ab|cd) prefactor constant 2 pi^{5/2} appears as
+// 2.0 * kPi52 below; std::pow(pi, 2.5) is what the engine has always
+// used, kept verbatim so the constant's bits are unchanged.
+const double kPi52 = std::pow(std::numbers::pi, 2.5);
 
 }  // namespace
 
-void compute_eri_block(const Shell& A, const Shell& B, const Shell& C,
-                       const Shell& D, std::span<double> out) {
-  const std::size_t nA = cartesian_components(A.l).size();
-  const std::size_t nB = cartesian_components(B.l).size();
-  const std::size_t nC = cartesian_components(C.l).size();
-  const std::size_t nD = cartesian_components(D.l).size();
-  assert(out.size() == nA * nB * nC * nD);
+void compute_eri_block(const ShellPairData& bra, const ShellPairData& ket,
+                       EriWorkspace& ws, std::span<double> out) {
+  const std::size_t nab = bra.ncomp();
+  const std::size_t ncd = ket.ncomp();
+  assert(out.size() == nab * ncd);
+  const int L = bra.l_sum() + ket.l_sum();
+  assert(bra.r_stride() == L + 1);
+  assert(ket.r_stride() == L + 1);
 
   std::fill(out.begin(), out.end(), 0.0);
+  ws.R.ensure(L);
 
-  const auto bra = build_prim_pairs(A, B);
-  const auto ket = build_prim_pairs(C, D);
-  const int L = A.l + B.l + C.l + D.l;
-  HermiteR R(L);
+  const std::uint32_t* broff = bra.r_offsets();
+  const double* bcoef = bra.coefs();
+  const std::uint32_t* kroff = ket.r_offsets();
+  const double* kcoef = ket.coefs_signed();
+  const double* R0 = ws.R.data();
 
-  const double pi52 = std::pow(std::numbers::pi, 2.5);
-
-  for (const auto& pab : bra) {
-    for (const auto& pcd : ket) {
+  for (std::size_t kb = 0; kb < bra.num_prims(); ++kb) {
+    const ShellPairData::Prim& pab = bra.prim(kb);
+    for (std::size_t kk = 0; kk < ket.num_prims(); ++kk) {
+      const ShellPairData::Prim& pcd = ket.prim(kk);
       const double p = pab.p, q = pcd.p;
       const double alpha = p * q / (p + q);
       const Vec3 PQ{pab.P[0] - pcd.P[0], pab.P[1] - pcd.P[1],
                     pab.P[2] - pcd.P[2]};
-      R.compute(alpha, PQ, L);
+      ws.R.compute(alpha, PQ, L, ws.boys_mode);
+      ++ws.boys_evals;
       const double pref =
-          2.0 * pi52 / (p * q * std::sqrt(p + q)) * pab.cc * pcd.cc;
+          2.0 * kPi52 / (p * q * std::sqrt(p + q)) * pab.cc * pcd.cc;
 
       std::size_t idx = 0;
-      for (std::size_t iab = 0; iab < nA * nB; ++iab) {
-        const auto& tb = pab.lists[iab].terms;
-        for (std::size_t icd = 0; icd < nC * nD; ++icd, ++idx) {
-          const auto& tk = pcd.lists[icd].terms;
+      for (std::size_t iab = 0; iab < nab; ++iab) {
+        const std::uint32_t b0 = bra.term_begin(kb, iab);
+        const std::uint32_t b1 = bra.term_end(kb, iab);
+        for (std::size_t icd = 0; icd < ncd; ++icd, ++idx) {
+          const std::uint32_t k0 = ket.term_begin(kk, icd);
+          const std::uint32_t k1 = ket.term_end(kk, icd);
           double sum = 0.0;
-          for (const auto& b : tb) {
+          for (std::uint32_t b = b0; b < b1; ++b) {
+            // R indices add component-wise, so the linearized offsets
+            // add too: R(bt+kt, bu+ku, bv+kv) = R0[broff + kroff].
+            const double* Rb = R0 + broff[b];
             double inner = 0.0;
-            for (const auto& k : tk) {
-              const double r = R(b.t + k.t, b.u + k.u, b.v + k.v);
-              // (-1)^{T+U+V} sign of the ket Hermite index
-              inner += ((k.t + k.u + k.v) & 1) ? -k.coef * r : k.coef * r;
+            for (std::uint32_t k = k0; k < k1; ++k) {
+              inner += kcoef[k] * Rb[kroff[k]];
             }
-            sum += b.coef * inner;
+            sum += bcoef[b] * inner;
           }
           out[idx] += pref * sum;
         }
@@ -245,46 +273,72 @@ void compute_eri_block(const Shell& A, const Shell& B, const Shell& C,
   }
 }
 
-double schwarz_bound(const Shell& A, const Shell& B) {
+void compute_eri_block(const Shell& A, const Shell& B, const Shell& C,
+                       const Shell& D, std::span<double> out) {
+  ShellPairData bra(A, B);
+  ShellPairData ket(C, D);
+  const int L = A.l + B.l + C.l + D.l;
+  bra.set_r_stride(L);
+  ket.set_r_stride(L);
+  EriWorkspace ws;
+  compute_eri_block(bra, ket, ws, out);
+}
+
+double schwarz_bound(const ShellPairData& pair, EriWorkspace& ws) {
   // Only the diagonal (ab|ab) of the pair super-matrix is needed; assemble
   // just those nA*nB elements instead of the full (nA*nB)^2 block --
   // screening cost would otherwise dominate high-L dataset generation.
-  const std::size_t nA = cartesian_components(A.l).size();
-  const std::size_t nB = cartesian_components(B.l).size();
-  const auto pairs = build_prim_pairs(A, B);
-  const int L = 2 * (A.l + B.l);
-  HermiteR R(L);
-  const double pi52 = std::pow(std::numbers::pi, 2.5);
+  const std::size_t n = pair.ncomp();
+  const int L = 2 * pair.l_sum();
+  assert(pair.r_stride() == L + 1);
+  ws.R.ensure(L);
+  ws.diag.assign(n, 0.0);
 
-  std::vector<double> diag(nA * nB, 0.0);
-  for (const auto& pab : pairs) {
-    for (const auto& pcd : pairs) {
+  const std::uint32_t* roff = pair.r_offsets();
+  const double* coef = pair.coefs();
+  const double* coef_signed = pair.coefs_signed();
+  const double* R0 = ws.R.data();
+
+  for (std::size_t kb = 0; kb < pair.num_prims(); ++kb) {
+    const ShellPairData::Prim& pab = pair.prim(kb);
+    for (std::size_t kk = 0; kk < pair.num_prims(); ++kk) {
+      const ShellPairData::Prim& pcd = pair.prim(kk);
       const double p = pab.p, q = pcd.p;
       const double alpha = p * q / (p + q);
       const Vec3 PQ{pab.P[0] - pcd.P[0], pab.P[1] - pcd.P[1],
                     pab.P[2] - pcd.P[2]};
-      R.compute(alpha, PQ, L);
+      ws.R.compute(alpha, PQ, L, ws.boys_mode);
+      ++ws.boys_evals;
       const double pref =
-          2.0 * pi52 / (p * q * std::sqrt(p + q)) * pab.cc * pcd.cc;
-      for (std::size_t i = 0; i < diag.size(); ++i) {
-        const auto& tb = pab.lists[i].terms;
-        const auto& tk = pcd.lists[i].terms;
+          2.0 * kPi52 / (p * q * std::sqrt(p + q)) * pab.cc * pcd.cc;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t b0 = pair.term_begin(kb, i);
+        const std::uint32_t b1 = pair.term_end(kb, i);
+        const std::uint32_t k0 = pair.term_begin(kk, i);
+        const std::uint32_t k1 = pair.term_end(kk, i);
         double sum = 0.0;
-        for (const auto& b : tb) {
+        for (std::uint32_t b = b0; b < b1; ++b) {
+          const double* Rb = R0 + roff[b];
           double inner = 0.0;
-          for (const auto& k : tk) {
-            const double r = R(b.t + k.t, b.u + k.u, b.v + k.v);
-            inner += ((k.t + k.u + k.v) & 1) ? -k.coef * r : k.coef * r;
+          for (std::uint32_t k = k0; k < k1; ++k) {
+            inner += coef_signed[k] * Rb[roff[k]];
           }
-          sum += b.coef * inner;
+          sum += coef[b] * inner;
         }
-        diag[i] += pref * sum;
+        ws.diag[i] += pref * sum;
       }
     }
   }
   double mx = 0.0;
-  for (double v : diag) mx = std::max(mx, std::abs(v));
+  for (double v : ws.diag) mx = std::max(mx, std::abs(v));
   return std::sqrt(mx);
+}
+
+double schwarz_bound(const Shell& A, const Shell& B) {
+  ShellPairData pair(A, B);
+  pair.set_r_stride(2 * pair.l_sum());
+  EriWorkspace ws;
+  return schwarz_bound(pair, ws);
 }
 
 }  // namespace pastri::qc

@@ -12,11 +12,22 @@
 // integrals bottoming out in the Boys function.  This is the textbook
 // formulation (Helgaker-Jorgensen-Olsen ch. 9) and is exactly the class of
 // engine GAMESS's rotated-axis/rys codes implement.
+//
+// The hot entry points take precomputed ShellPairData + a reusable
+// EriWorkspace: everything that depends only on one shell pair (Gaussian
+// product geometry, the HermiteE tables collapsed into flat term arenas)
+// is built once and reused across the O(n_pairs) quartets that share it,
+// and the per-quartet scratch (HermiteR) lives on the workspace so the
+// steady-state quartet loop performs no heap allocation.  The Shell-level
+// overloads remain as thin wrappers; both paths execute the identical FP
+// operations in the identical order, so results are bit-identical.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "qc/boys.h"
 #include "qc/gaussian.h"
 
 namespace pastri::qc {
@@ -48,26 +59,114 @@ class HermiteE {
 /// standard downward-in-n recurrences and the Boys function.
 class HermiteR {
  public:
-  /// Workspace is sized for `lmax_total`; reusable across quartets.
-  explicit HermiteR(int lmax_total);
+  /// Unsized; call ensure() before compute().
+  HermiteR() = default;
+
+  /// Workspace sized for `lmax_total`; reusable across quartets.
+  explicit HermiteR(int lmax_total) { ensure(lmax_total); }
+
+  /// Resize the workspace for `lmax_total` if it is not already exactly
+  /// that size (no-op otherwise, so calling it per quartet is free).
+  void ensure(int lmax_total);
 
   /// Fill for the given alpha and PQ = P - Q vector.
-  /// `l_total` must be <= lmax_total given at construction.
-  void compute(double alpha, const Vec3& PQ, int l_total);
+  /// `l_total` must be <= the lmax_total last given to ensure().
+  void compute(double alpha, const Vec3& PQ, int l_total,
+               BoysMode mode = BoysMode::Exact);
 
   double operator()(int t, int u, int v) const {
     return r0_[index_(t, u, v)];
   }
+
+  int lmax() const { return lmax_; }
+  std::size_t stride() const { return stride_; }
+  /// The n = 0 slice, laid out (t * stride + u) * stride + v.
+  const double* data() const { return r0_.data(); }
 
  private:
   std::size_t index_(int t, int u, int v) const {
     return (static_cast<std::size_t>(t) * stride_ + u) * stride_ + v;
   }
 
-  int lmax_;
-  std::size_t stride_;
+  int lmax_ = -1;
+  std::size_t stride_ = 0;
   std::vector<double> r0_;    // n = 0 slice, exposed
   std::vector<double> work_;  // full (n,t,u,v) scratch
+};
+
+/// Everything about one contracted shell pair (A, B) that the quartet
+/// kernel needs, precomputed: the Gaussian product geometry per primitive
+/// pair, and the Hermite term expansion E^x_t E^y_u E^z_v of every
+/// (component_a, component_b) product flattened into one contiguous SoA
+/// arena (no per-term vectors).  Building one of these costs three
+/// HermiteE tables per primitive pair; reusing it across the O(n_pairs)
+/// quartets that share the pair is the dominant ERI-engine win.
+///
+/// Term (t,u,v) indices are additionally pre-linearized against a target
+/// HermiteR stride via set_r_stride(), so the kernel inner loop is a pure
+/// gather: R0[bra_off + ket_off] (offsets add because the R layout is
+/// linear in each of t, u, v).  The ket-side sign (-1)^{t+u+v} is folded
+/// into coef_signed at build time -- `-c * r` and `(-c) * r` are the same
+/// FP operation, so folding preserves bit-identical results.
+class ShellPairData {
+ public:
+  struct Prim {
+    double p = 0;     ///< a + b
+    Vec3 P{0, 0, 0};  ///< product center
+    double cc = 0;    ///< product of contraction coefficients
+  };
+
+  ShellPairData() = default;
+  ShellPairData(const Shell& A, const Shell& B);
+
+  /// Re-linearize the stored (t,u,v) term indices for a HermiteR of
+  /// total momentum `l_total` (stride l_total + 1).  Must be called (or
+  /// re-called) whenever the pair is used against a different quartet
+  /// total momentum; no-op when the stride already matches.
+  void set_r_stride(int l_total);
+
+  int l_sum() const { return la_ + lb_; }
+  std::size_t ncomp() const { return ncomp_; }
+  std::size_t num_prims() const { return prims_.size(); }
+  const Prim& prim(std::size_t k) const { return prims_[k]; }
+
+  /// Term range [begin, end) of (primitive pair k, component pair c).
+  std::uint32_t term_begin(std::size_t k, std::size_t c) const {
+    return off_[k * ncomp_ + c];
+  }
+  std::uint32_t term_end(std::size_t k, std::size_t c) const {
+    return off_[k * ncomp_ + c + 1];
+  }
+
+  const std::uint32_t* r_offsets() const { return roff_.data(); }
+  const double* coefs() const { return coef_.data(); }
+  const double* coefs_signed() const { return coef_signed_.data(); }
+  int r_stride() const { return stride_; }
+
+ private:
+  int la_ = 0, lb_ = 0;
+  std::size_t ncomp_ = 0;  ///< component pairs, nA * nB
+  std::vector<Prim> prims_;
+  // One term arena for the whole pair.  off_ has
+  // num_prims * ncomp + 1 entries; terms of (prim k, comp c) occupy
+  // [off_[k*ncomp+c], off_[k*ncomp+c+1]).
+  std::vector<std::uint32_t> off_;
+  std::vector<std::uint8_t> t_, u_, v_;       ///< Hermite indices per term
+  std::vector<double> coef_;                  ///< bra-side coefficient
+  std::vector<double> coef_signed_;           ///< (-1)^{t+u+v} * coef (ket)
+  std::vector<std::uint32_t> roff_;           ///< linearized (t,u,v)
+  int stride_ = 0;                            ///< stride roff_ is built for
+};
+
+/// Reusable per-worker scratch for the quartet kernels: the HermiteR
+/// tensor, the Schwarz diagonal buffer, and the Boys evaluation mode +
+/// counter.  One workspace per thread; after warm-up the kernels do not
+/// allocate.
+struct EriWorkspace {
+  HermiteR R;
+  std::vector<double> diag;  ///< schwarz_bound scratch
+  BoysMode boys_mode = BoysMode::Exact;
+  std::uint64_t boys_evals = 0;  ///< Boys calls made through this workspace
 };
 
 /// Full contracted ERI shell block (AB|CD) in GAMESS layout:
@@ -76,11 +175,23 @@ class HermiteR {
 ///
 /// `out.size()` must equal nA*nB*nC*nD.  Values are in Hartree (atomic
 /// units) for normalized basis functions.
+///
+/// Both pairs must have had set_r_stride(bra.l_sum() + ket.l_sum())
+/// applied.  Allocation-free once `ws` is warm.
+void compute_eri_block(const ShellPairData& bra, const ShellPairData& ket,
+                       EriWorkspace& ws, std::span<double> out);
+
+/// Convenience Shell-level overload: builds both pairs and a workspace on
+/// the spot.  Bit-identical to the cached-pair path.
 void compute_eri_block(const Shell& A, const Shell& B, const Shell& C,
                        const Shell& D, std::span<double> out);
 
 /// Cauchy-Schwarz screening bound: sqrt(max_component (ab|ab)).
 /// The true bound |(ab|cd)| <= Q_ab * Q_cd lets callers skip whole blocks.
+/// `pair` must have had set_r_stride(2 * pair.l_sum()) applied.
+double schwarz_bound(const ShellPairData& pair, EriWorkspace& ws);
+
+/// Convenience Shell-level overload (builds the pair per call).
 double schwarz_bound(const Shell& A, const Shell& B);
 
 }  // namespace pastri::qc

@@ -17,6 +17,8 @@
 #include "core/pastri.h"
 #include "core/simd/simd.h"
 #include "core/stream.h"
+#include "qc/eri_engine.h"
+#include "qc/molecule.h"
 
 namespace {
 std::atomic<std::size_t> g_alloc_count{0};
@@ -299,6 +301,36 @@ TEST(AllocFree, StreamConsumerChunkLoopAllocLeanOnEveryBackend) {
     EXPECT_EQ(out, want) << simd::backend_name(backend);
   }
   simd::refresh_backend_from_env();
+}
+
+/// The ERI generation hot path: once the shell-pair cache is built
+/// (plan) and the thread-local workspaces are warm (first pass), the
+/// steady-state quartet loop draws everything -- HermiteR tensor,
+/// Schwarz scratch, term arenas -- from preallocated storage.  The
+/// bound is amortized rather than exactly zero only because the OpenMP
+/// runtime may allocate per-parallel-region bookkeeping (team/task
+/// structs), which is per compute_range call, not per block.
+TEST(AllocFree, EriGenerationSteadyStateAllocatesFarBelowPerBlock) {
+  const qc::Molecule mol = qc::make_molecule("benzene");
+  qc::DatasetOptions opt;
+  opt.config = qc::parse_config("(dd|dd)");
+  opt.max_blocks = 48;
+  const qc::EriBlockGenerator gen(mol, opt);
+  const std::size_t n = gen.meta().num_blocks;
+  const std::size_t bs = gen.meta().shape.block_size();
+  ASSERT_EQ(n, 48u);
+  std::vector<double> out(n * bs);
+
+  // Warm pass: sizes each thread's workspace for this momentum class.
+  gen.compute_range(0, n, out);
+
+  const std::size_t passes = 4;
+  const std::size_t mark = g_alloc_count.load();
+  for (std::size_t p = 0; p < passes; ++p) gen.compute_range(0, n, out);
+  const std::size_t measured = passes * n;
+  const std::size_t allocs = allocations_since(mark);
+  EXPECT_LT(allocs, measured / 8)
+      << allocs << " allocations over " << measured << " generated blocks";
 }
 
 }  // namespace

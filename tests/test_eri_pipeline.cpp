@@ -58,6 +58,46 @@ TEST(BoundedQueue, CapacityClampsToOne) {
   EXPECT_EQ(q.capacity(), 1u);
 }
 
+TEST(BoundedQueue, PerCallerWaitAttribution) {
+  // The wait_ns out-params accumulate only the time THIS caller spent
+  // blocked, on top of the queue-side totals -- that is what gives the
+  // pipeline per-producer stall numbers when N producers share a queue.
+  BoundedQueue<int> q(1);
+  std::uint64_t push_wait = 0, pop_wait = 0;
+
+  // Uncontended calls add nothing.
+  EXPECT_TRUE(q.push(1, &push_wait));
+  EXPECT_EQ(push_wait, 0u);
+  int v = 0;
+  EXPECT_TRUE(q.pop(v, &pop_wait));
+  EXPECT_EQ(pop_wait, 0u);
+
+  // A producer blocked on a full queue accrues wait in both places.
+  EXPECT_TRUE(q.push(1));
+  std::thread unblock([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int x;
+    q.pop(x);
+  });
+  EXPECT_TRUE(q.push(2, &push_wait));
+  unblock.join();
+  EXPECT_GT(push_wait, 0u);
+  EXPECT_GE(q.producer_wait_ns(), push_wait);
+
+  // A consumer blocked on an empty queue likewise.
+  int y;
+  ASSERT_TRUE(q.pop(y));  // drain item 2
+  std::thread feed([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(3);
+  });
+  EXPECT_TRUE(q.pop(y, &pop_wait));
+  feed.join();
+  EXPECT_EQ(y, 3);
+  EXPECT_GT(pop_wait, 0u);
+  EXPECT_GE(q.consumer_wait_ns(), pop_wait);
+}
+
 TEST(BoundedQueue, TransfersInOrderAcrossThreads) {
   constexpr int kItems = 2000;
   BoundedQueue<int> q(3);
@@ -381,6 +421,114 @@ TEST_F(EriPipelineTest, PipelineMetricsAdvance) {
   EXPECT_GE(res.overlap_efficiency, 0.0);
   EXPECT_LE(res.overlap_efficiency, 1.0);
   EXPECT_EQ(res.bytes_written, sink.bytes().size());
+}
+
+// ------------------------------------------------ multi-producer compute
+
+TEST_F(EriPipelineTest, MultiProducerStreamBytesIdenticalAcrossMatrix) {
+  // The chunk stream is claimed dynamically and reordered on the
+  // consumer side, so the container bytes must not depend on the
+  // producer count, the OpenMP width inside each producer, or the queue
+  // depth -- only the sequential golden bytes exist.
+  Params p;
+  qc::EriPipelineOptions seq;
+  seq.pipelined = false;
+  seq.async_io = false;
+  const auto golden = stream_bytes(p, seq);
+  ASSERT_FALSE(golden.empty());
+
+  const int max_threads = omp_get_max_threads();
+  for (const int threads : {1, max_threads}) {
+    omp_set_num_threads(threads);
+    for (const std::size_t producers :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      for (const std::size_t depth : {std::size_t{1}, std::size_t{3}}) {
+        qc::EriPipelineOptions popt;
+        popt.producers = producers;
+        popt.queue_depth = depth;
+        popt.batch_blocks = 3;  // 24 blocks -> 8 chunks to interleave
+        EXPECT_EQ(stream_bytes(p, popt), golden)
+            << "threads=" << threads << " producers=" << producers
+            << " depth=" << depth;
+      }
+    }
+  }
+  omp_set_num_threads(max_threads);
+}
+
+TEST_F(EriPipelineTest, MultiProducerReportsPerProducerStats) {
+  Params p;
+  qc::EriPipelineOptions popt;
+  popt.producers = 3;
+  popt.batch_blocks = 2;  // 24 blocks -> 12 chunks across 3 producers
+  VectorSink sink;
+  const qc::EriPipelineResult res =
+      qc::compress_eri_stream(mol_, opt_, p, sink, popt);
+  ASSERT_EQ(res.producers.size(), 3u);
+  std::size_t chunks = 0;
+  std::uint64_t busy = 0, stalled = 0;
+  for (const qc::EriProducerStats& ps : res.producers) {
+    chunks += ps.chunks;
+    busy += ps.compute_ns;
+    stalled += ps.stall_ns;
+  }
+  // Every chunk is computed by exactly one producer, and the aggregate
+  // stage numbers are the per-producer sums.
+  EXPECT_EQ(chunks, res.chunks);
+  EXPECT_EQ(res.chunks, 12u);
+  EXPECT_EQ(busy, res.compute_ns);
+  EXPECT_EQ(stalled, res.compute_stall_ns);
+  EXPECT_GT(busy, 0u);
+
+  // The sequential path reports no per-producer breakdown.
+  qc::EriPipelineOptions seq;
+  seq.pipelined = false;
+  VectorSink sink2;
+  EXPECT_TRUE(
+      qc::compress_eri_stream(mol_, opt_, p, sink2, seq).producers.empty());
+  EXPECT_EQ(sink2.bytes(), sink.bytes());
+}
+
+TEST_F(EriPipelineTest, MultiProducerDumpShardsByteIdentical) {
+  // dump_eri_sharded with N producers writes the same shard files and
+  // manifest as the single-producer dump, byte for byte.
+  Params p;
+  constexpr int kShards = 3;
+  qc::EriDumpOptions dopt;
+  dopt.num_shards = kShards;
+  qc::EriPipelineOptions one;
+  one.producers = 1;
+  qc::dump_eri_sharded(mol_, opt_, p, dir_, "p1", dopt, one);
+
+  for (const std::size_t producers : {std::size_t{2}, std::size_t{4}}) {
+    qc::EriPipelineOptions popt;
+    popt.producers = producers;
+    const std::string base = "p" + std::to_string(producers);
+    const qc::EriDumpResult res =
+        qc::dump_eri_sharded(mol_, opt_, p, dir_, base, dopt, popt);
+    EXPECT_EQ(res.shards_total, static_cast<std::size_t>(kShards));
+    for (int s = 0; s < kShards; ++s) {
+      const std::string suffix = "." + std::to_string(s);
+      EXPECT_EQ(slurp(dir_ + "/" + base + suffix),
+                slurp(dir_ + "/p1" + suffix))
+          << "producers=" << producers << " shard " << s;
+    }
+    EXPECT_EQ(slurp(dir_ + "/" + base + ".manifest"),
+              slurp(dir_ + "/p1.manifest"))
+        << "producers=" << producers;
+  }
+}
+
+TEST_F(EriPipelineTest, MoreProducersThanChunksStillCompletes) {
+  // Degenerate oversubscription: producers that find the stream already
+  // fully claimed must hand their buffer back and exit cleanly.
+  Params p;
+  qc::EriPipelineOptions popt;
+  popt.producers = 6;
+  popt.batch_blocks = 12;  // 24 blocks -> only 2 chunks for 6 producers
+  qc::EriPipelineOptions seq;
+  seq.pipelined = false;
+  EXPECT_EQ(stream_bytes(p, popt), stream_bytes(p, seq));
 }
 
 // ------------------------------------------------- solvers off the store
